@@ -1,0 +1,15 @@
+"""Regenerate Figure 4 (Perturber/feedback settings over rounds)."""
+
+from repro.analysis.experiments import figure4
+
+
+def test_figure4(benchmark):
+    result = benchmark.pedantic(
+        figure4.run, kwargs={"rounds": 4}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    curves = {row[0]: row[1:] for row in result.rows}
+    full = curves["SherLock"]
+    # Shape: the full system's curve is non-collapsing over rounds.
+    assert full[-1] >= max(1, full[0] // 2)

@@ -1,0 +1,10 @@
+"""Regenerate the §5.6 overhead measurements."""
+
+from repro.analysis.experiments import overhead
+
+
+def test_overhead(benchmark):
+    result = benchmark.pedantic(overhead.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert len(result.rows) == 8

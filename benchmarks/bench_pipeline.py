@@ -1,0 +1,40 @@
+"""Micro-benchmarks of the pipeline's components."""
+
+from repro.apps.registry import get_application
+from repro.core import Sherlock, SherlockConfig, ObservationStore, WindowExtractor, infer
+from repro.core.observer import Observer
+
+
+def test_full_pipeline_one_app(benchmark):
+    """End-to-end 3-round SherLock run on App-2."""
+
+    def run():
+        app = get_application("App-2")
+        return Sherlock(app, SherlockConfig(rounds=3, seed=0)).run()
+
+    report = benchmark(run)
+    assert len(report.final.syncs) >= 4
+
+
+def test_solver_only(benchmark):
+    """LP encode+solve on App-1's accumulated observations."""
+    app = get_application("App-1")
+    config = SherlockConfig(rounds=1, seed=0)
+    observer = Observer(config)
+    store = ObservationStore()
+    extractor = WindowExtractor(config.near, config.window_cap)
+    for execution in observer.observe_round(app, 0, {}):
+        store.ingest_run(execution.log, extractor.extract(execution.log))
+
+    result = benchmark(lambda: infer(store, config))
+    assert result.n_variables > 0
+
+
+def test_tracing_only(benchmark):
+    """One observed round of App-4's test suite."""
+    app = get_application("App-4")
+    config = SherlockConfig(seed=0)
+    observer = Observer(config)
+
+    executions = benchmark(lambda: observer.observe_round(app, 0, {}))
+    assert sum(len(e.log) for e in executions) > 100

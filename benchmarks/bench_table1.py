@@ -1,0 +1,10 @@
+"""Regenerate Table 1 (application inventory)."""
+
+from repro.analysis.experiments import table1
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert len(result.rows) == 8

@@ -1,0 +1,15 @@
+"""Regenerate Table 2 (inferred results after 3 rounds, all 8 apps)."""
+
+from repro.analysis.experiments import table2
+
+
+def test_table2(benchmark, full_config):
+    result, classified = benchmark.pedantic(
+        table2.run, kwargs={"config": full_config}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    total_correct = sum(len(c.correct) for c in classified.values())
+    # Shape: a substantial number of true syncs with few enough FPs.
+    assert total_correct >= 30
+    assert len(classified) == 8

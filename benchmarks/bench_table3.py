@@ -1,0 +1,15 @@
+"""Regenerate Table 3 (Manual_dr vs SherLock_dr race detection)."""
+
+from repro.analysis.experiments import table3
+
+
+def test_table3(benchmark, full_config):
+    result, per_app = benchmark.pedantic(
+        table3.run, kwargs={"config": full_config}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    manual_false = sum(m.false_races for m, s in per_app.values())
+    sherlock_false = sum(s.false_races for m, s in per_app.values())
+    # Shape: inferred synchronizations eliminate false races.
+    assert sherlock_false <= manual_false

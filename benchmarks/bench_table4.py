@@ -1,0 +1,12 @@
+"""Regenerate Table 4 (false positive/negative breakdown)."""
+
+from repro.analysis.experiments import table4
+
+
+def test_table4(benchmark, full_config):
+    result = benchmark.pedantic(
+        table4.run, kwargs={"config": full_config}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert len(result.rows) == 6  # 5 buckets + total

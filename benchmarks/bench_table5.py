@@ -1,0 +1,14 @@
+"""Regenerate Table 5 (hypothesis ablation)."""
+
+from repro.analysis.experiments import table5
+
+
+def test_table5(benchmark):
+    result = benchmark.pedantic(table5.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    rows = {row[0]: row for row in result.rows}
+    # Mostly-Protected is indispensable: nothing inferred without it.
+    assert rows["w/o Mostly are Protected"][1] == 0
+    # Removing Rare inflates the total (precision drops).
+    assert rows["w/o Synchronizations are Rare"][2] >= rows["SherLock"][2]

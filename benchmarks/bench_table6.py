@@ -1,0 +1,12 @@
+"""Regenerate Table 6 (lambda sensitivity)."""
+
+from repro.analysis.experiments import table6
+
+
+def test_table6(benchmark):
+    result = benchmark.pedantic(table6.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    by_lam = {row[0]: row for row in result.rows}
+    # Shape: very large lambda infers far fewer syncs than the default.
+    assert by_lam[100.0][1] <= by_lam[0.2][1]

@@ -1,0 +1,12 @@
+"""Regenerate Table 7 (Near sensitivity)."""
+
+from repro.analysis.experiments import table7
+
+
+def test_table7(benchmark):
+    result = benchmark.pedantic(table7.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    by_near = {row[0]: row for row in result.rows}
+    # Shape: a tiny Near misses many syncs vs the 1 s default.
+    assert by_near[0.01][1] < by_near[1.0][1]

@@ -1,0 +1,12 @@
+"""Regenerate Tables 8/9 (inferred synchronization listings)."""
+
+from repro.analysis.experiments import table89
+
+
+def test_table89(benchmark, full_config):
+    result = benchmark.pedantic(
+        table89.run, kwargs={"config": full_config}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert len(result.rows) >= 30

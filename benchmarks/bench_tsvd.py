@@ -1,0 +1,15 @@
+"""Regenerate the §5.6 TSVD-enhancement comparison."""
+
+from repro.analysis.experiments import tsvd_enhance
+
+
+def test_tsvd_enhancement(benchmark, full_config):
+    result = benchmark.pedantic(
+        tsvd_enhance.run, kwargs={"config": full_config}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    total_row = result.rows[-1]
+    # Shape: SherLock identifies at least as many synchronized pairs.
+    assert total_row[2] >= total_row[1]

@@ -1,0 +1,10 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def full_config():
+    from repro.core import SherlockConfig
+
+    return SherlockConfig(rounds=3, seed=0)

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Quickstart: infer the synchronizations of a tiny concurrent program.
+
+Builds a small application (a lock-protected counter plus a flag
+variable), runs SherLock for three rounds with delay-injection feedback,
+and prints the inferred acquire/release operations — with no annotations
+whatsoever.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Sherlock, SherlockConfig
+from repro.sim import (
+    AppContext,
+    AppInfo,
+    Application,
+    GroundTruth,
+    Method,
+    UnitTest,
+)
+from repro.sim.primitives import Monitor, SystemThread
+
+
+def counter_test(rt, ctx):
+    """Two workers increment a shared pair of counters under a lock;
+    a producer/consumer pair coordinates through a flag variable."""
+    lock = Monitor("counter-lock")
+    shared = rt.new_object("Demo.Counter", {"value": 0, "total": 0})
+    state = rt.new_object("Demo.State", {"ready": False, "payload": ""})
+
+    def worker_a(rt_, obj):
+        for _ in range(3):
+            yield from lock.enter(rt_)
+            v = yield from rt_.read(shared, "value")
+            yield from rt_.write(shared, "value", v + 1)
+            t = yield from rt_.read(shared, "total")
+            yield from rt_.write(shared, "total", t + v)
+            yield from lock.exit(rt_)
+            pause = yield from rt_.rand()
+            yield from rt_.sleep(0.05 + 0.05 * pause)
+
+    def worker_b(rt_, obj):
+        yield from rt_.sleep(0.04)
+        for _ in range(3):
+            yield from lock.enter(rt_)
+            t = yield from rt_.read(shared, "total")
+            yield from rt_.write(shared, "total", t + 1)
+            v = yield from rt_.read(shared, "value")
+            yield from rt_.write(shared, "value", v + 1)
+            yield from lock.exit(rt_)
+            pause = yield from rt_.rand()
+            yield from rt_.sleep(0.05 + 0.05 * pause)
+
+    def producer(rt_, obj):
+        yield from rt_.write(state, "payload", "hello")
+        yield from rt_.write(state, "ready", True)
+
+    def consumer(rt_, obj):
+        while not (yield from rt_.read(state, "ready")):
+            yield from rt_.sleep(0.01)
+        payload = yield from rt_.read(state, "payload")
+        assert payload == "hello"
+
+    threads = [
+        SystemThread(Method("Demo::WorkerA", worker_a), name="a"),
+        SystemThread(Method("Demo::WorkerB", worker_b), name="b"),
+        SystemThread(Method("Demo::Producer", producer), name="p"),
+        SystemThread(Method("Demo::Consumer", consumer), name="c"),
+    ]
+    for thread in threads:
+        yield from thread.start(rt)
+    for thread in threads:
+        yield from thread.join(rt)
+
+
+def main() -> None:
+    app = Application(
+        info=AppInfo("Demo", "QuickstartDemo", "0.1K", 0, 1),
+        make_context=lambda rt: AppContext(),
+        tests=[UnitTest("Demo.Tests::CounterAndFlag", counter_test)],
+        ground_truth=GroundTruth(),
+    )
+    config = SherlockConfig(rounds=3, seed=1)
+    report = Sherlock(app, config).run()
+
+    print(report.describe())
+    print("\nInferred releases:")
+    for sync in sorted(report.final.releases, key=lambda s: s.op.name):
+        print("   ", sync.op.display())
+    print("\nInferred acquires:")
+    for sync in sorted(report.final.acquires, key=lambda s: s.op.name):
+        print("   ", sync.op.display())
+
+    expected = {
+        "System.Threading.Monitor::Exit-End",
+        "System.Threading.Monitor::Enter-Begin",
+        "Write-Demo.State::ready",
+        "Read-Demo.State::ready",
+    }
+    found = {s.op.display() for s in report.final.syncs}
+    print(
+        "\nCanonical syncs found:",
+        f"{len(expected & found)}/{len(expected)}",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — a reproduction of SherLock: Unsupervised Synchronization-
+Operation Inference (Li, Chen, Lu, Musuvathi, Nath — ASPLOS 2021).
+
+Public API tour:
+
+* :mod:`repro.sim` — the deterministic concurrent-program simulator and
+  its .NET-style synchronization primitives.
+* :mod:`repro.core` — SherLock itself: :class:`~repro.core.Sherlock`
+  (Observer → LP Solver → Perturber over rounds) and
+  :class:`~repro.core.SherlockConfig`.
+* :mod:`repro.apps` — the 8 benchmark applications.
+* :mod:`repro.racedet` — the FastTrack race detector (Manual_dr /
+  SherLock_dr).
+* :mod:`repro.tsvd` — the TSVD baseline.
+* :mod:`repro.analysis` — per-table experiment regenerators.
+* :mod:`repro.lp` — the linear-programming substrate.
+
+Quickstart::
+
+    from repro import Sherlock, SherlockConfig, get_application
+
+    app = get_application("App-2")
+    report = Sherlock(app, SherlockConfig(rounds=3)).run()
+    for sync in sorted(report.final.syncs, key=lambda s: s.display()):
+        print(sync.display())
+"""
+
+from .apps import all_applications, app_ids, get_application
+from .core import (
+    InferenceResult,
+    Sherlock,
+    SherlockConfig,
+    SherlockReport,
+    run_sherlock,
+)
+from .racedet import detect_races, manual_spec, sherlock_spec
+from .trace import OpRef, OpType, Role, SyncOp, TraceEvent, TraceLog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InferenceResult",
+    "OpRef",
+    "OpType",
+    "Role",
+    "Sherlock",
+    "SherlockConfig",
+    "SherlockReport",
+    "SyncOp",
+    "TraceEvent",
+    "TraceLog",
+    "all_applications",
+    "app_ids",
+    "detect_races",
+    "get_application",
+    "manual_spec",
+    "run_sherlock",
+    "sherlock_spec",
+]

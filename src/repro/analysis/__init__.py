@@ -1,0 +1,19 @@
+"""Experiment harness: scoring, table rendering, per-table regenerators."""
+
+from .metrics import (
+    ClassifiedInference,
+    classify,
+    missed_by_category,
+    precision,
+    unique_sync_count,
+)
+from .tables import TableResult
+
+__all__ = [
+    "ClassifiedInference",
+    "TableResult",
+    "classify",
+    "missed_by_category",
+    "precision",
+    "unique_sync_count",
+]

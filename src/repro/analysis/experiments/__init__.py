@@ -1,0 +1,31 @@
+"""One regenerator module per paper table/figure (see DESIGN.md index)."""
+
+from . import (
+    common,
+    figure4,
+    overhead,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table89,
+    tsvd_enhance,
+)
+
+__all__ = [
+    "common",
+    "figure4",
+    "overhead",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table89",
+    "tsvd_enhance",
+]

@@ -1,0 +1,27 @@
+"""Shared helpers for the experiment regenerators."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ...apps.registry import all_applications, get_application
+from ...core import Sherlock, SherlockConfig, SherlockReport
+from ...sim.program import Application
+
+
+def select_apps(app_ids: Optional[Iterable[str]] = None) -> List[Application]:
+    """Fresh application instances (all 8 by default)."""
+    if app_ids is None:
+        return all_applications()
+    return [get_application(app_id) for app_id in app_ids]
+
+
+def run_all(
+    apps: List[Application], config: Optional[SherlockConfig] = None
+) -> Dict[str, SherlockReport]:
+    """Run the SherLock pipeline on every app with one config."""
+    config = config or SherlockConfig()
+    return {app.app_id: Sherlock(app, config).run() for app in apps}
+
+
+__all__ = ["run_all", "select_apps"]

@@ -1,0 +1,77 @@
+"""§5.6 overhead — tracing, solving and delay-injection costs.
+
+The paper reports per-test overheads of 24%–800% (tracing 170%, solving
+94%, delays +156%).  Here the same phases are wall-clock timed on the
+simulator: a bare run (instrumentation off), a traced run, the solve, and
+a traced run with a delay plan.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional
+
+from ...core import Observer, ObservationStore, SherlockConfig, WindowExtractor, infer
+from ...core.perturber import build_delay_plan
+from ...sim.runner import RunOptions, run_application
+from ..tables import TableResult
+from .common import select_apps
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run(
+    app_ids: Optional[Iterable[str]] = None,
+    config: Optional[SherlockConfig] = None,
+) -> TableResult:
+    config = config or SherlockConfig()
+    table = TableResult(
+        "Overhead per phase (measured; paper: tracing 170%,"
+        " solving 94%, delays +156%)",
+        ["App", "bare (s)", "traced (s)", "solve (s)", "delayed (s)",
+         "tracing ovh", "solving ovh", "delay ovh"],
+    )
+    for app in select_apps(app_ids):
+        observer = Observer(config)
+
+        # Bare: instrumentation drops every event.
+        bare_options = RunOptions(
+            seed=config.seed, run_id=0, event_filter=lambda e: False
+        )
+        _, bare_t = _timed(lambda: run_application(app, bare_options))
+
+        executions, traced_t = _timed(
+            lambda: observer.observe_round(app, 0, {})
+        )
+        store = ObservationStore()
+        extractor = WindowExtractor(config.near, config.window_cap)
+
+        def ingest_and_solve():
+            for execution in executions:
+                store.ingest_run(
+                    execution.log, extractor.extract(execution.log)
+                )
+            return infer(store, config)
+
+        inference, solve_t = _timed(ingest_and_solve)
+        plan = build_delay_plan(inference, config)
+        _, delayed_t = _timed(lambda: observer.observe_round(app, 1, plan))
+
+        table.add_row(
+            app.app_id,
+            f"{bare_t:.3f}",
+            f"{traced_t:.3f}",
+            f"{solve_t:.3f}",
+            f"{delayed_t:.3f}",
+            f"{(traced_t - bare_t) / bare_t:+.0%}" if bare_t else "n/a",
+            f"{solve_t / bare_t:+.0%}" if bare_t else "n/a",
+            f"{(delayed_t - traced_t) / traced_t:+.0%}" if traced_t else "n/a",
+        )
+    return table
+
+
+__all__ = ["run"]

@@ -1,0 +1,66 @@
+"""Table 2 — SherLock inferred results after 3 rounds."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ...core import SherlockConfig
+from ..metrics import ClassifiedInference, classify, unique_sync_count
+from ..tables import TableResult
+from .common import run_all, select_apps
+
+#: Paper's Table 2 for side-by-side display.
+PAPER_ROWS = {
+    "App-1": (46, 10, 2, 7),
+    "App-2": (6, 0, 0, 0),
+    "App-3": (8, 0, 2, 0),
+    "App-4": (20, 0, 1, 0),
+    "App-5": (14, 2, 0, 2),
+    "App-6": (14, 0, 0, 2),
+    "App-7": (19, 4, 0, 0),
+    "App-8": (6, 0, 0, 1),
+}
+
+
+def run(
+    app_ids: Optional[Iterable[str]] = None,
+    config: Optional[SherlockConfig] = None,
+) -> Tuple[TableResult, Dict[str, ClassifiedInference]]:
+    apps = select_apps(app_ids)
+    reports = run_all(apps, config)
+    table = TableResult(
+        "Table 2: SherLock inferred results after 3 rounds"
+        " (measured | paper)",
+        ["ID", "Syncs", "Data Racy", "Instr. Errors", "Not Sync",
+         "paper(S/DR/IE/NS)"],
+    )
+    classified: Dict[str, ClassifiedInference] = {}
+    for app in apps:
+        result = classify(app, reports[app.app_id])
+        classified[app.app_id] = result
+        paper = PAPER_ROWS.get(app.app_id, ("-",) * 4)
+        table.add_row(
+            app.app_id,
+            len(result.correct),
+            len(result.data_racy),
+            len(result.instr_errors),
+            len(result.not_sync),
+            "/".join(str(p) for p in paper),
+        )
+    total = sum(len(c.correct) for c in classified.values())
+    unique = unique_sync_count(c.correct for c in classified.values())
+    table.add_row(
+        "Sum",
+        f"{total} ({unique})",
+        sum(len(c.data_racy) for c in classified.values()),
+        sum(len(c.instr_errors) for c in classified.values()),
+        sum(len(c.not_sync) for c in classified.values()),
+        "133 (122)/16/5/12",
+    )
+    table.notes.append(
+        "paper columns: Syncs / Data Racy / Instr. Errors / Not Sync"
+    )
+    return table, classified
+
+
+__all__ = ["PAPER_ROWS", "run"]

@@ -1,0 +1,95 @@
+"""Table 4 — breakdown of false positives / negatives (§5.5)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ...core import SherlockConfig
+from ...racedet import attribute_false_races, detect_races, sherlock_spec
+from ..metrics import classify, missed_by_category
+from ..tables import TableResult
+from .common import run_all, select_apps
+
+#: Map ground-truth subcategories onto the paper's Table-4 buckets.
+_BUCKETS = {
+    "instr_error": "Instr. Errors",
+    "double_role": "Double Roles",
+    "dispose": "Dispose",
+    "static_ctor": "Static Ctr.",
+}
+
+PAPER = {
+    "Instr. Errors": (5, 3, 17),
+    "Double Roles": (2, 1, 15),
+    "Dispose": (5, 4, 11),
+    "Static Ctr.": (4, 2, 3),
+    "Others": (2, 2, 5),
+}
+
+
+def run(
+    app_ids: Optional[Iterable[str]] = None,
+    config: Optional[SherlockConfig] = None,
+    seed: int = 0,
+) -> TableResult:
+    apps = select_apps(app_ids)
+    reports = run_all(apps, config)
+    false_sync: Dict[str, int] = {}
+    missed_sync: Dict[str, int] = {}
+    false_races: Dict[str, int] = {}
+
+    for app in apps:
+        report = reports[app.app_id]
+        result = classify(app, report)
+        # False syncs bucketed by the category of the sync they displace.
+        gt = app.ground_truth
+        for sync in result.instr_errors:
+            false_sync["Instr. Errors"] = false_sync.get("Instr. Errors", 0) + 1
+        for sync in result.not_sync:
+            # Which missed sync does this false one stand in for?
+            bucket = "Others"
+            if sync.op.optype.is_memory:
+                protector = gt.protected_by.get(sync.op.name)
+                if protector is not None:
+                    info = next(
+                        (i for s, i in gt.syncs.items()
+                         if s.op.name == protector),
+                        None,
+                    )
+                    if info is not None:
+                        bucket = _BUCKETS.get(info.subcategory, "Others")
+            false_sync[bucket] = false_sync.get(bucket, 0) + 1
+        # Missed syncs by category.
+        for category, count in missed_by_category(app, result).items():
+            bucket = _BUCKETS.get(category, "Others")
+            missed_sync[bucket] = missed_sync.get(bucket, 0) + count
+        # False races attributed to missed-sync categories.
+        races = detect_races(app, sherlock_spec(report.final), seed=seed)
+        for category, count in attribute_false_races(app, races).items():
+            bucket = _BUCKETS.get(category, "Others")
+            false_races[bucket] = false_races.get(bucket, 0) + count
+
+    table = TableResult(
+        "Table 4: breakdown of false positives/negatives"
+        " (measured | paper)",
+        ["Category", "#False Sync", "#Missed Sync", "#False Races",
+         "paper(FS/MS/FR)"],
+    )
+    buckets = ["Instr. Errors", "Double Roles", "Dispose", "Static Ctr.",
+               "Others"]
+    totals = [0, 0, 0]
+    for bucket in buckets:
+        fs = false_sync.get(bucket, 0)
+        ms = missed_sync.get(bucket, 0)
+        fr = false_races.get(bucket, 0)
+        totals[0] += fs
+        totals[1] += ms
+        totals[2] += fr
+        table.add_row(
+            bucket, fs, ms, fr, "/".join(str(p) for p in PAPER[bucket])
+        )
+    table.add_row("Total", *totals, "17/12/51")
+    return table
+
+
+__all__ = ["PAPER", "run"]

@@ -1,0 +1,51 @@
+"""Table 5 — inference with or without certain hypotheses (§5.6)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ...core import SherlockConfig, TABLE5_ABLATIONS
+from ..metrics import classify, precision
+from ..tables import TableResult
+from .common import run_all, select_apps
+
+PAPER = {
+    "SherLock": (122, 155, "79%"),
+    "w/o Mostly are Protected": (0, 0, "n/a"),
+    "w/o Synchronizations are Rare": (112, 271, "41%"),
+    "w/o Acq-Time Varies": (106, 152, "70%"),
+    "w/o Mostly are Paired": (101, 158, "64%"),
+    "w/o Read-Acq & Write-Rel": (100, 152, "66%"),
+    "w/o Single Role": (111, 156, "71%"),
+}
+
+
+def run(
+    app_ids: Optional[Iterable[str]] = None,
+    base_config: Optional[SherlockConfig] = None,
+) -> TableResult:
+    base = base_config or SherlockConfig()
+    table = TableResult(
+        "Table 5: inference with or without certain hypotheses"
+        " (measured | paper)",
+        ["Setting", "#Correct", "#Total", "Precision",
+         "paper(C/T/P)"],
+    )
+    for label, changes in TABLE5_ABLATIONS.items():
+        config = base.without(**changes)
+        apps = select_apps(app_ids)
+        reports = run_all(apps, config)
+        classified = [classify(a, reports[a.app_id]) for a in apps]
+        correct, total, prec = precision(classified)
+        paper = PAPER[label]
+        table.add_row(
+            label,
+            correct,
+            total,
+            f"{prec:.0%}" if total else "n/a",
+            f"{paper[0]}/{paper[1]}/{paper[2]}",
+        )
+    return table
+
+
+__all__ = ["PAPER", "run"]

@@ -1,0 +1,42 @@
+"""Table 6 — sensitivity of λ (§5.6)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ...core import SherlockConfig
+from ..metrics import classify, precision
+from ..tables import TableResult
+from .common import run_all, select_apps
+
+PAPER = {
+    0.1: (118, 157), 0.2: (122, 155), 0.4: (115, 156), 0.6: (111, 147),
+    0.8: (111, 144), 1.0: (110, 142), 5.0: (76, 95), 10.0: (67, 85),
+    50.0: (29, 36), 100.0: (19, 29),
+}
+
+DEFAULT_LAMBDAS = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 5.0, 10.0, 50.0, 100.0)
+
+
+def run(
+    app_ids: Optional[Iterable[str]] = None,
+    lambdas: Sequence[float] = DEFAULT_LAMBDAS,
+    base_config: Optional[SherlockConfig] = None,
+) -> TableResult:
+    base = base_config or SherlockConfig()
+    table = TableResult(
+        "Table 6: sensitivity of lambda (measured | paper)",
+        ["lambda", "#correct", "#total", "paper(C/T)"],
+    )
+    for lam in lambdas:
+        config = base.without(lam=lam)
+        apps = select_apps(app_ids)
+        reports = run_all(apps, config)
+        classified = [classify(a, reports[a.app_id]) for a in apps]
+        correct, total, _ = precision(classified)
+        paper = PAPER.get(lam, ("-", "-"))
+        table.add_row(lam, correct, total, f"{paper[0]}/{paper[1]}")
+    return table
+
+
+__all__ = ["DEFAULT_LAMBDAS", "PAPER", "run"]

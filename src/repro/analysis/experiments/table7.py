@@ -1,0 +1,38 @@
+"""Table 7 — sensitivity of the Near window (§5.6)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ...core import SherlockConfig
+from ..metrics import classify, precision
+from ..tables import TableResult
+from .common import run_all, select_apps
+
+PAPER = {0.01: (47, 85), 1.0: (122, 155), 100.0: (117, 183)}
+
+DEFAULT_NEARS = (0.01, 1.0, 100.0)
+
+
+def run(
+    app_ids: Optional[Iterable[str]] = None,
+    nears: Sequence[float] = DEFAULT_NEARS,
+    base_config: Optional[SherlockConfig] = None,
+) -> TableResult:
+    base = base_config or SherlockConfig()
+    table = TableResult(
+        "Table 7: sensitivity of Near (measured | paper)",
+        ["Near (s)", "#correct", "#total", "paper(C/T)"],
+    )
+    for near in nears:
+        config = base.without(near=near)
+        apps = select_apps(app_ids)
+        reports = run_all(apps, config)
+        classified = [classify(a, reports[a.app_id]) for a in apps]
+        correct, total, _ = precision(classified)
+        paper = PAPER.get(near, ("-", "-"))
+        table.add_row(near, correct, total, f"{paper[0]}/{paper[1]}")
+    return table
+
+
+__all__ = ["DEFAULT_NEARS", "PAPER", "run"]

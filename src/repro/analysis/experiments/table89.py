@@ -1,0 +1,40 @@
+"""Tables 8/9 — listings of inferred synchronizations per application."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ...core import SherlockConfig
+from ...trace.optypes import Role
+from ..tables import TableResult
+from .common import run_all, select_apps
+
+
+def run(
+    app_ids: Optional[Iterable[str]] = None,
+    config: Optional[SherlockConfig] = None,
+) -> TableResult:
+    apps = select_apps(app_ids)
+    reports = run_all(apps, config)
+    table = TableResult(
+        "Tables 8/9: inferred synchronizations per application",
+        ["App", "Role", "Synchronization", "Description"],
+    )
+    for app in apps:
+        gt = app.ground_truth
+        final = reports[app.app_id].final
+        for role, group in (
+            ("Release", sorted(final.releases, key=lambda s: s.op.name)),
+            ("Acquire", sorted(final.acquires, key=lambda s: s.op.name)),
+        ):
+            for sync in group:
+                info = gt.syncs.get(sync)
+                description = (
+                    info.description if info is not None
+                    else "(not a true synchronization)"
+                )
+                table.add_row(app.app_id, role, sync.op.display(), description)
+    return table
+
+
+__all__ = ["run"]

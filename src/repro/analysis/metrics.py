@@ -1,0 +1,115 @@
+"""Scoring SherLock's inference against application ground truth.
+
+Implements the paper's misclassification taxonomy (Table 2):
+
+* **Syncs** — inferred operations in the app's ground truth.
+* **Data Racy** — false syncs on fields with genuine data races (the
+  flag-looking accesses that "should be marked volatile").
+* **Instr. Errors** — false syncs caused by the Observer's skip-heuristic
+  hiding a genuine sync method: the inferred op touches state protected
+  by a hidden method.
+* **Not Sync** — all remaining false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..core.pipeline import SherlockReport
+from ..sim.program import Application
+from ..trace.optypes import OpType, SyncOp
+
+
+@dataclass
+class ClassifiedInference:
+    """One app's Table-2 row."""
+
+    app_id: str
+    correct: Set[SyncOp] = field(default_factory=set)
+    data_racy: Set[SyncOp] = field(default_factory=set)
+    instr_errors: Set[SyncOp] = field(default_factory=set)
+    not_sync: Set[SyncOp] = field(default_factory=set)
+    missed: Set[SyncOp] = field(default_factory=set)
+
+    @property
+    def inferred_total(self) -> int:
+        return (
+            len(self.correct) + len(self.data_racy)
+            + len(self.instr_errors) + len(self.not_sync)
+        )
+
+    @property
+    def false_total(self) -> int:
+        return self.inferred_total - len(self.correct)
+
+
+def classify(app: Application, report: SherlockReport) -> ClassifiedInference:
+    """Score one app's final inference against its ground truth."""
+    gt = app.ground_truth
+    out = ClassifiedInference(app.app_id)
+    hidden_protected_fields = {
+        fieldname
+        for fieldname, protector in gt.protected_by.items()
+        if protector in gt.hidden_sync_methods
+    }
+    for sync in report.final.syncs:
+        if gt.is_true_sync(sync):
+            out.correct.add(sync)
+        elif sync.op.optype.is_memory and sync.op.name in gt.racy_fields:
+            out.data_racy.add(sync)
+        elif (
+            sync.op.optype.is_memory
+            and sync.op.name in hidden_protected_fields
+        ):
+            out.instr_errors.add(sync)
+        else:
+            out.not_sync.add(sync)
+    out.missed = set(gt.syncs) - report.final.syncs
+    return out
+
+
+def unique_sync_count(groups: Iterable[Set[SyncOp]]) -> int:
+    """Unique synchronizations across applications (paper counts system
+    APIs like Monitor::Enter once even when several apps use them)."""
+    seen: Set[SyncOp] = set()
+    for group in groups:
+        seen.update(group)
+    return len(seen)
+
+
+def precision(
+    classified: Iterable[ClassifiedInference],
+) -> Tuple[int, int, float]:
+    """(#correct-unique, #total-unique, precision) across apps."""
+    rows = list(classified)
+    correct = unique_sync_count(c.correct for c in rows)
+    total = unique_sync_count(
+        c.correct | c.data_racy | c.instr_errors | c.not_sync for c in rows
+    )
+    return correct, total, (correct / total if total else 0.0)
+
+
+def missed_by_category(
+    app: Application, classified: ClassifiedInference
+) -> Dict[str, int]:
+    """Missed true syncs bucketed by their ground-truth subcategory,
+    with hidden-method misses counted as instrumentation errors."""
+    gt = app.ground_truth
+    out: Dict[str, int] = {}
+    for sync in classified.missed:
+        if sync.op.name in gt.hidden_sync_methods:
+            category = "instr_error"
+        else:
+            category = gt.syncs[sync].subcategory
+        out[category] = out.get(category, 0) + 1
+    return out
+
+
+__all__ = [
+    "ClassifiedInference",
+    "classify",
+    "missed_by_category",
+    "precision",
+    "unique_sync_count",
+]

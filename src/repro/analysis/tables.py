@@ -1,0 +1,44 @@
+"""ASCII table rendering for the experiment regenerators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+
+@dataclass
+class TableResult:
+    """One regenerated table/figure: headers, measured rows, and (when
+    available) the paper's reported rows for side-by-side comparison."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        self.rows.append(values)
+
+    def render(self) -> str:
+        widths = [len(str(h)) for h in self.headers]
+        for row in self.rows:
+            for i, value in enumerate(row):
+                widths[i] = max(widths[i], len(str(value)))
+
+        def fmt(row: Sequence[Any]) -> str:
+            return " | ".join(
+                str(v).ljust(widths[i]) for i, v in enumerate(row)
+            )
+
+        lines = [self.title, "=" * len(self.title), fmt(self.headers)]
+        lines.append("-+-".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self.rows)
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.render())
+
+
+__all__ = ["TableResult"]

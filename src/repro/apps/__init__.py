@@ -1,0 +1,5 @@
+"""The 8 benchmark applications (Table 1 analogues)."""
+
+from .registry import all_applications, app_ids, get_application
+
+__all__ = ["all_applications", "app_ids", "get_application"]

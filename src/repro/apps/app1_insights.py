@@ -1,0 +1,326 @@
+"""App-1: ApplicationInsights (67.5K LoC, 306 stars, 1193 tests).
+
+The largest benchmark app.  Synchronization inventory mirrored from the
+paper (Example E and Table 2's App-1 row — many syncs, 10 data-racy
+misclassifications, 2 instrumentation errors, several Not-Sync FPs):
+
+* The MSTest framework edge: ``TestInitialize`` End releases before every
+  test method's Begin (inferred without any framework knowledge).
+* ``System.Threading.Monitor`` Enter/Exit around the telemetry buffer.
+* ``TaskFactory::StartNew`` / transmission delegates.
+* An ``isSending`` flag variable.
+* Three intentionally racy metric fields (Data-Racy misclassifications).
+* Two genuine sync methods hidden by the instrumentation skip-heuristic.
+"""
+
+from __future__ import annotations
+
+from ..sim.methods import Method
+from ..sim.objects import SimObject
+from ..sim.program import AppContext, Application, UnitTest
+from ..sim.primitives import Monitor, SystemThread, TaskFactory
+from ..sim.primitives.monitor import ENTER_API, EXIT_API
+from ..sim.primitives.tasks import FACTORY_STARTNEW_API
+from ..sim.thread import WaitSet
+from .base import GroundTruthBuilder, make_info, noise_call
+
+TESTS = "Microsoft.ApplicationInsights.Tests.TelemetryClientTests"
+CONFIG = "Microsoft.ApplicationInsights.Extensibility.TelemetryConfiguration"
+BUFFER = "Microsoft.ApplicationInsights.Channel.TelemetryBuffer"
+SENDER = "Microsoft.ApplicationInsights.Channel.Transmitter"
+METRICS = "Microsoft.ApplicationInsights.Metrics.MetricManager"
+
+#: Configuration fields TestInitialize sets up (more fields than tests —
+#: the regime in which per-test begins out-compete per-field reads).
+CONFIG_FIELDS = (
+    "instrumentationKey", "endpoint", "channelName", "samplingRate",
+    "flushTimeout", "disableTelemetry", "sessionId", "roleName",
+    "roleInstance", "retryPolicy", "quickPulse", "heartbeatInterval",
+)
+
+
+class App1Context(AppContext):
+    def __init__(self, rt) -> None:
+        super().__init__(SimObject(TESTS, {}))
+        self.config = SimObject(
+            CONFIG, {name: "" for name in CONFIG_FIELDS}
+        )
+        self.buffer = SimObject(
+            BUFFER, {"items": 0, "capacity": 0, "lastItem": ""}
+        )
+        self.buffer_lock = Monitor("telemetry-buffer")
+        self.sender = SimObject(
+            SENDER,
+            {"isSending": False, "sentCount": 0, "lastBatch": ""},
+        )
+        # Racy metric counters (no synchronization at all).
+        self.metrics = SimObject(
+            METRICS,
+            {"aggregatedValue": 0, "metricSeries": "", "samplesSeen": 0},
+        )
+        # Hidden custom synchronization (instrumentation-error plant).
+        self.flush_state = SimObject(
+            SENDER + "/FlushState", {"flushedBatch": "", "flushCount": 0}
+        )
+        self._flush_done = [False]
+        self._flush_ws = WaitSet("flush")
+
+
+def _test_initialize_body(rt, obj, ctx):
+    """TestInitialize: sets up the telemetry configuration (Example E)."""
+    for index, name in enumerate(CONFIG_FIELDS):
+        yield from rt.write(ctx.config, name, f"{name}-value-{index}")
+    yield from noise_call(
+        rt, "Microsoft.ApplicationInsights.TestFramework::Setup"
+    )
+
+
+def _framework_test(name, fields):
+    """A test method whose body consumes a slice of the configuration."""
+
+    def body(rt, ctx):
+        for fieldname in fields:
+            value = yield from rt.read(ctx.config, fieldname)
+            assert value.startswith(fieldname)
+        yield from noise_call(
+            rt, "Microsoft.ApplicationInsights.TestFramework::Assert"
+        )
+
+    return UnitTest(f"{TESTS}::{name}", body)
+
+
+# Each test consumes its own slice of the fixture (as real test suites
+# do): per-field reads then amortize no better than per-test begins.
+FRAMEWORK_TESTS = [
+    ("BasicStartOperationWithActivity",
+     ["instrumentationKey", "endpoint"]),
+    ("TrackEventSendsTelemetry",
+     ["channelName", "samplingRate"]),
+    ("TrackMetricAggregates",
+     ["flushTimeout", "disableTelemetry"]),
+    ("TrackExceptionSerializes",
+     ["sessionId", "roleName"]),
+    ("TrackDependencyRecordsDuration",
+     ["roleInstance", "retryPolicy"]),
+    ("TrackPageViewUsesSession",
+     ["quickPulse", "heartbeatInterval"]),
+]
+
+
+def _test_buffer_concurrent_enqueue(rt, ctx):
+    def producer1(rt_, obj):
+        for _ in range(3):
+            yield from ctx.buffer_lock.enter(rt_)
+            items = yield from rt_.read(ctx.buffer, "items")
+            yield from rt_.write(ctx.buffer, "items", items + 1)
+            yield from rt_.write(ctx.buffer, "lastItem", "event")
+            yield from ctx.buffer_lock.exit(rt_)
+            pause = yield from rt_.rand()
+            yield from rt_.sleep(0.05 + 0.05 * pause)
+
+    def producer2(rt_, obj):
+        yield from rt_.sleep(0.04)
+        for _ in range(3):
+            yield from ctx.buffer_lock.enter(rt_)
+            capacity = yield from rt_.read(ctx.buffer, "capacity")
+            yield from rt_.write(ctx.buffer, "capacity", capacity + 2)
+            items = yield from rt_.read(ctx.buffer, "items")
+            yield from rt_.write(ctx.buffer, "items", items + 1)
+            yield from ctx.buffer_lock.exit(rt_)
+            pause = yield from rt_.rand()
+            yield from rt_.sleep(0.05 + 0.05 * pause)
+
+    t1 = SystemThread(Method(f"{BUFFER}::<Enqueue>b__0", producer1), name="p1")
+    t2 = SystemThread(Method(f"{BUFFER}::<Enqueue>b__1", producer2), name="p2")
+    yield from t1.start(rt)
+    yield from t2.start(rt)
+    yield from t1.join(rt)
+    yield from t2.join(rt)
+    items = yield from rt.read(ctx.buffer, "items")
+    assert items == 6
+
+
+def _test_transmission_flag(rt, ctx):
+    def send_loop(rt_, obj):
+        batch = yield from rt_.read(ctx.sender, "lastBatch")
+        yield from rt_.write(ctx.sender, "sentCount", 1)
+        yield from rt_.write(ctx.sender, "lastBatch", batch + "|sent")
+        yield from rt_.write(ctx.sender, "isSending", False)
+
+    yield from rt.write(ctx.sender, "lastBatch", "batch-1")
+    yield from rt.write(ctx.sender, "isSending", True)
+    task = yield from TaskFactory.start_new(
+        rt, Method(f"{SENDER}::<SendAsync>b__0", send_loop), name="send"
+    )
+    while (yield from rt.read(ctx.sender, "isSending")):
+        yield from rt.sleep(0.012)
+    count = yield from rt.read(ctx.sender, "sentCount")
+    batch = yield from rt.read(ctx.sender, "lastBatch")
+    assert count == 1 and batch.endswith("|sent")
+    yield from task.wait(rt)
+
+
+def _test_racy_metrics(rt, ctx):
+    # Unsynchronized metric aggregation: true data races the paper's
+    # Data-Racy misclassification category captures.
+    def aggregator(rt_, obj):
+        value = yield from rt_.read(ctx.metrics, "aggregatedValue")
+        yield from rt_.write(ctx.metrics, "aggregatedValue", value + 10)
+        yield from rt_.write(ctx.metrics, "metricSeries", "cpu|mem")
+
+    def sampler(rt_, obj):
+        while not (yield from rt_.read(ctx.metrics, "metricSeries")):
+            yield from rt_.sleep(0.014)
+        value = yield from rt_.read(ctx.metrics, "aggregatedValue")
+        seen = yield from rt_.read(ctx.metrics, "samplesSeen")
+        yield from rt_.write(ctx.metrics, "samplesSeen", seen + 1)
+        assert value >= 10
+
+    t1 = SystemThread(Method(f"{METRICS}::<Aggregate>b__0", aggregator), name="a")
+    t2 = SystemThread(Method(f"{METRICS}::<Sample>b__0", sampler), name="s")
+    yield from t1.start(rt)
+    yield from t2.start(rt)
+    yield from t1.join(rt)
+    yield from t2.join(rt)
+
+
+def _test_hidden_flush_latch(rt, ctx):
+    # FlushAndWait is genuine synchronization hidden by the skip
+    # heuristic — the Instr.-Errors false-positive plant.
+    def flush_body(rt_, obj):
+        yield from rt_.write(ctx.flush_state, "flushedBatch", "b-7")
+        yield from rt_.write(ctx.flush_state, "flushCount", 7)
+        ctx._flush_done[0] = True
+        rt_.notify_all(ctx._flush_ws)
+
+    flush = Method(
+        f"{SENDER}/FlushState::<Flush>b__h", flush_body, hidden=True
+    )
+
+    def wait_body(rt_, obj):
+        while not ctx._flush_done[0]:
+            yield from rt_.wait_on(ctx._flush_ws)
+
+    wait_flush = Method(
+        f"{SENDER}/FlushState::<WaitFlush>b__h", wait_body, hidden=True
+    )
+
+    def flusher(rt_, obj):
+        yield from rt_.sleep(0.03)
+        yield from noise_call(
+            rt_, "Microsoft.ApplicationInsights.TestFramework::Assert"
+        )
+        yield from rt_.call(flush, ctx.flush_state)
+
+    def waiter(rt_, obj):
+        yield from rt_.call(wait_flush, ctx.flush_state)
+        batch = yield from rt_.read(ctx.flush_state, "flushedBatch")
+        count = yield from rt_.read(ctx.flush_state, "flushCount")
+        assert batch == "b-7" and count == 7
+
+    t1 = SystemThread(Method(f"{SENDER}::<FlushWorker>b__0", flusher), name="f")
+    t2 = SystemThread(Method(f"{SENDER}::<FlushWaiter>b__0", waiter), name="w")
+    yield from t1.start(rt)
+    yield from t2.start(rt)
+    yield from t1.join(rt)
+    yield from t2.join(rt)
+
+
+def _test_sequential_configuration(rt, ctx):
+    key = yield from rt.read(ctx.config, "instrumentationKey")
+    yield from noise_call(
+        rt, "Microsoft.ApplicationInsights.TestFramework::Assert"
+    )
+    assert key
+
+
+def build_app() -> Application:
+    builder = (
+        GroundTruthBuilder()
+        .method_release(f"{TESTS}::TestInitialize", "framework",
+                        "runs before every test")
+        .api_acquire(ENTER_API, "lock", "acquire lock")
+        .api_release(EXIT_API, "lock", "release lock")
+        .api_release(FACTORY_STARTNEW_API, "fork_join", "create new task")
+        .flag(f"{SENDER}::isSending", "sending flag")
+        .method_acquire(f"{SENDER}::<SendAsync>b__0", "fork_join",
+                        "start of task")
+        .method_release(f"{SENDER}::<SendAsync>b__0", "fork_join",
+                        "end of task")
+        .method_acquire(f"{BUFFER}::<Enqueue>b__0", "fork_join",
+                        "start of thread")
+        .method_acquire(f"{BUFFER}::<Enqueue>b__1", "fork_join",
+                        "start of thread")
+        .method_release(f"{BUFFER}::<Enqueue>b__0", "fork_join",
+                        "end of thread")
+        .method_release(f"{BUFFER}::<Enqueue>b__1", "fork_join",
+                        "end of thread")
+        # Hidden genuine syncs (Instr. Errors).
+        .method_release(f"{SENDER}/FlushState::<Flush>b__h", "custom",
+                        "flush latch signal")
+        .method_acquire(f"{SENDER}/FlushState::<WaitFlush>b__h", "custom",
+                        "flush latch wait")
+        .hidden_method(f"{SENDER}/FlushState::<Flush>b__h")
+        .hidden_method(f"{SENDER}/FlushState::<WaitFlush>b__h")
+        .racy_field(f"{METRICS}::aggregatedValue")
+        .racy_field(f"{METRICS}::metricSeries")
+        .racy_field(f"{METRICS}::samplesSeen")
+        .protect_many(
+            [f"{CONFIG}::{f}" for f in CONFIG_FIELDS],
+            f"{TESTS}::TestInitialize",
+        )
+        .protect_many(
+            [f"{BUFFER}::items", f"{BUFFER}::capacity",
+             f"{BUFFER}::lastItem"],
+            EXIT_API,
+        )
+        .protect_many(
+            [f"{SENDER}::sentCount", f"{SENDER}::lastBatch"],
+            f"{SENDER}::isSending",
+        )
+        .protect_many(
+            [f"{SENDER}/FlushState::flushedBatch",
+             f"{SENDER}/FlushState::flushCount"],
+            f"{SENDER}/FlushState::<Flush>b__h",
+        )
+    )
+    # Every framework test's Begin is a true acquire (Example E).
+    for name, _fields in FRAMEWORK_TESTS:
+        builder.method_acquire(
+            f"{TESTS}::{name}", "framework", "test begin after TestInitialize"
+        )
+    gt = builder.build()
+
+    tests = [_framework_test(name, fields) for name, fields in FRAMEWORK_TESTS]
+    tests += [
+        UnitTest(f"{TESTS}::Buffer_ConcurrentEnqueue", _test_buffer_concurrent_enqueue),
+        UnitTest(f"{TESTS}::Transmission_Flag", _test_transmission_flag),
+        UnitTest(f"{TESTS}::Racy_Metrics", _test_racy_metrics),
+        UnitTest(f"{TESTS}::Hidden_Flush_Latch", _test_hidden_flush_latch),
+        UnitTest(f"{TESTS}::Sequential_Configuration", _test_sequential_configuration),
+    ]
+    test_initialize = Method(
+        f"{TESTS}::TestInitialize",
+        lambda rt, obj, ctx=None: _test_initialize_body(rt, obj, CTX_BOX[0]),
+    )
+    app = Application(
+        info=make_info("App-1", "ApplicationInsights", "67.5K", 306, 1193),
+        make_context=lambda rt: _make_context(rt),
+        tests=tests,
+        ground_truth=gt,
+        test_initialize=test_initialize,
+    )
+    return app
+
+
+#: The TestInitialize body needs the per-execution context.
+CTX_BOX = [None]
+
+
+def _make_context(rt) -> App1Context:
+    ctx = App1Context(rt)
+    CTX_BOX[0] = ctx
+    return ctx
+
+
+__all__ = ["build_app"]

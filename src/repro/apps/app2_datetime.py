@@ -1,0 +1,301 @@
+"""App-2: DateTimeExtensions (3.1K LoC, 335 stars, 219 tests).
+
+Synchronization inventory mirrored from Table 9:
+
+* ``App.Common.ConcurrentLazyDictionary::GetOrAdd`` — an application-level
+  atomic region: End releases, Begin acquires (the internal mutex is
+  framework code SherLock never sees).
+* ``App.WorkingDays.EasterBasedHoliday/EasterCalculator::.cctor`` — static
+  constructor End releases; the first access
+  (``EasterCalculator::CalculateEasterDate`` Begin) acquires.
+* ``App.WorkingDays.ChristianHolidays::ascension`` — a flag variable:
+  Write releases, Read acquires.
+"""
+
+from __future__ import annotations
+
+from ..sim.methods import Method
+from ..sim.objects import SimObject
+from ..sim.program import AppContext, Application, UnitTest
+from ..sim.primitives import StaticClass, SystemThread
+from ..sim.thread import WaitSet
+from .base import GroundTruthBuilder, make_info, noise_call
+
+LAZY_DICT = "App.Common.ConcurrentLazyDictionary"
+CALCULATOR = "App.WorkingDays.EasterBasedHoliday/EasterCalculator"
+HOLIDAYS = "App.WorkingDays.ChristianHolidays"
+
+
+class App2Context(AppContext):
+    """Fresh state per test execution."""
+
+    def __init__(self, rt) -> None:
+        super().__init__(SimObject("App.Tests.DateTimeTests", {}))
+        # ConcurrentLazyDictionary: instrumented fields hold the public
+        # cache surface; the mutex below is framework-internal (untraced).
+        self.day_cache = SimObject(
+            LAZY_DICT, {"count": 0, "lastYear": 0, "lastValue": ""}
+        )
+        self._cache_data = {}
+        self._cache_lock_owner = [None]
+        self._cache_waitset = WaitSet("lazy-dict")
+        # Easter calculator static class.
+        self.calculator = StaticClass(
+            CALCULATOR,
+            Method(f"{CALCULATOR}::.cctor", _cctor_body),
+            goldenNumbers=None,
+            epoch=0,
+        )
+        # Christian holidays shared state (ascension is the flag).
+        self.holidays = SimObject(
+            HOLIDAYS,
+            {"ascension": False, "ascensionDate": "", "easterDate": ""},
+        )
+
+    # -- ConcurrentLazyDictionary.GetOrAdd (app method, atomic region) ------
+
+    def get_or_add(self, rt, key, delegate: Method):
+        method = Method(
+            f"{LAZY_DICT}::GetOrAdd",
+            lambda rt_, obj, k, d: self._get_or_add_body(rt_, k, d),
+        )
+        return rt.call(method, self.day_cache, key, delegate)
+
+    def _get_or_add_body(self, rt, key, delegate: Method):
+        # Framework-internal mutual exclusion: raw wait set, no trace.
+        me = rt.current_thread
+        while (
+            self._cache_lock_owner[0] is not None
+            and self._cache_lock_owner[0] is not me
+        ):
+            yield from rt.wait_on(self._cache_waitset)
+        self._cache_lock_owner[0] = me
+        try:
+            if key not in self._cache_data:
+                value = yield from rt.call(delegate, self.day_cache, key)
+                self._cache_data[key] = value
+        finally:
+            self._cache_lock_owner[0] = None
+            rt.notify_all(self._cache_waitset)
+        return self._cache_data[key]
+
+
+def _cctor_body(rt, obj):
+    """Static constructor: precompute the golden-number table."""
+    yield from rt.write(obj, "goldenNumbers", [(y % 19) + 1 for y in range(30)])
+    yield from rt.write(obj, "epoch", 1583)
+
+
+def _calculate_easter(rt, ctx, year):
+    """EasterCalculator.CalculateEasterDate — first access runs .cctor."""
+    method = Method(
+        f"{CALCULATOR}::CalculateEasterDate",
+        lambda rt_, obj, y: _calculate_body(rt_, ctx, y),
+    )
+    return rt.call(method, ctx.calculator.obj, year)
+
+
+def _calculate_body(rt, ctx, year):
+    yield from ctx.calculator.ensure_initialized(rt)
+    golden = yield from rt.read(ctx.calculator.obj, "goldenNumbers")
+    epoch = yield from rt.read(ctx.calculator.obj, "epoch")
+    yield from noise_call(rt, "App.Common.Logger::Trace")
+    return f"easter-{year}-g{golden[year % 30]}-e{epoch}"
+
+
+# ---------------------------------------------------------------------------
+# Unit tests
+# ---------------------------------------------------------------------------
+
+def _delegate(name, fields):
+    """A cache-filling delegate writing a heterogeneous field mix."""
+
+    def body(rt, obj, key):
+        for i, fieldname in enumerate(fields):
+            current = yield from rt.read(obj, fieldname)
+            value = key if fieldname != "lastValue" else f"day-{key}"
+            yield from rt.write(obj, fieldname, value)
+            if i == 0:
+                yield from rt.sched_yield()
+        return f"{name}:{key}"
+
+    return Method(f"App.WorkingDays.WorkingDayProviders::<{name}>", body)
+
+
+def _test_cache_concurrent(rt, ctx):
+    # Both threads GetOrAdd the *same* key: one delegate fills the cache
+    # stats, the other call returns the cached value and the caller then
+    # validates the stats fields — the paper's Example C shape.
+    d1 = _delegate("GetHolidays>b__0", ["count", "lastYear", "lastValue"])
+    d2 = _delegate("GetHolidays>b__1", ["lastValue", "count", "lastYear"])
+
+    def filler(rt_, obj):
+        value = yield from ctx.get_or_add(rt_, 2020, d1)
+        assert "2020" in value
+
+    def checker(rt_, obj):
+        yield from rt_.sleep(0.012)
+        value = yield from ctx.get_or_add(rt_, 2020, d2)
+        assert "2020" in value
+        last = yield from rt_.read(ctx.day_cache, "lastValue")
+        count = yield from rt_.read(ctx.day_cache, "count")
+        assert last == "day-2020"
+        assert count == 2020
+
+    t1 = SystemThread(Method("App.Tests::CacheFiller", filler), name="c1")
+    t2 = SystemThread(Method("App.Tests::CacheChecker", checker), name="c2")
+    yield from t1.start(rt)
+    yield from t2.start(rt)
+    yield from t1.join(rt)
+    yield from t2.join(rt)
+
+
+def _test_cache_two_years(rt, ctx):
+    # Same shape, different keys and read order (heterogeneity matters).
+    d1 = _delegate("GetWorkdays>b__2", ["lastYear", "lastValue", "count"])
+    d2 = _delegate("GetWorkdays>b__3", ["count", "lastValue", "lastYear"])
+
+    def filler(rt_, obj):
+        yield from ctx.get_or_add(rt_, 2031, d1)
+        yield from rt_.sleep(0.05)
+        yield from ctx.get_or_add(rt_, 2032, d1)
+
+    def checker(rt_, obj):
+        yield from rt_.sleep(0.015)
+        yield from ctx.get_or_add(rt_, 2031, d2)
+        year = yield from rt_.read(ctx.day_cache, "lastYear")
+        assert year == 2031
+        yield from rt_.sleep(0.06)
+        yield from ctx.get_or_add(rt_, 2032, d2)
+        count = yield from rt_.read(ctx.day_cache, "count")
+        last = yield from rt_.read(ctx.day_cache, "lastValue")
+        assert count == 2032
+        assert last == "day-2032"
+
+    t1 = SystemThread(Method("App.Tests::YearFiller", filler), name="c1")
+    t2 = SystemThread(Method("App.Tests::YearChecker", checker), name="c2")
+    yield from t1.start(rt)
+    yield from t2.start(rt)
+    yield from t1.join(rt)
+    yield from t2.join(rt)
+
+
+def _test_easter_static_init(rt, ctx):
+    def worker(rt_, obj, first_year, stagger):
+        yield from rt_.sleep(stagger)
+        for k in range(3):
+            result = yield from _calculate_easter(rt_, ctx, first_year + k)
+            assert result.startswith("easter")
+            pause = yield from rt_.rand()
+            yield from rt_.sleep(0.03 + 0.03 * pause)
+
+    t1 = SystemThread(
+        Method("App.Tests::EasterWorker1", worker), (2020, 0.0), name="e1"
+    )
+    t2 = SystemThread(
+        Method("App.Tests::EasterWorker2", worker), (2030, 0.02), name="e2"
+    )
+    yield from t1.start(rt)
+    yield from t2.start(rt)
+    yield from t1.join(rt)
+    yield from t2.join(rt)
+
+
+def _test_easter_many_threads(rt, ctx):
+    threads = []
+    for i in range(3):
+        def worker(rt_, obj, base=2000 + 10 * i, stagger=0.015 * i):
+            yield from rt_.sleep(stagger)
+            for k in range(2):
+                yield from _calculate_easter(rt_, ctx, base + k)
+                yield from rt_.sleep(0.04)
+
+        threads.append(
+            SystemThread(
+                Method(f"App.Tests::EasterBatch{i + 1}", worker),
+                name=f"b{i}",
+            )
+        )
+    for t in threads:
+        yield from t.start(rt)
+    for t in threads:
+        yield from t.join(rt)
+
+
+def _test_ascension_flag(rt, ctx):
+    def producer(rt_, obj):
+        easter = yield from _calculate_easter(rt_, ctx, 2022)
+        yield from rt_.write(ctx.holidays, "easterDate", easter)
+        yield from rt_.write(ctx.holidays, "ascensionDate", easter + "+39d")
+        yield from rt_.write(ctx.holidays, "ascension", True)
+
+    def consumer(rt_, obj):
+        while not (yield from rt_.read(ctx.holidays, "ascension")):
+            yield from rt_.sleep(0.015)
+        date = yield from rt_.read(ctx.holidays, "ascensionDate")
+        easter = yield from rt_.read(ctx.holidays, "easterDate")
+        assert date.endswith("+39d")
+        assert easter.startswith("easter")
+
+    tp = SystemThread(Method("App.Tests::AscensionSetter", producer), name="p")
+    tc = SystemThread(Method("App.Tests::AscensionChecker", consumer), name="c")
+    yield from tp.start(rt)
+    yield from tc.start(rt)
+    yield from tp.join(rt)
+    yield from tc.join(rt)
+
+
+def _test_sequential_workdays(rt, ctx):
+    # Single-threaded test: pure noise for the inference.
+    d1 = _delegate("GetAllDays>b__4", ["count", "lastYear", "lastValue"])
+    yield from ctx.get_or_add(rt, 1999, d1)
+    yield from noise_call(rt, "App.Common.Logger::Trace")
+    value = yield from _calculate_easter(rt, ctx, 1999)
+    assert value.startswith("easter")
+
+
+def build_app() -> Application:
+    gt = (
+        GroundTruthBuilder()
+        .method_release(
+            f"{LAZY_DICT}::GetOrAdd", "atomic_region", "end of atomic region"
+        )
+        .method_acquire(
+            f"{LAZY_DICT}::GetOrAdd", "atomic_region",
+            "start of atomic region",
+        )
+        .method_release(
+            f"{CALCULATOR}::.cctor", "static_ctor",
+            "end of static constructor",
+        )
+        .method_acquire(
+            f"{CALCULATOR}::CalculateEasterDate", "static_ctor",
+            "first access after static constructor",
+        )
+        .flag(f"{HOLIDAYS}::ascension", "write/check flag")
+        .protect(f"{LAZY_DICT}::count", f"{LAZY_DICT}::GetOrAdd")
+        .protect(f"{LAZY_DICT}::lastYear", f"{LAZY_DICT}::GetOrAdd")
+        .protect(f"{LAZY_DICT}::lastValue", f"{LAZY_DICT}::GetOrAdd")
+        .protect(f"{CALCULATOR}::goldenNumbers", f"{CALCULATOR}::.cctor")
+        .protect(f"{CALCULATOR}::epoch", f"{CALCULATOR}::.cctor")
+        .protect(f"{HOLIDAYS}::ascensionDate", f"{HOLIDAYS}::ascension")
+        .protect(f"{HOLIDAYS}::easterDate", f"{HOLIDAYS}::ascension")
+        .build()
+    )
+    tests = [
+        UnitTest("App.Tests.DateTimeTests::Cache_Concurrent", _test_cache_concurrent),
+        UnitTest("App.Tests.DateTimeTests::Cache_TwoYears", _test_cache_two_years),
+        UnitTest("App.Tests.DateTimeTests::Easter_StaticInit", _test_easter_static_init),
+        UnitTest("App.Tests.DateTimeTests::Easter_ManyThreads", _test_easter_many_threads),
+        UnitTest("App.Tests.DateTimeTests::Ascension_Flag", _test_ascension_flag),
+        UnitTest("App.Tests.DateTimeTests::Workdays_Sequential", _test_sequential_workdays),
+    ]
+    return Application(
+        info=make_info("App-2", "DataTimeExtention", "3.1K", 335, 219),
+        make_context=App2Context,
+        tests=tests,
+        ground_truth=gt,
+    )
+
+
+__all__ = ["build_app"]

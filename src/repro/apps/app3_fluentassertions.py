@@ -1,0 +1,237 @@
+"""App-3: FluentAssertions (78.1K LoC, 1886 stars, 3729 tests).
+
+Synchronization inventory mirrored from Table 8:
+
+* ``FluentAssertions.Execution.AssertionScope::.cctor`` End releases.
+* ``System.Threading.Monitor`` Enter (acquire) / Exit (release) around the
+  scope's shared state.
+* ``System.Threading.Tasks.Task::Run`` End releases into the
+  ``AssertionOptionsSpecs.When_concurrently_getting_equality_strategy.b2``
+  and ``ExecutionTime::<.ctor>b__0`` task delegates.
+* ``FluentAssertions.Specialized.ExecutionTime::<isRunning>`` — a flag:
+  Write releases, Read acquires.
+* Two genuine sync methods hidden by the instrumentation skip-heuristic
+  (the paper's "Instr. Errors" false positives).
+"""
+
+from __future__ import annotations
+
+from ..sim.methods import Method
+from ..sim.objects import SimObject
+from ..sim.program import AppContext, Application, UnitTest
+from ..sim.primitives import Monitor, StaticClass, SystemThread, Task
+from ..sim.primitives.monitor import ENTER_API, EXIT_API
+from ..sim.primitives.tasks import TASK_RUN_API
+from ..sim.thread import WaitSet
+from .base import GroundTruthBuilder, make_info, noise_call
+
+SCOPE = "FluentAssertions.Execution.AssertionScope"
+EXECTIME = "FluentAssertions.Specialized.ExecutionTime"
+SPECS = "AssertionOptionsSpecs.When_concurrently_getting_equality_strategy"
+STRATEGY = "FluentAssertions.Equivalency.EquivalencyOptions"
+
+
+class App3Context(AppContext):
+    def __init__(self, rt) -> None:
+        super().__init__(SimObject("FluentAssertions.Specs", {}))
+        self.scope_static = StaticClass(
+            SCOPE,
+            Method(f"{SCOPE}::.cctor", _scope_cctor),
+            current=None,
+            defaultStrategy="",
+        )
+        self.scope_lock = Monitor("assertion-scope")
+        self.scope = SimObject(
+            SCOPE + "/State",
+            {"reportables": "", "failures": 0, "contextData": ""},
+        )
+        self.exec_time = SimObject(
+            EXECTIME, {"<isRunning>": False, "elapsed": 0, "actionLabel": ""}
+        )
+        # Hidden custom synchronization: completion latch whose method the
+        # instrumentation heuristic wrongly skips.
+        self.latch = SimObject(
+            EXECTIME + "/Latch", {"completedAt": 0, "observedBy": ""}
+        )
+        self._latch_set = [False]
+        self._latch_ws = WaitSet("exec-latch")
+
+
+def _scope_cctor(rt, obj):
+    yield from rt.write(obj, "defaultStrategy", "default")
+    yield from rt.write(obj, "current", "root-scope")
+
+
+def _get_current_scope(rt, ctx):
+    def body(rt_, obj):
+        yield from ctx.scope_static.ensure_initialized(rt_)
+        current = yield from rt_.read(ctx.scope_static.obj, "current")
+        strategy = yield from rt_.read(ctx.scope_static.obj, "defaultStrategy")
+        return (current, strategy)
+
+    return rt.call(Method(f"{SCOPE}::GetCurrentScope", body), ctx.scope_static.obj)
+
+
+def _scope_worker(ctx, order):
+    def body(rt, obj):
+        for _ in range(3):
+            yield from _get_current_scope(rt, ctx)
+            yield from ctx.scope_lock.enter(rt)
+            if order == 0:
+                reportables = yield from rt.read(ctx.scope, "reportables")
+                yield from rt.write(ctx.scope, "reportables", reportables + "r")
+                failures = yield from rt.read(ctx.scope, "failures")
+                yield from rt.write(ctx.scope, "failures", failures + 1)
+            else:
+                failures = yield from rt.read(ctx.scope, "failures")
+                yield from rt.write(ctx.scope, "failures", failures + 1)
+                data = yield from rt.read(ctx.scope, "contextData")
+                yield from rt.write(ctx.scope, "contextData", data + "d")
+                reportables = yield from rt.read(ctx.scope, "reportables")
+                yield from rt.write(ctx.scope, "reportables", reportables + "x")
+            yield from ctx.scope_lock.exit(rt)
+            pause = yield from rt.rand()
+            yield from rt.sleep(0.05 + 0.05 * pause)
+
+    return Method(f"{SPECS}.b__{order + 2}", body)
+
+
+def _test_concurrent_scopes(rt, ctx):
+    t1 = yield from Task.run(rt, _scope_worker(ctx, 0), name="scope-0")
+    yield from rt.sleep(0.04)
+    t2 = yield from Task.run(rt, _scope_worker(ctx, 1), name="scope-1")
+    yield from t1.wait(rt)
+    yield from t2.wait(rt)
+    failures = yield from rt.read(ctx.scope, "failures")
+    assert failures == 6
+
+
+def _test_execution_time(rt, ctx):
+    # ExecutionTime: a monitored action flips <isRunning> when done; the
+    # measuring thread spins on the flag (Table 8's flag variable).
+    def action(rt_, obj):
+        yield from rt_.write(ctx.exec_time, "actionLabel", "subject")
+        yield from rt_.sleep(0.05)
+        yield from rt_.write(ctx.exec_time, "elapsed", 50)
+        yield from rt_.write(ctx.exec_time, "<isRunning>", False)
+
+    yield from rt.write(ctx.exec_time, "<isRunning>", True)
+    task = yield from Task.run(
+        rt, Method(f"{EXECTIME}::<.ctor>b__0", action), name="exec"
+    )
+    while (yield from rt.read(ctx.exec_time, "<isRunning>")):
+        yield from rt.sleep(0.012)
+    elapsed = yield from rt.read(ctx.exec_time, "elapsed")
+    label = yield from rt.read(ctx.exec_time, "actionLabel")
+    assert elapsed == 50 and label == "subject"
+    yield from task.wait(rt)
+
+
+def _test_hidden_completion_latch(rt, ctx):
+    # WaitForCompletion is a *real* synchronization method, but it is
+    # marked compiler-generated-looking and the Observer's skip heuristic
+    # drops its events: SherLock will blame a neighbouring operation.
+    def complete_body(rt_, obj):
+        yield from rt_.write(ctx.latch, "completedAt", 42)
+        yield from rt_.write(ctx.latch, "observedBy", "worker")
+        ctx._latch_set[0] = True
+        rt_.notify_all(ctx._latch_ws)
+
+    complete = Method(
+        f"{EXECTIME}/Latch::<SignalCompletion>b__h", complete_body,
+        hidden=True,
+    )
+
+    def wait_body(rt_, obj):
+        while not ctx._latch_set[0]:
+            yield from rt_.wait_on(ctx._latch_ws)
+
+    wait_for = Method(
+        f"{EXECTIME}/Latch::<WaitForCompletion>b__h", wait_body, hidden=True
+    )
+
+    def worker(rt_, obj):
+        yield from rt_.sleep(0.03)
+        yield from noise_call(rt_, "FluentAssertions.Common.Services::Log")
+        yield from rt_.call(complete, ctx.latch)
+
+    def observer(rt_, obj):
+        yield from rt_.call(wait_for, ctx.latch)
+        at = yield from rt_.read(ctx.latch, "completedAt")
+        who = yield from rt_.read(ctx.latch, "observedBy")
+        assert at == 42 and who == "worker"
+
+    t1 = SystemThread(Method(f"{SPECS}.b__worker", worker), name="w")
+    t2 = SystemThread(Method(f"{SPECS}.b__observer", observer), name="o")
+    yield from t1.start(rt)
+    yield from t2.start(rt)
+    yield from t1.join(rt)
+    yield from t2.join(rt)
+
+
+def _test_sequential_assertions(rt, ctx):
+    yield from _get_current_scope(rt, ctx)
+    yield from noise_call(rt, "FluentAssertions.Common.Services::Log")
+    yield from _get_current_scope(rt, ctx)
+
+
+def build_app() -> Application:
+    gt = (
+        GroundTruthBuilder()
+        .method_release(f"{SCOPE}::.cctor", "static_ctor",
+                        "end of static constructor")
+        .method_acquire(f"{SCOPE}::GetCurrentScope", "static_ctor",
+                        "first access after static constructor")
+        .api_acquire(ENTER_API, "lock", "acquire lock")
+        .api_release(EXIT_API, "lock", "release lock")
+        .api_release(TASK_RUN_API, "fork_join", "create new task")
+        .method_acquire(f"{SPECS}.b__2", "fork_join", "start of task")
+        .method_acquire(f"{SPECS}.b__3", "fork_join", "start of task")
+        .method_release(f"{SPECS}.b__2", "fork_join", "end of task")
+        .method_release(f"{SPECS}.b__3", "fork_join", "end of task")
+        .method_acquire(f"{EXECTIME}::<.ctor>b__0", "fork_join",
+                        "start of task")
+        .method_release(f"{EXECTIME}::<.ctor>b__0", "fork_join",
+                        "end of task")
+        .flag(f"{EXECTIME}::<isRunning>", "execution flag")
+        # Hidden (skip-heuristic) sync methods — expected misses.
+        .method_release(f"{EXECTIME}/Latch::<SignalCompletion>b__h",
+                        "custom", "completion latch signal")
+        .method_acquire(f"{EXECTIME}/Latch::<WaitForCompletion>b__h",
+                        "custom", "completion latch wait")
+        .hidden_method(f"{EXECTIME}/Latch::<SignalCompletion>b__h")
+        .hidden_method(f"{EXECTIME}/Latch::<WaitForCompletion>b__h")
+        .protect_many(
+            [f"{SCOPE}/State::reportables", f"{SCOPE}/State::failures",
+             f"{SCOPE}/State::contextData"],
+            EXIT_API,
+        )
+        .protect_many(
+            [f"{SCOPE}::current", f"{SCOPE}::defaultStrategy"],
+            f"{SCOPE}::.cctor",
+        )
+        .protect_many(
+            [f"{EXECTIME}::elapsed", f"{EXECTIME}::actionLabel"],
+            f"{EXECTIME}::<isRunning>",
+        )
+        .protect_many(
+            [f"{EXECTIME}/Latch::completedAt", f"{EXECTIME}/Latch::observedBy"],
+            f"{EXECTIME}/Latch::<SignalCompletion>b__h",
+        )
+        .build()
+    )
+    tests = [
+        UnitTest("FluentAssertions.Specs::Concurrent_Scopes", _test_concurrent_scopes),
+        UnitTest("FluentAssertions.Specs::ExecutionTime_Flag", _test_execution_time),
+        UnitTest("FluentAssertions.Specs::Hidden_Completion_Latch", _test_hidden_completion_latch),
+        UnitTest("FluentAssertions.Specs::Sequential_Assertions", _test_sequential_assertions),
+    ]
+    return Application(
+        info=make_info("App-3", "FluentAssertion", "78.1K", 1886, 3729),
+        make_context=App3Context,
+        tests=tests,
+        ground_truth=gt,
+    )
+
+
+__all__ = ["build_app"]

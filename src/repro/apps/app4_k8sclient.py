@@ -1,0 +1,304 @@
+"""App-4: KubernetesClient (332.4K LoC, 395 stars, 139 tests).
+
+Synchronization inventory mirrored from Table 9:
+
+* ``k8s.ByteBuffer::endOfFile`` — the paper's Example B while-loop flag:
+  Write releases, Read acquires; ``ByteBuffer::Read/Write/WriteEnd``
+  Begins acquire around the buffer's await machinery.
+* ``System.Threading.Monitor`` Enter/Exit around the buffer state.
+* await-task pattern: ``KubernetesClientConfiguration::
+  GetKubernetesClientConfiguration/MergeKubeConfig/LoadKubeConfigAsync``
+  Ends release and Begins acquire;
+  ``System.Runtime.CompilerServices.TaskAwaiter::GetResult`` acquires.
+* ``k8s.KubernetesException::Status`` — error flag: Write releases,
+  Read acquires.
+"""
+
+from __future__ import annotations
+
+from ..sim.methods import Method
+from ..sim.objects import SimObject
+from ..sim.program import AppContext, Application, UnitTest
+from ..sim.primitives import Monitor, SystemThread, Task
+from ..sim.primitives.monitor import ENTER_API, EXIT_API
+from ..sim.primitives.tasks import AWAITER_GETRESULT_API, TASK_RUN_API
+from .base import GroundTruthBuilder, make_info, noise_call
+
+BUFFER = "k8s.ByteBuffer"
+CONFIG = "k8s.KubernetesClientConfiguration"
+EXCEPTION = "k8s.KubernetesException"
+YAML = "k8s.Yaml"
+DEMUX = "k8s.StreamDemuxer"
+TESTS = "k8s.Tests.KubernetesClientTests"
+
+
+class App4Context(AppContext):
+    def __init__(self, rt) -> None:
+        super().__init__(SimObject(TESTS, {}))
+        self.buffer = SimObject(
+            BUFFER,
+            {"endOfFile": False, "bytesWritten": 0, "readOffset": 0,
+             "watermark": 0},
+        )
+        self.buffer_lock = Monitor("byte-buffer")
+        self.config = SimObject(
+            CONFIG,
+            {"host": "", "token": "", "namespace": "", "contextName": "",
+             "skipTls": False, "mergedFrom": ""},
+        )
+        self.error = SimObject(EXCEPTION, {"Status": ""})
+
+
+# -- ByteBuffer: Example B -----------------------------------------------------------
+
+def _buffer_write(rt, ctx, data_len, heterogeneous):
+    def body(rt_, obj):
+        yield from ctx.buffer_lock.enter(rt_)
+        if heterogeneous:
+            written = yield from rt_.read(obj, "bytesWritten")
+            yield from rt_.write(obj, "bytesWritten", written + data_len)
+            mark = yield from rt_.read(obj, "watermark")
+            yield from rt_.write(obj, "watermark", max(mark, written))
+        else:
+            mark = yield from rt_.read(obj, "watermark")
+            yield from rt_.write(obj, "watermark", mark + 1)
+            written = yield from rt_.read(obj, "bytesWritten")
+            yield from rt_.write(obj, "bytesWritten", written + data_len)
+        yield from ctx.buffer_lock.exit(rt_)
+
+    return rt.call(Method(f"{BUFFER}::Write", body), ctx.buffer)
+
+
+def _buffer_write_end(rt, ctx):
+    def body(rt_, obj):
+        yield from rt_.write(obj, "endOfFile", True)
+
+    return rt.call(Method(f"{BUFFER}::WriteEnd", body), ctx.buffer)
+
+
+def _buffer_read(rt, ctx):
+    def body(rt_, obj):
+        # Example B: while (!this.endOfFile) { /* wait */ }
+        while not (yield from rt_.read(obj, "endOfFile")):
+            yield from rt_.sleep(0.015)
+        total = yield from rt_.read(obj, "bytesWritten")
+        offset = yield from rt_.read(obj, "readOffset")
+        yield from rt_.write(obj, "readOffset", offset + total)
+        return total
+
+    return rt.call(Method(f"{BUFFER}::Read", body), ctx.buffer)
+
+
+def _test_buffer_end_of_file(rt, ctx):
+    def writer(rt_, obj):
+        for k in range(3):
+            yield from _buffer_write(rt_, ctx, 10 + k, heterogeneous=k % 2 == 0)
+            pause = yield from rt_.rand()
+            yield from rt_.sleep(0.04 + 0.04 * pause)
+        yield from _buffer_write_end(rt_, ctx)
+
+    def reader(rt_, obj):
+        total = yield from _buffer_read(rt_, ctx)
+        assert total == 33
+
+    tw = SystemThread(Method(f"{DEMUX}::<CopyLoop>b__0", writer), name="w")
+    tr = SystemThread(Method(f"{DEMUX}::<ReadLoop>b__0", reader), name="r")
+    yield from tw.start(rt)
+    yield from tr.start(rt)
+    yield from tw.join(rt)
+    yield from tr.join(rt)
+
+
+def _test_buffer_concurrent_writers(rt, ctx):
+    def writer(index):
+        def body(rt_, obj):
+            yield from rt_.sleep(0.02 * index)
+            for k in range(2):
+                yield from _buffer_write(
+                    rt_, ctx, 5, heterogeneous=(index + k) % 2 == 0
+                )
+                pause = yield from rt_.rand()
+                yield from rt_.sleep(0.05 + 0.04 * pause)
+
+        return Method(f"{DEMUX}::<CopyLoop>b__{index}", body)
+
+    threads = [
+        SystemThread(writer(i), name=f"w{i}") for i in range(2)
+    ]
+    for t in threads:
+        yield from t.start(rt)
+    for t in threads:
+        yield from t.join(rt)
+    written = yield from rt.read(ctx.buffer, "bytesWritten")
+    assert written == 20
+
+
+# -- await-task configuration loading -------------------------------------------------
+
+def _merge_kube_config(rt, ctx, source):
+    def body(rt_, obj):
+        host = yield from rt_.read(obj, "host")
+        yield from rt_.write(obj, "mergedFrom", source)
+        yield from rt_.write(obj, "contextName", f"ctx-{source}")
+        yield from rt_.write(obj, "namespace", "default")
+        yield from noise_call(rt_, "k8s.KubeConfigSerializer::Deserialize")
+        yield from rt_.write(obj, "token", f"token-{source}")
+        yield from rt_.write(obj, "host", host or f"https://{source}")
+
+    return rt.call(Method(f"{CONFIG}::MergeKubeConfig", body), ctx.config)
+
+
+def _load_kube_config_async(rt, ctx):
+    def delegate_body(rt_, obj):
+        yield from _merge_kube_config(rt_, ctx, "kubeconfig")
+        yield from rt_.write(ctx.config, "skipTls", True)
+
+    def body(rt_, obj):
+        task = Task(
+            Method(f"{CONFIG}::<LoadKubeConfigAsync>b__0", delegate_body),
+            name="load",
+        )
+        yield from task.start(rt_)
+        return task
+
+    return rt.call(Method(f"{CONFIG}::LoadKubeConfigAsync", body), ctx.config)
+
+
+def _test_get_configuration(rt, ctx):
+    # GetKubernetesClientConfiguration awaits LoadKubeConfigAsync.
+    def body(rt_, obj):
+        task = yield from _load_kube_config_async(rt_, ctx)
+        yield from rt_.sleep(0.02)
+        yield from task.get_result(rt_)  # TaskAwaiter::GetResult
+        host = yield from rt_.read(obj, "host")
+        token = yield from rt_.read(obj, "token")
+        ns = yield from rt_.read(obj, "namespace")
+        skip = yield from rt_.read(obj, "skipTls")
+        assert host and token and ns and skip
+        return host
+
+    host = yield from rt.call(
+        Method(f"{CONFIG}::GetKubernetesClientConfiguration", body),
+        ctx.config,
+    )
+    assert host.startswith("https://")
+
+
+def _test_merge_concurrent(rt, ctx):
+    # Two threads load configuration; the merge is awaited on both sides.
+    def loader(index):
+        def body(rt_, obj):
+            yield from rt_.sleep(0.025 * index)
+            task = yield from _load_kube_config_async(rt_, ctx)
+            yield from task.get_result(rt_)
+            name = yield from rt_.read(ctx.config, "contextName")
+            merged = yield from rt_.read(ctx.config, "mergedFrom")
+            assert name and merged
+
+        return Method(f"{TESTS}::<LoadTwice>b__{index}", body)
+
+    t1 = SystemThread(loader(0), name="l0")
+    t2 = SystemThread(loader(1), name="l1")
+    yield from t1.start(rt)
+    yield from t2.start(rt)
+    yield from t1.join(rt)
+    yield from t2.join(rt)
+
+
+def _test_exception_status_flag(rt, ctx):
+    def watcher(rt_, obj):
+        yield from noise_call(rt_, "k8s.Watcher::ProcessEvent")
+        yield from rt_.write(ctx.config, "namespace", "kube-system")
+        yield from rt_.write(ctx.config, "host", "https://fail")
+        yield from rt_.write(ctx.error, "Status", "Failure")
+
+    def observer(rt_, obj):
+        while not (yield from rt_.read(ctx.error, "Status")):
+            yield from rt_.sleep(0.015)
+        ns = yield from rt_.read(ctx.config, "namespace")
+        host = yield from rt_.read(ctx.config, "host")
+        assert ns == "kube-system" and host == "https://fail"
+
+    tw = SystemThread(Method(f"{TESTS}::<WatchLoop>b__0", watcher), name="w")
+    to = SystemThread(Method(f"{TESTS}::<WatchObserver>b__0", observer), name="o")
+    yield from tw.start(rt)
+    yield from to.start(rt)
+    yield from tw.join(rt)
+    yield from to.join(rt)
+
+
+def _test_yaml_sequential(rt, ctx):
+    def body(rt_, obj):
+        yield from noise_call(rt_, "k8s.KubeConfigSerializer::Deserialize")
+        yield from rt_.write(ctx.config, "contextName", "yaml")
+
+    yield from rt.call(Method(f"{YAML}::LoadFromString", body), ctx.config)
+    name = yield from rt.read(ctx.config, "contextName")
+    assert name == "yaml"
+
+
+def build_app() -> Application:
+    gt = (
+        GroundTruthBuilder()
+        .flag(f"{BUFFER}::endOfFile", "write flag: file is ready")
+        .api_acquire(ENTER_API, "lock", "acquire a lock")
+        .api_release(EXIT_API, "lock", "release a lock")
+        .method_acquire(f"{BUFFER}::Read", "async", "await task beginning")
+        .method_acquire(f"{BUFFER}::Write", "async", "await task beginning")
+        .method_acquire(f"{BUFFER}::WriteEnd", "async", "await task beginning")
+        .method_release(f"{BUFFER}::WriteEnd", "flag", "write flag: ready")
+        .method_release(f"{CONFIG}::MergeKubeConfig", "async",
+                        "end of await task")
+        .method_acquire(f"{CONFIG}::MergeKubeConfig", "async",
+                        "await task beginning")
+        .method_release(f"{CONFIG}::LoadKubeConfigAsync", "async",
+                        "end of await task")
+        .method_release(f"{CONFIG}::GetKubernetesClientConfiguration",
+                        "async", "end of await task")
+        .method_acquire(f"{CONFIG}::GetKubernetesClientConfiguration",
+                        "async", "await task beginning")
+        .method_release(f"{CONFIG}::<LoadKubeConfigAsync>b__0", "async",
+                        "end of await task")
+        .method_acquire(f"{CONFIG}::<LoadKubeConfigAsync>b__0", "async",
+                        "await task beginning")
+        .api_acquire(AWAITER_GETRESULT_API, "async", "wait for an await task")
+        .api_release(TASK_RUN_API, "fork_join", "create task")
+        .flag(f"{EXCEPTION}::Status", "write flag: meet error")
+        .method_release(f"{YAML}::LoadFromString", "async",
+                        "end of await task")
+        .method_acquire(f"{DEMUX}::<CopyLoop>b__0", "fork_join",
+                        "start of thread")
+        .method_release(f"{DEMUX}::<CopyLoop>b__0", "fork_join",
+                        "end of thread")
+        .method_acquire(f"{DEMUX}::<ReadLoop>b__0", "fork_join",
+                        "start of thread")
+        .protect_many(
+            [f"{BUFFER}::bytesWritten", f"{BUFFER}::watermark"],
+            EXIT_API,
+        )
+        .protect(f"{BUFFER}::readOffset", f"{BUFFER}::endOfFile")
+        .protect_many(
+            [f"{CONFIG}::host", f"{CONFIG}::token", f"{CONFIG}::namespace",
+             f"{CONFIG}::contextName", f"{CONFIG}::skipTls",
+             f"{CONFIG}::mergedFrom"],
+            AWAITER_GETRESULT_API,
+        )
+        .build()
+    )
+    tests = [
+        UnitTest(f"{TESTS}::Buffer_EndOfFile", _test_buffer_end_of_file),
+        UnitTest(f"{TESTS}::Buffer_ConcurrentWriters", _test_buffer_concurrent_writers),
+        UnitTest(f"{TESTS}::Get_Configuration", _test_get_configuration),
+        UnitTest(f"{TESTS}::Merge_Concurrent", _test_merge_concurrent),
+        UnitTest(f"{TESTS}::Exception_Status_Flag", _test_exception_status_flag),
+        UnitTest(f"{TESTS}::Yaml_Sequential", _test_yaml_sequential),
+    ]
+    return Application(
+        info=make_info("App-4", "K8s-client", "332.4K", 395, 139),
+        make_context=App4Context,
+        tests=tests,
+        ground_truth=gt,
+    )
+
+
+__all__ = ["build_app"]

@@ -1,0 +1,297 @@
+"""App-5: Radical (95.9K LoC, 33 stars, 798 tests).
+
+Synchronization inventory mirrored from Table 8:
+
+* Finalizer / dispose edges: the end of the last-access method
+  (``Entity::EnsureNotDisposed``, ``Assert::IsTrue``) releases; the begin
+  of ``Entity::Finalize`` / ``ChangeTrackingService::Finalize`` /
+  ``TestMetadata::Dispose`` acquires (language-enforced GC ordering).
+* ``MessageBroker``: ``<SubscribeCore>`` End releases into
+  ``<Broadcast>`` Begin (the broker delivers only to registered
+  subscribers).
+* ``System.Threading.Thread::Start`` / ``TaskFactory::StartNew`` fork
+  edges into the test-runner delegates; ``WaitHandle::WaitAll`` joins
+  multiple broadcast threads (the n-to-1 acquire).
+* Two intentionally racy fields (the paper's Data-Racy category) and a
+  dispose case whose window SherLock cannot refine (the "Dispose" FP
+  class — GC runs much later and delay injection cannot control it).
+"""
+
+from __future__ import annotations
+
+from ..sim.methods import Method
+from ..sim.objects import SimObject
+from ..sim.program import AppContext, Application, UnitTest
+from ..sim.primitives import (
+    EventWaitHandle,
+    SystemThread,
+    TaskFactory,
+    drop_last_reference,
+    wait_all,
+)
+from ..sim.primitives.events import SET_API, WAIT_ALL_API
+from ..sim.primitives.tasks import FACTORY_STARTNEW_API, THREAD_START_API
+from ..sim.thread import WaitSet
+from .base import GroundTruthBuilder, make_info, noise_call
+
+ENTITY = "Radical.Model.Entity"
+TRACKER = "Radical.ChangeTracking.ChangeTrackingService"
+BROKER = "Radical.Messaging.MessageBroker"
+BTESTS = "Radical.Messaging.MessageBrokerTests"
+ASSERT = "Microsoft.VisualStudio.TestTools.UnitTesting.Assert"
+METADATA = "Radical.Tests.Model.Entity.EntityTests/TestMetadata"
+
+
+class App5Context(AppContext):
+    def __init__(self, rt) -> None:
+        super().__init__(SimObject("Radical.Tests", {}))
+        self.broker = SimObject(
+            BROKER,
+            {"subscriberName": "", "subscriberTopic": "", "queueDepth": 0,
+             "delivered": 0, "lastPayload": ""},
+        )
+        self._subscribers = []
+        self._broker_ws = WaitSet("broker")
+        # Racy counters (no synchronization by design).
+        self.stats = SimObject(
+            BROKER + "/Stats", {"dispatchCount": 0, "dispatchTag": ""}
+        )
+
+
+# -- finalizer / dispose patterns ------------------------------------------------
+
+def _test_entity_finalizer(rt, ctx):
+    entity = SimObject(
+        ENTITY, {"isDisposed": False, "changeLog": "", "snapshot": ""}
+    )
+
+    def finalize_body(rt_, obj):
+        log = yield from rt_.read(obj, "changeLog")
+        snap = yield from rt_.read(obj, "snapshot")
+        yield from rt_.write(obj, "isDisposed", True)
+        assert log and snap
+
+    finalize = Method(f"{ENTITY}::Finalize", finalize_body)
+
+    def ensure_body(rt_, obj):
+        disposed = yield from rt_.read(obj, "isDisposed")
+        assert not disposed
+        yield from rt_.write(obj, "changeLog", "created,modified")
+        yield from rt_.write(obj, "snapshot", "v1")
+        drop_last_reference(rt_, obj, finalize)
+
+    yield from rt.call(Method(f"{ENTITY}::EnsureNotDisposed", ensure_body), entity)
+    yield from noise_call(rt, "Radical.ComponentModel::Validate")
+    yield from rt.sleep(0.4)  # test keeps running while GC finalizes
+
+
+def _test_tracker_finalizer(rt, ctx):
+    tracker = SimObject(
+        TRACKER, {"trackedCount": 0, "rejectLog": "", "closed": False}
+    )
+
+    def finalize_body(rt_, obj):
+        count = yield from rt_.read(obj, "trackedCount")
+        log = yield from rt_.read(obj, "rejectLog")
+        yield from rt_.write(obj, "closed", True)
+        assert count == 3 and log
+
+    finalize = Method(f"{TRACKER}::Finalize", finalize_body)
+
+    def last_access(rt_, obj):
+        yield from rt_.write(tracker, "rejectLog", "none")
+        yield from rt_.write(tracker, "trackedCount", 3)
+        drop_last_reference(rt_, tracker, finalize)
+        return True
+
+    result = yield from rt.call(Method(f"{ASSERT}::IsTrue", last_access), tracker)
+    assert result
+    yield from rt.sleep(0.4)
+
+
+def _test_metadata_dispose(rt, ctx):
+    # The "Dispose" FP class: the metadata object keeps being touched by
+    # the test thread after the last reference drops, so the release
+    # window is wide and noisy — and the Perturber cannot control GC.
+    metadata = SimObject(
+        METADATA, {"keys": "", "values": "", "sealed": False}
+    )
+
+    def dispose_body(rt_, obj):
+        keys = yield from rt_.read(obj, "keys")
+        values = yield from rt_.read(obj, "values")
+        yield from rt_.write(obj, "sealed", True)
+        assert keys and values
+
+    dispose = Method(f"{METADATA}::Dispose", dispose_body)
+
+    def is_false_body(rt_, obj):
+        yield from rt_.write(metadata, "keys", "k1,k2")
+        yield from rt_.write(metadata, "values", "v1,v2")
+        drop_last_reference(rt_, metadata, dispose)
+        return False
+
+    result = yield from rt.call(Method(f"{ASSERT}::IsFalse", is_false_body), metadata)
+    assert not result
+    # Unrelated busywork that lands inside the dispose window.
+    for _ in range(4):
+        yield from noise_call(rt, "Radical.ComponentModel::Validate")
+        yield from rt.sleep(0.06)
+
+
+# -- message broker --------------------------------------------------------------
+
+def _subscribe(rt, ctx, name, topic):
+    def body(rt_, obj):
+        yield from rt_.write(ctx.broker, "subscriberName", name)
+        yield from rt_.write(ctx.broker, "subscriberTopic", topic)
+        depth = yield from rt_.read(ctx.broker, "queueDepth")
+        yield from rt_.write(ctx.broker, "queueDepth", depth + 1)
+        ctx._subscribers.append((name, topic))
+
+    return rt.call(Method(f"{BROKER}::<SubscribeCore>", body), ctx.broker)
+
+
+def _broadcast_body(rt, ctx, payload):
+    # Reads the subscription table (written by SubscribeCore) repeatedly.
+    for _ in range(2):
+        name = yield from rt.read(ctx.broker, "subscriberName")
+        topic = yield from rt.read(ctx.broker, "subscriberTopic")
+        depth = yield from rt.read(ctx.broker, "queueDepth")
+        assert name and topic and depth
+    delivered = yield from rt.read(ctx.broker, "delivered")
+    yield from rt.write(ctx.broker, "delivered", delivered + 1)
+    yield from rt.write(ctx.broker, "lastPayload", payload)
+    # Racy dispatch statistics.
+    count = yield from rt.read(ctx.stats, "dispatchCount")
+    yield from rt.write(ctx.stats, "dispatchCount", count + 1)
+    yield from rt.write(ctx.stats, "dispatchTag", payload)
+
+
+def _test_broker_on_different_thread(rt, ctx):
+    yield from _subscribe(rt, ctx, "logger", "entity/changed")
+
+    def broadcast(rt_, obj):
+        yield from _broadcast_body(rt_, ctx, "changed#1")
+
+    thread = SystemThread(
+        Method(f"{BROKER}::<Broadcast>", broadcast), name="broadcast"
+    )
+    yield from thread.start(rt)
+    yield from thread.join(rt)
+    payload = yield from rt.read(ctx.broker, "lastPayload")
+    count = yield from rt.read(ctx.broker, "delivered")
+    tag = yield from rt.read(ctx.stats, "dispatchTag")  # racy read
+    assert payload == "changed#1" and count == 1
+
+
+def _test_broadcast_from_multiple_threads(rt, ctx):
+    yield from _subscribe(rt, ctx, "audit", "entity/saved")
+    group = SimObject("Radical.WaitGroup", {})
+    handles = [
+        EventWaitHandle(f"bcast{i}", group=group) for i in range(2)
+    ]
+
+    def runner(index):
+        def body(rt_, obj):
+            yield from rt_.sleep(0.02 * index)
+            yield from _broadcast_body(rt_, ctx, f"saved#{index}")
+            yield from handles[index].set(rt_)
+
+        return Method(f"{BTESTS}::<broadcast_from_multiple_thread>_{index + 1}", body)
+
+    t0 = yield from TaskFactory.start_new(rt, runner(0), name="b0")
+    t1 = yield from TaskFactory.start_new(rt, runner(1), name="b1")
+    yield from wait_all(rt, handles)
+    delivered = yield from rt.read(ctx.broker, "delivered")
+    payload = yield from rt.read(ctx.broker, "lastPayload")
+    assert delivered == 2 and payload.startswith("saved")
+    yield from t0.wait(rt)
+    yield from t1.wait(rt)
+
+
+def _test_sequential_tracking(rt, ctx):
+    yield from _subscribe(rt, ctx, "solo", "solo/topic")
+    yield from noise_call(rt, "Radical.ComponentModel::Validate")
+    name = yield from rt.read(ctx.broker, "subscriberName")
+    assert name == "solo"
+
+
+def build_app() -> Application:
+    gt = (
+        GroundTruthBuilder()
+        # Finalizer / dispose edges.
+        .method_release(f"{ENTITY}::EnsureNotDisposed", "dispose",
+                        "end of last access")
+        .method_acquire(f"{ENTITY}::Finalize", "dispose", "start of disposal")
+        .method_release(f"{ASSERT}::IsTrue", "dispose", "end of last access")
+        .method_acquire(f"{TRACKER}::Finalize", "dispose", "start of disposal")
+        .method_release(f"{ASSERT}::IsFalse", "dispose", "end of last access")
+        .method_acquire(f"{METADATA}::Dispose", "dispose", "start of disposal")
+        # Broker.
+        .method_release(f"{BROKER}::<SubscribeCore>", "custom",
+                        "end of subscription")
+        .method_acquire(f"{BROKER}::<Broadcast>", "custom",
+                        "start of broadcast thread")
+        .method_release(f"{BROKER}::<Broadcast>", "fork_join",
+                        "end of thread")
+        # Fork / join APIs.
+        .api_release(THREAD_START_API, "fork_join", "launch new thread")
+        .api_release(FACTORY_STARTNEW_API, "fork_join", "create new task")
+        .api_release(SET_API, "signal", "release semaphore")
+        .api_acquire(WAIT_ALL_API, "signal", "wait for semaphore")
+        .method_acquire(f"{BTESTS}::<broadcast_from_multiple_thread>_1",
+                        "fork_join", "start of thread")
+        .method_acquire(f"{BTESTS}::<broadcast_from_multiple_thread>_2",
+                        "fork_join", "start of thread")
+        .method_release(f"{BTESTS}::<broadcast_from_multiple_thread>_1",
+                        "fork_join", "end of thread")
+        .method_release(f"{BTESTS}::<broadcast_from_multiple_thread>_2",
+                        "fork_join", "end of thread")
+        .racy_field(f"{BROKER}/Stats::dispatchCount")
+        .racy_field(f"{BROKER}/Stats::dispatchTag")
+        .protect_many(
+            [f"{ENTITY}::changeLog", f"{ENTITY}::snapshot",
+             f"{ENTITY}::isDisposed"],
+            f"{ENTITY}::EnsureNotDisposed",
+        )
+        .protect_many(
+            [f"{TRACKER}::trackedCount", f"{TRACKER}::rejectLog",
+             f"{TRACKER}::closed"],
+            f"{ASSERT}::IsTrue",
+        )
+        .protect_many(
+            [f"{METADATA}::keys", f"{METADATA}::values",
+             f"{METADATA}::sealed"],
+            f"{ASSERT}::IsFalse",
+        )
+        .protect_many(
+            [f"{BROKER}::subscriberName", f"{BROKER}::subscriberTopic",
+             f"{BROKER}::queueDepth"],
+            f"{BROKER}::<SubscribeCore>",
+        )
+        .protect_many(
+            [f"{BROKER}::delivered", f"{BROKER}::lastPayload"],
+            WAIT_ALL_API,
+        )
+        .build()
+    )
+    tests = [
+        UnitTest(f"{BTESTS}::Entity_Finalizer", _test_entity_finalizer),
+        UnitTest(f"{BTESTS}::Tracker_Finalizer", _test_tracker_finalizer),
+        UnitTest(f"{BTESTS}::Metadata_Dispose", _test_metadata_dispose),
+        UnitTest(f"{BTESTS}::messageBroker_on_different_thread",
+                 _test_broker_on_different_thread),
+        UnitTest(f"{BTESTS}::broadcast_from_multiple_thread",
+                 _test_broadcast_from_multiple_threads),
+        UnitTest(f"{BTESTS}::Sequential_Tracking", _test_sequential_tracking),
+    ]
+    return Application(
+        info=make_info("App-5", "Radical", "95.9K", 33, 798),
+        make_context=App5Context,
+        tests=tests,
+        ground_truth=gt,
+    )
+
+
+__all__ = ["build_app"]

@@ -1,0 +1,256 @@
+"""App-6: RestSharp (19.8K LoC, 7363 stars, 92 tests).
+
+Synchronization inventory mirrored from Table 8:
+
+* ``System.Threading.ThreadPool::QueueUserWorkItem`` End releases into the
+  ``WebServer::<Run>b__40`` / handler delegate begins.
+* ``System.Threading.EventWaitHandle::Set`` End releases;
+  ``System.Threading.WaitHandle::WaitOne`` Begin acquires.
+* ``System.IO.Stream::CopyTo`` End releases (producer);
+  ``System.IO.Stream::Read`` Begin acquires (consumer).
+* ``System.Net.WebRequest::BeginGetResponse`` End releases into the
+  response callback's begin.
+"""
+
+from __future__ import annotations
+
+from ..sim.methods import Method
+from ..sim.objects import SimObject
+from ..sim.program import AppContext, Application, UnitTest
+from ..sim.primitives import EventWaitHandle, SimList, ThreadPool
+from ..sim.primitives.events import SET_API, WAIT_ONE_API
+from ..sim.primitives.tasks import THREADPOOL_QUEUE_API
+from ..sim.runtime import Runtime
+from ..sim.thread import WaitSet
+from ..trace.optypes import OpType
+from .base import GroundTruthBuilder, make_info, noise_call
+
+HTTP = "RestSharp.Http"
+CLIENT = "RestSharp.RestClient"
+SERVER = "RestSharp.Tests.Shared.Fixtures.WebServer"
+STREAM_COPYTO_API = "System.IO.Stream::CopyTo"
+STREAM_READ_API = "System.IO.Stream::Read"
+BEGIN_RESPONSE_API = "System.Net.WebRequest::BeginGetResponse"
+
+
+class SimStream:
+    """A blocking in-memory stream: ``CopyTo`` produces, ``Read``
+    consumes (both instrumented as library call sites)."""
+
+    def __init__(self, name: str = "stream") -> None:
+        self.obj = SimObject("System.IO.MemoryStream", {})
+        self.chunks = []
+        self.closed = False
+        self.waitset = WaitSet(f"stream:{name}")
+
+    def copy_to(self, rt: Runtime, data):
+        yield from rt.emit(
+            OpType.ENTER, STREAM_COPYTO_API, self.obj, library=True
+        )
+        self.chunks.append(data)
+        rt.notify_all(self.waitset)
+        yield from rt.emit(
+            OpType.EXIT, STREAM_COPYTO_API, self.obj, library=True
+        )
+
+    def read(self, rt: Runtime):
+        yield from rt.emit(
+            OpType.ENTER, STREAM_READ_API, self.obj, library=True
+        )
+        while not self.chunks and not self.closed:
+            yield from rt.wait_on(self.waitset)
+        data = self.chunks.pop(0) if self.chunks else None
+        yield from rt.emit(
+            OpType.EXIT, STREAM_READ_API, self.obj, library=True
+        )
+        return data
+
+
+class App6Context(AppContext):
+    def __init__(self, rt) -> None:
+        super().__init__(SimObject("RestSharp.Tests", {}))
+        self.http = SimObject(
+            HTTP,
+            {"requestBody": "", "contentType": "", "timeout": 0,
+             "responseCode": 0, "responseBody": ""},
+        )
+        self.server = SimObject(
+            SERVER, {"handledCount": 0, "lastPath": "", "running": False}
+        )
+        self.request_log = SimList("request-log")
+
+
+def _test_threadpool_request(rt, ctx):
+    # Client queues the request processing on the thread pool; a wait
+    # handle signals completion (Table 8's Set / WaitOne pair).
+    done = EventWaitHandle("request-done")
+    yield from rt.write(ctx.http, "requestBody", "{'q': 1}")
+    yield from rt.write(ctx.http, "contentType", "application/json")
+    yield from rt.write(ctx.http, "timeout", 30)
+
+    def work(rt_, obj):
+        for _ in range(2):
+            body = yield from rt_.read(ctx.http, "requestBody")
+            ctype = yield from rt_.read(ctx.http, "contentType")
+            timeout = yield from rt_.read(ctx.http, "timeout")
+            assert body and ctype and timeout
+            yield from rt_.sched_yield()
+        yield from ctx.request_log.add(rt_, "POST /resource")
+        yield from rt_.write(ctx.http, "responseCode", 200)
+        yield from rt_.write(ctx.http, "responseBody", "ok")
+        yield from done.set(rt_)
+
+    delegate = Method(f"{SERVER}::<Run>b__40", work)
+    yield from ThreadPool.queue_user_work_item(rt, delegate)
+    yield from noise_call(rt, "RestSharp.Authenticators::Authenticate")
+    yield from done.wait_one(rt)
+    code = yield from rt.read(ctx.http, "responseCode")
+    body = yield from rt.read(ctx.http, "responseBody")
+    assert code == 200 and body == "ok"
+    assert (yield from ctx.request_log.contains(rt, "POST /resource"))
+
+
+def _test_stream_producer_consumer(rt, ctx):
+    # WriteRequestBodyAsync copies the body into the request stream on one
+    # thread; the server reads it on another.
+    stream = SimStream("request-body")
+
+    def producer(rt_, obj):
+        body = yield from rt_.read(ctx.http, "requestBody")
+        for chunk_index in range(3):
+            yield from stream.copy_to(rt_, f"{body}#{chunk_index}")
+            pause = yield from rt_.rand()
+            yield from rt_.sleep(0.02 + 0.02 * pause)
+        stream.closed = True
+        rt_.notify_all(stream.waitset)
+
+    def consumer(rt_, obj):
+        received = 0
+        while True:
+            data = yield from stream.read(rt_)
+            if data is None:
+                break
+            received += 1
+        count = yield from rt_.read(ctx.server, "handledCount")
+        yield from rt_.write(ctx.server, "handledCount", count + received)
+
+    yield from rt.write(ctx.http, "requestBody", "payload")
+    producer_m = Method(f"{HTTP}::<WriteRequestBodyAsync>b__2", producer)
+    consumer_m = Method(f"{SERVER}::<HandleRequests>b__0", consumer)
+    yield from ThreadPool.queue_user_work_item(rt, producer_m)
+    yield from ThreadPool.queue_user_work_item(rt, consumer_m)
+    while not (yield from rt.read(ctx.server, "handledCount")):
+        yield from rt.sleep(0.02)
+
+
+def _test_begin_get_response(rt, ctx):
+    # Async request: BeginGetResponse sends, the callback fires later.
+    response_ready = EventWaitHandle("response")
+
+    def callback(rt_, obj):
+        code = yield from rt_.read(ctx.http, "responseCode")
+        yield from rt_.write(ctx.http, "responseBody", f"status-{code}")
+        yield from response_ready.set(rt_)
+
+    def begin_get_response(rt_, obj):
+        yield from rt_.emit(
+            OpType.ENTER, BEGIN_RESPONSE_API, ctx.http, library=True
+        )
+
+        def network_side():
+            yield from rt_.sleep(0.04)
+            yield from rt_.write(ctx.http, "responseCode", 201)
+            yield from rt_.call(
+                Method(
+                    f"{HTTP}::<GetStyleMethodInternalAsync>b__0", callback
+                ),
+                ctx.http,
+            )
+
+        yield from rt_.spawn_raw(network_side(), "network")
+        yield from rt_.emit(
+            OpType.EXIT, BEGIN_RESPONSE_API, ctx.http, library=True
+        )
+
+    yield from rt.write(ctx.http, "timeout", 10)
+    yield from begin_get_response(rt, None)
+    yield from response_ready.wait_one(rt)
+    body = yield from rt.read(ctx.http, "responseBody")
+    assert body == "status-201"
+
+
+def _test_server_lifecycle(rt, ctx):
+    # The web server runs on a pool thread; tests poll the running flag.
+    def server_loop(rt_, obj):
+        yield from rt_.write(ctx.server, "lastPath", "/")
+        yield from rt_.write(ctx.server, "running", True)
+        yield from rt_.sleep(0.05)
+
+    yield from ThreadPool.queue_user_work_item(
+        rt, Method(f"{SERVER}::<Run>b__41", server_loop)
+    )
+    while not (yield from rt.read(ctx.server, "running")):
+        yield from rt.sleep(0.015)
+    path = yield from rt.read(ctx.server, "lastPath")
+    assert path == "/"
+
+
+def _test_sequential_client(rt, ctx):
+    yield from rt.write(ctx.http, "requestBody", "solo")
+    yield from noise_call(rt, "RestSharp.Authenticators::Authenticate")
+    body = yield from rt.read(ctx.http, "requestBody")
+    assert body == "solo"
+
+
+def build_app() -> Application:
+    gt = (
+        GroundTruthBuilder()
+        .api_release(THREADPOOL_QUEUE_API, "fork_join", "create new task")
+        .api_release(SET_API, "signal", "release semaphore")
+        .api_acquire(WAIT_ONE_API, "signal", "wait for semaphore")
+        .api_release(STREAM_COPYTO_API, "producer_consumer", "producer")
+        .api_acquire(STREAM_READ_API, "producer_consumer", "consumer")
+        .api_release(BEGIN_RESPONSE_API, "async", "send network request")
+        .method_acquire(f"{SERVER}::<Run>b__40", "fork_join", "start of task")
+        .method_release(f"{SERVER}::<Run>b__40", "fork_join", "end of task")
+        .method_acquire(f"{SERVER}::<Run>b__41", "fork_join", "start of thread")
+        .method_acquire(f"{HTTP}::<WriteRequestBodyAsync>b__2", "fork_join",
+                        "start of task")
+        .method_release(f"{HTTP}::<WriteRequestBodyAsync>b__2", "fork_join",
+                        "end of task")
+        .method_acquire(f"{SERVER}::<HandleRequests>b__0", "fork_join",
+                        "start of message handler")
+        .method_acquire(f"{HTTP}::<GetStyleMethodInternalAsync>b__0",
+                        "async", "start of event handler")
+        .method_release(f"{HTTP}::<GetStyleMethodInternalAsync>b__0",
+                        "async", "end of event handler")
+        .flag(f"{SERVER}::running", "server running flag")
+        .flag(f"{SERVER}::handledCount", "handled counter", volatile=False)
+        .protect_many(
+            [f"{HTTP}::requestBody", f"{HTTP}::contentType",
+             f"{HTTP}::timeout"],
+            THREADPOOL_QUEUE_API,
+        )
+        .protect_many(
+            [f"{HTTP}::responseCode", f"{HTTP}::responseBody"],
+            SET_API,
+        )
+        .protect(f"{SERVER}::lastPath", f"{SERVER}::running")
+        .build()
+    )
+    tests = [
+        UnitTest("RestSharp.Tests::ThreadPool_Request", _test_threadpool_request),
+        UnitTest("RestSharp.Tests::Stream_ProducerConsumer", _test_stream_producer_consumer),
+        UnitTest("RestSharp.Tests::BeginGetResponse_Callback", _test_begin_get_response),
+        UnitTest("RestSharp.Tests::Server_Lifecycle", _test_server_lifecycle),
+        UnitTest("RestSharp.Tests::Sequential_Client", _test_sequential_client),
+    ]
+    return Application(
+        info=make_info("App-6", "RestSharp", "19.8K", 7363, 92),
+        make_context=App6Context,
+        tests=tests,
+        ground_truth=gt,
+    )
+
+
+__all__ = ["build_app"]

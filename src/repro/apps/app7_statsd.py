@@ -1,0 +1,312 @@
+"""App-7: Statsd (2.3K LoC, 125 stars, 34 tests).
+
+Synchronization inventory mirrored from the paper (Example A, Example D,
+Table 2 row: 19 syncs, 4 data-racy misclassifications = 2 race pairs):
+
+* ``DataflowBlock::Post`` releases into ``MessageHandler`` Begin;
+  ``MessageHandler`` End releases into ``DataflowBlock::Receive`` Begin.
+* ``Task::ContinueWith``: the antecedent action's End releases into the
+  continuation action's Begin (Example D).
+* ``Task::Start`` / ``Task::Wait`` fork-join around the pipeline driver.
+* Two intentionally racy counter fields (``statsSent``, ``lastError``) —
+  unsynchronized cross-thread accesses that SherLock misclassifies as
+  flag synchronizations (the paper's "Data Racy" category).
+"""
+
+from __future__ import annotations
+
+from ..sim.methods import Method
+from ..sim.objects import SimObject
+from ..sim.program import AppContext, Application, UnitTest
+from ..sim.primitives import DataflowBlock, SimList, Task
+from ..sim.primitives.dataflow import POST_API, RECEIVE_API
+from ..sim.primitives.tasks import TASK_CONTINUE_API, TASK_START_API, TASK_WAIT_API
+from .base import GroundTruthBuilder, make_info, noise_call
+
+PARSER = "Statsd.MessageParser"
+METRICS = "Statsd.Metrics"
+UDP = "Statsd.UdpListener"
+TESTS = "Statsd.Tests.MetricsTests"
+
+
+class App7Context(AppContext):
+    def __init__(self, rt) -> None:
+        super().__init__(SimObject(TESTS, {}))
+        self.metrics = SimObject(
+            METRICS,
+            {
+                "counterName": "",
+                "counterValue": 0,
+                "sampleRate": 1.0,
+                "tags": "",
+                "flushInterval": 0,
+                # Intentionally racy fields (no synchronization at all):
+                "statsSent": 0,
+                "lastError": "",
+            },
+        )
+        self.parsed = SimObject(
+            PARSER, {"parsedCount": 0, "lastMetric": ""}
+        )
+        # Thread-unsafe collection exercised through the dataflow ordering
+        # (gives the TSVD baseline conflicting API-call pairs to reason
+        # about).
+        self.batch = SimList("metric-batch")
+        # Send pipeline state (ContinueWith tests only).
+        self.sender = SimObject(
+            UDP + "/SendState",
+            {"sendBuffer": "", "sendCount": 0, "flushed": False,
+             "flushLog": ""},
+        )
+        # Listener state (fork-join driver tests only).
+        self.listener = SimObject(
+            UDP + "/ListenState", {"listenFailures": 0, "listenStatus": ""}
+        )
+
+
+def _message_handler(ctx):
+    def body(rt, obj, message):
+        # Parse the message: the configuration is consulted once per token,
+        # so these popular reads recur within any window (and make handler
+        # durations message-dependent).
+        tokens = 2 + (int(message) % 3)
+        for _ in range(tokens):
+            name = yield from rt.read(ctx.metrics, "counterName")
+            rate = yield from rt.read(ctx.metrics, "sampleRate")
+            tags = yield from rt.read(ctx.metrics, "tags")
+        # Racy bookkeeping (the bug the paper's category captures).
+        sent = yield from rt.read(ctx.metrics, "statsSent")
+        yield from rt.write(ctx.metrics, "statsSent", sent + 1)
+        yield from ctx.batch.add(rt, message)
+        count = yield from rt.read(ctx.parsed, "parsedCount")
+        if int(message) % 2:
+            yield from rt.write(ctx.parsed, "parsedCount", count + 1)
+            yield from rt.write(ctx.parsed, "lastMetric", f"{name}:{message}")
+        else:
+            yield from rt.write(ctx.parsed, "lastMetric", f"{name}:{message}")
+            yield from rt.write(ctx.parsed, "parsedCount", count + 1)
+        return f"{name}:{message}|@{rate}|#{tags}"
+
+    return Method(f"{PARSER}::MessageHandler", body)
+
+
+def _test_post_receive(rt, ctx):
+    yield from rt.write(ctx.metrics, "counterName", "requests")
+    yield from rt.write(ctx.metrics, "sampleRate", 0.5)
+    yield from rt.write(ctx.metrics, "tags", "env:test")
+    block = DataflowBlock(_message_handler(ctx), "parser")
+    for i in range(3):
+        yield from block.post(rt, i)
+        yield from rt.sleep(0.02)
+        result = yield from block.receive(rt)
+        assert result.startswith("requests")
+        assert (yield from ctx.batch.contains(rt, i))
+        last = yield from rt.read(ctx.parsed, "lastMetric")
+        count = yield from rt.read(ctx.parsed, "parsedCount")
+        assert last and count == i + 1
+        yield from rt.sleep(0.03)
+    block.complete(rt)
+
+
+def _test_post_burst(rt, ctx):
+    yield from rt.write(ctx.metrics, "sampleRate", 1.0)
+    yield from rt.write(ctx.metrics, "tags", "env:burst")
+    yield from rt.write(ctx.metrics, "counterName", "burst")
+    block = DataflowBlock(_message_handler(ctx), "parser")
+    for i in range(4):
+        yield from block.post(rt, i * 10)
+        yield from rt.sleep(0.01)
+    for i in range(4):
+        result = yield from block.receive(rt)
+        assert "burst" in result
+    count = yield from rt.read(ctx.parsed, "parsedCount")
+    last = yield from rt.read(ctx.parsed, "lastMetric")
+    assert count == 4 and last
+    block.complete(rt)
+
+
+def _continue_actions(ctx):
+    def a1_body(rt, obj):
+        for _ in range(2):
+            name = yield from rt.read(ctx.metrics, "counterName")
+            value = yield from rt.read(ctx.metrics, "counterValue")
+            interval = yield from rt.read(ctx.metrics, "flushInterval")
+        yield from rt.write(ctx.sender, "sendBuffer", f"{name}={value}")
+        yield from rt.write(ctx.sender, "sendCount", 1)
+        yield from rt.sleep(0.02)
+
+    def a2_body(rt, obj):
+        # Runs strictly after a1 via ContinueWith.
+        count = yield from rt.read(ctx.sender, "sendCount")
+        buffer = yield from rt.read(ctx.sender, "sendBuffer")
+        assert buffer and count == 1
+        yield from rt.write(ctx.sender, "flushLog", buffer)
+        yield from rt.write(ctx.sender, "flushed", True)
+        # Racy error reporting.
+        yield from rt.write(ctx.metrics, "lastError", "")
+
+    return (
+        Method(f"{UDP}::<SendAsync>b__a1", a1_body),
+        Method(f"{UDP}::<SendAsync>b__a2", a2_body),
+    )
+
+
+def _test_continue_with(rt, ctx):
+    yield from rt.write(ctx.metrics, "counterName", "flush")
+    yield from rt.write(ctx.metrics, "counterValue", 7)
+    yield from rt.write(ctx.metrics, "flushInterval", 10)
+    a1, a2 = _continue_actions(ctx)
+    task = Task(a1, name="send")
+    continuation = yield from task.continue_with(rt, a2)
+    yield from task.start(rt)
+    # Racy read while the pipeline may still run:
+    err = yield from rt.read(ctx.metrics, "lastError")
+    sent = yield from rt.read(ctx.metrics, "statsSent")
+    while not continuation.completed:
+        yield from rt.sleep(0.01)
+    log = yield from rt.read(ctx.sender, "flushLog")
+    flushed = yield from rt.read(ctx.sender, "flushed")
+    assert flushed and log
+    yield from noise_call(rt, "Statsd.Logger::Debug")
+
+
+def _test_pipeline_fork_join(rt, ctx):
+    yield from rt.write(ctx.metrics, "counterValue", 3)
+    yield from rt.write(ctx.metrics, "flushInterval", 5)
+    yield from rt.write(ctx.metrics, "counterName", "pipeline")
+
+    def driver_body(rt_, obj):
+        spins = yield from rt_.rand()
+        for _ in range(2 + int(spins * 2)):
+            value = yield from rt_.read(ctx.metrics, "counterValue")
+            interval = yield from rt_.read(ctx.metrics, "flushInterval")
+            name = yield from rt_.read(ctx.metrics, "counterName")
+            assert name and interval
+            yield from rt_.sleep(0.03)
+        yield from rt_.write(ctx.listener, "listenFailures", 0)
+        yield from rt_.write(ctx.listener, "listenStatus", f"{name}={value}")
+
+    task = Task(Method(f"{UDP}::<Listen>b__0", driver_body), name="driver")
+    yield from task.start(rt)
+    yield from rt.sleep(0.02)
+    yield from task.wait(rt)
+    failures = yield from rt.read(ctx.listener, "listenFailures")
+    status = yield from rt.read(ctx.listener, "listenStatus")
+    assert failures == 0 and status
+
+
+def _test_racy_stats_flag(rt, ctx):
+    # A non-volatile "ready" flag: dynamically it looks exactly like a
+    # flag synchronization, but it is a data race (missing volatile) —
+    # the paper's "Data Racy" misclassification source.
+
+    def publisher(rt_, obj):
+        sent = yield from rt_.read(ctx.metrics, "statsSent")
+        yield from rt_.write(ctx.metrics, "statsSent", sent + 5)
+        yield from rt_.write(ctx.metrics, "lastError", "none")
+
+    def poller(rt_, obj):
+        while True:
+            err = yield from rt_.read(ctx.metrics, "lastError")
+            if err:
+                break
+            yield from rt_.sleep(0.015)
+        sent = yield from rt_.read(ctx.metrics, "statsSent")
+        assert sent >= 5
+
+    from ..sim.primitives import SystemThread
+
+    t1 = SystemThread(
+        Method(f"{TESTS}::<RacyStats>b__pub", publisher), name="pub"
+    )
+    t2 = SystemThread(
+        Method(f"{TESTS}::<RacyStats>b__poll", poller), name="poll"
+    )
+    yield from t1.start(rt)
+    yield from t2.start(rt)
+    yield from t1.join(rt)
+    yield from t2.join(rt)
+
+
+def _test_sequential_parse(rt, ctx):
+    yield from rt.write(ctx.metrics, "counterName", "solo")
+    yield from noise_call(rt, "Statsd.Logger::Debug")
+    name = yield from rt.read(ctx.metrics, "counterName")
+    assert name == "solo"
+
+
+def build_app() -> Application:
+    gt = (
+        GroundTruthBuilder()
+        .api_release(POST_API, "async", "post message to block")
+        .api_acquire(RECEIVE_API, "async", "receive handler result")
+        .method_acquire(
+            f"{PARSER}::MessageHandler", "async", "start of message handler"
+        )
+        .method_release(
+            f"{PARSER}::MessageHandler", "async", "end of message handler"
+        )
+        .method_release(f"{UDP}::<SendAsync>b__a1", "async", "end of action a1")
+        .method_acquire(
+            f"{UDP}::<SendAsync>b__a1", "fork_join", "start of send action"
+        )
+        .method_acquire(
+            f"{UDP}::<SendAsync>b__a2", "async", "start of continuation a2"
+        )
+        .method_release(
+            f"{UDP}::<SendAsync>b__a2", "async", "end of continuation a2"
+        )
+        .api_release(TASK_START_API, "fork_join", "create new task")
+        .api_acquire(TASK_WAIT_API, "fork_join", "wait for task")
+        .method_acquire(f"{UDP}::<Listen>b__0", "fork_join", "start of task")
+        .method_release(f"{UDP}::<Listen>b__0", "fork_join", "end of task")
+        .racy_field(f"{METRICS}::statsSent")
+        .racy_field(f"{METRICS}::lastError")
+        .protect_many(
+            [
+                f"{METRICS}::counterName",
+                f"{METRICS}::sampleRate",
+                f"{METRICS}::tags",
+            ],
+            POST_API,
+        )
+        .protect_many(
+            [f"{PARSER}::parsedCount", f"{PARSER}::lastMetric"],
+            RECEIVE_API,
+        )
+        .protect_many(
+            [f"{UDP}/SendState::sendBuffer", f"{UDP}/SendState::sendCount"],
+            TASK_CONTINUE_API,
+        )
+        .protect_many(
+            [f"{UDP}/SendState::flushed", f"{UDP}/SendState::flushLog"],
+            TASK_CONTINUE_API,
+        )
+        .protect_many(
+            [
+                f"{UDP}/ListenState::listenFailures",
+                f"{UDP}/ListenState::listenStatus",
+            ],
+            TASK_WAIT_API,
+        )
+        .protect(f"{METRICS}::counterValue", TASK_START_API)
+        .protect(f"{METRICS}::flushInterval", TASK_START_API)
+        .build()
+    )
+    tests = [
+        UnitTest(f"{TESTS}::Post_Receive_RoundTrip", _test_post_receive),
+        UnitTest(f"{TESTS}::Post_Burst", _test_post_burst),
+        UnitTest(f"{TESTS}::ContinueWith_Pipeline", _test_continue_with),
+        UnitTest(f"{TESTS}::Pipeline_ForkJoin", _test_pipeline_fork_join),
+        UnitTest(f"{TESTS}::Racy_Stats_Flag", _test_racy_stats_flag),
+        UnitTest(f"{TESTS}::Sequential_Parse", _test_sequential_parse),
+    ]
+    return Application(
+        info=make_info("App-7", "Stastd", "2.3K", 125, 34),
+        make_context=App7Context,
+        tests=tests,
+        ground_truth=gt,
+    )
+
+
+__all__ = ["build_app"]

@@ -1,0 +1,315 @@
+"""App-8: System.Linq.Dynamic (1.1K LoC, 399 stars, 7 tests).
+
+Synchronization inventory mirrored from Table 9:
+
+* ``System.Linq.Dynamic.ClassFactory::.cctor`` — static ctor End releases;
+  ``ClassFactory::GetDynamicClass`` Begin is the first-access acquire.
+* ``System.Threading.ReaderWriterLock`` — ``UpgradeToWriterLock`` Begin
+  acquires (waits for readers), ``DowngradeFromWriterLock`` End and
+  ``ReleaseReaderLock`` End release.  ``UpgradeToWriterLock`` also
+  *releases* the reader lock inside the same API — the double role that
+  breaks SherLock's Single-Role assumption (§5.5).
+* ``System.Threading.Tasks.TaskFactory::StartNew`` End releases into the
+  ``DynamicExpressionTests::<CreateClass_TheadSafe>`` delegate begins.
+"""
+
+from __future__ import annotations
+
+from ..sim.methods import Method
+from ..sim.objects import SimObject
+from ..sim.program import AppContext, Application, UnitTest
+from ..sim.primitives import ReaderWriterLock, TaskFactory
+from ..sim.primitives.rwlock import (
+    ACQUIRE_READER_API,
+    DOWNGRADE_API,
+    RELEASE_READER_API,
+    UPGRADE_API,
+)
+from ..sim.primitives.tasks import FACTORY_STARTNEW_API
+from ..trace.optypes import Role, begin_of, end_of
+from .base import (
+    GroundTruthBuilder,
+    KIND_API,
+    make_info,
+    noise_call,
+)
+
+FACTORY = "System.Linq.Dynamic.ClassFactory"
+TESTS = "System.Linq.Dynamic.Test.DynamicExpressionTests"
+
+
+class App8Context(AppContext):
+    def __init__(self, rt) -> None:
+        super().__init__(SimObject(TESTS, {}))
+        self.rwlock = ReaderWriterLock("classfactory")
+        self.factory = SimObject(
+            FACTORY, {"classCount": 0, "types": "", "signatures": ""}
+        )
+        self._type_cache = {}
+        # Per-test fixture object, planted by each test body.
+        self.config = None
+        # Static side of ClassFactory (module builder setup).
+        from ..sim.primitives import StaticClass
+
+        self.static_factory = StaticClass(
+            FACTORY,
+            Method(FACTORY + "::.cctor", _cctor_body),
+            moduleBuilder=None,
+            assembly=None,
+        )
+
+
+def _cctor_body(rt, obj):
+    yield from rt.write(obj, "assembly", "dynamic-assembly")
+    yield from rt.write(obj, "moduleBuilder", "module-builder")
+
+
+def get_dynamic_class(rt, ctx, signature, write_first):
+    """ClassFactory.GetDynamicClass: reader lock, upgrade on miss."""
+
+    def body(rt_, obj, sig):
+        yield from ctx.static_factory.ensure_initialized(rt_)
+        if write_first == "types":
+            builder = yield from rt_.read(
+                ctx.static_factory.obj, "moduleBuilder"
+            )
+            assembly = yield from rt_.read(ctx.static_factory.obj, "assembly")
+        else:
+            assembly = yield from rt_.read(ctx.static_factory.obj, "assembly")
+            builder = yield from rt_.read(
+                ctx.static_factory.obj, "moduleBuilder"
+            )
+        assert builder == "module-builder"
+        assert assembly == "dynamic-assembly"
+        yield from ctx.rwlock.acquire_reader(rt_)
+        known = yield from rt_.read(ctx.factory, "types")
+        if sig not in ctx._type_cache:
+            yield from ctx.rwlock.upgrade_to_writer(rt_)
+            if sig not in ctx._type_cache:
+                ctx._type_cache[sig] = f"DynamicClass{len(ctx._type_cache)}"
+                if write_first == "types":
+                    yield from rt_.write(ctx.factory, "types", known + sig)
+                    count = yield from rt_.read(ctx.factory, "classCount")
+                    yield from rt_.write(ctx.factory, "classCount", count + 1)
+                    yield from rt_.write(ctx.factory, "signatures", sig)
+                else:
+                    sigs = yield from rt_.read(ctx.factory, "signatures")
+                    yield from rt_.write(ctx.factory, "signatures", sigs + sig)
+                    yield from rt_.write(ctx.factory, "classCount", 1)
+                    yield from rt_.write(ctx.factory, "types", known + sig)
+            yield from ctx.rwlock.downgrade_from_writer(rt_)
+        count = yield from rt_.read(ctx.factory, "classCount")
+        yield from ctx.rwlock.release_reader(rt_)
+        return ctx._type_cache[sig]
+
+    method = Method(f"{FACTORY}::GetDynamicClass", body)
+    return rt.call(method, ctx.factory, signature)
+
+
+def _creator_delegate(index, write_first):
+    def body(rt, obj):
+        ctx = APP8_CTX[0]
+        classes = []
+        # Re-read the fixture per iteration, as real parsing loops do —
+        # popular fields recur inside windows while true syncs fire once.
+        for k in range(3):
+            if write_first == "types":
+                expr = yield from rt.read(ctx.config, "expression")
+                expected = yield from rt.read(ctx.config, "expected")
+                param = yield from rt.read(ctx.config, "paramName")
+                culture = yield from rt.read(ctx.config, "culture")
+            else:
+                param = yield from rt.read(ctx.config, "paramName")
+                culture = yield from rt.read(ctx.config, "culture")
+                result = yield from rt.read(ctx.config, "resultType")
+                expr = yield from rt.read(ctx.config, "expression")
+                expected = yield from rt.read(ctx.config, "expected")
+            assert expr
+            cls = yield from get_dynamic_class(
+                rt, ctx, f"Sig{index}_{k}", write_first
+            )
+            assert cls.startswith("DynamicClass")
+            classes.append(cls)
+            # Publish progress per iteration into this task's own slot.
+            if write_first == "types":
+                yield from rt.write(
+                    ctx.config, f"classes{index}", ",".join(classes)
+                )
+                yield from rt.write(ctx.config, f"succeeded{index}", k == 2)
+            else:
+                yield from rt.write(ctx.config, f"succeeded{index}", k == 2)
+                yield from rt.write(
+                    ctx.config, f"classes{index}", ",".join(classes)
+                )
+            pause = yield from rt.rand()
+            yield from rt.sleep(0.04 + 0.04 * pause)
+
+    return Method(f"{TESTS}::<CreateClass_TheadSafe>b__{index}", body)
+
+
+# The delegate needs the per-test context; the test body plants it here.
+APP8_CTX = [None]
+
+
+def _test_create_class_threadsafe(rt, ctx):
+    APP8_CTX[0] = ctx
+    ctx.config = SimObject(
+        TESTS + "/WhereFixture",
+        {
+            "expression": "",
+            "expected": 0,
+            "paramName": "",
+            "culture": "",
+            "resultType": "",
+        },
+    )
+    yield from rt.write(ctx.config, "expression", "x => x.Age > 21")
+    yield from rt.write(ctx.config, "expected", 2)
+    yield from rt.write(ctx.config, "paramName", "x")
+    yield from rt.write(ctx.config, "culture", "en-US")
+    yield from rt.write(ctx.config, "resultType", "Boolean")
+    t1 = yield from TaskFactory.start_new(
+        rt, _creator_delegate(0, "types"), name="create0"
+    )
+    yield from rt.sleep(0.03)
+    t2 = yield from TaskFactory.start_new(
+        rt, _creator_delegate(1, "signatures"), name="create1"
+    )
+    yield from t1.wait(rt)
+    yield from t2.wait(rt)
+    ok0 = yield from rt.read(ctx.config, "succeeded0")
+    created0 = yield from rt.read(ctx.config, "classes0")
+    created1 = yield from rt.read(ctx.config, "classes1")
+    ok1 = yield from rt.read(ctx.config, "succeeded1")
+    assert ok0 and ok1 and created0 and created1
+
+
+def _test_create_class_same_signature(rt, ctx):
+    APP8_CTX[0] = ctx
+    ctx.config = SimObject(
+        TESTS + "/SelectFixture",
+        {
+            "expression": "",
+            "expected": 0,
+            "paramName": "",
+            "culture": "",
+            "resultType": "",
+        },
+    )
+    yield from rt.write(ctx.config, "expected", 1)
+    yield from rt.write(ctx.config, "resultType", "String")
+    yield from rt.write(ctx.config, "expression", "x => x.Name")
+    yield from rt.write(ctx.config, "culture", "fr-FR")
+    yield from rt.write(ctx.config, "paramName", "p")
+
+    def body(rt_, obj, slot):
+        result = yield from rt_.read(ctx.config, "resultType")
+        expr = yield from rt_.read(ctx.config, "expression")
+        culture = yield from rt_.read(ctx.config, "culture")
+        expected = yield from rt_.read(ctx.config, "expected")
+        assert expr and result and culture and expected
+        cls = yield from get_dynamic_class(rt_, ctx, "Shared", "types")
+        yield from noise_call(rt_, "System.Linq.Dynamic.ExpressionParser::Parse")
+        assert cls.startswith("DynamicClass")
+        yield from rt_.write(ctx.config, f"classes{slot}", cls)
+        yield from rt_.write(ctx.config, f"succeeded{slot}", True)
+
+    t1 = yield from TaskFactory.start_new(
+        rt, Method(f"{TESTS}::<CreateClass_TheadSafe>b__2", body), (2,),
+        name="s0",
+    )
+    yield from rt.sleep(0.025)
+    t2 = yield from TaskFactory.start_new(
+        rt, Method(f"{TESTS}::<CreateClass_TheadSafe>b__3", body), (3,),
+        name="s1",
+    )
+    yield from t1.wait(rt)
+    yield from t2.wait(rt)
+    created = yield from rt.read(ctx.config, "classes2")
+    ok = yield from rt.read(ctx.config, "succeeded3")
+    assert ok and created
+
+
+def _test_parse_sequential(rt, ctx):
+    APP8_CTX[0] = ctx
+    cls = yield from get_dynamic_class(rt, ctx, "Solo", "types")
+    assert cls == "DynamicClass0"
+    yield from noise_call(rt, "System.Linq.Dynamic.ExpressionParser::Parse")
+
+
+def build_app() -> Application:
+    builder = (
+        GroundTruthBuilder()
+        .method_release(
+            FACTORY + "::.cctor", "static_ctor",
+            "end of static constructor",
+        )
+        .method_acquire(
+            f"{FACTORY}::GetDynamicClass", "static_ctor",
+            "first access after static constructor",
+        )
+        .api_release(
+            FACTORY_STARTNEW_API, "fork_join", "create new Task"
+        )
+        .api_release(DOWNGRADE_API, "lock", "release lock")
+        .api_release(RELEASE_READER_API, "lock", "release lock")
+        .api_acquire(UPGRADE_API, "lock", "require lock")
+        .api_acquire(ACQUIRE_READER_API, "lock", "acquire lock")
+    )
+    # The delegate begins/ends (start of thread / end of task) and the
+    # join acquire.
+    for i in range(4):
+        builder.method_acquire(
+            f"{TESTS}::<CreateClass_TheadSafe>b__{i}", "fork_join",
+            "start of thread",
+        )
+        builder.method_release(
+            f"{TESTS}::<CreateClass_TheadSafe>b__{i}", "fork_join",
+            "end of task",
+        )
+    from ..sim.primitives.tasks import TASK_WAIT_API
+
+    builder.api_acquire(TASK_WAIT_API, "fork_join", "wait for task")
+    # UpgradeToWriterLock's hidden reader-release — the double role the
+    # Single-Role constraint forbids; expected to be missed.
+    builder.gt.add_sync(
+        end_of(UPGRADE_API), Role.RELEASE, KIND_API, "double_role",
+        "release reader lock inside upgrade",
+    )
+    gt = (
+        builder
+        .protect(f"{FACTORY}::types", UPGRADE_API)
+        .protect(f"{FACTORY}::classCount", UPGRADE_API)
+        .protect(f"{FACTORY}::signatures", UPGRADE_API)
+        .protect(f"{FACTORY}::moduleBuilder", FACTORY + "::.cctor")
+        .protect(f"{FACTORY}::assembly", FACTORY + "::.cctor")
+        .protect_many(
+            [
+                f"{TESTS}/WhereFixture::{f}"
+                for f in ("expression", "expected", "paramName", "culture",
+                          "resultType", "classes0", "succeeded0", "classes1",
+                          "succeeded1")
+            ] + [
+                f"{TESTS}/SelectFixture::{f}"
+                for f in ("expression", "expected", "paramName", "culture",
+                          "resultType", "classes2", "succeeded2", "classes3",
+                          "succeeded3")
+            ],
+            FACTORY_STARTNEW_API,
+        )
+        .build()
+    )
+    tests = [
+        UnitTest(f"{TESTS}::CreateClass_ThreadSafe", _test_create_class_threadsafe),
+        UnitTest(f"{TESTS}::CreateClass_SameSignature", _test_create_class_same_signature),
+        UnitTest(f"{TESTS}::Parse_Sequential", _test_parse_sequential),
+    ]
+    return Application(
+        info=make_info("App-8", "System.Linq.Dynamic", "1.1K", 399, 7),
+        make_context=App8Context,
+        tests=tests,
+        ground_truth=gt,
+    )
+
+
+__all__ = ["build_app"]

@@ -1,0 +1,49 @@
+"""Benchmark application registry (Table 1)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim.program import Application
+from . import (
+    app1_insights,
+    app2_datetime,
+    app3_fluentassertions,
+    app4_k8sclient,
+    app5_radical,
+    app6_restsharp,
+    app7_statsd,
+    app8_linqdynamic,
+)
+
+_BUILDERS = {
+    "App-1": app1_insights.build_app,
+    "App-2": app2_datetime.build_app,
+    "App-3": app3_fluentassertions.build_app,
+    "App-4": app4_k8sclient.build_app,
+    "App-5": app5_radical.build_app,
+    "App-6": app6_restsharp.build_app,
+    "App-7": app7_statsd.build_app,
+    "App-8": app8_linqdynamic.build_app,
+}
+
+
+def app_ids() -> List[str]:
+    return list(_BUILDERS)
+
+
+def get_application(app_id: str) -> Application:
+    """Build a fresh instance of one benchmark application."""
+    if app_id not in _BUILDERS:
+        raise KeyError(
+            f"unknown application {app_id!r}; known: {sorted(_BUILDERS)}"
+        )
+    return _BUILDERS[app_id]()
+
+
+def all_applications() -> List[Application]:
+    """Build all 8 benchmark applications (fresh instances)."""
+    return [build() for build in _BUILDERS.values()]
+
+
+__all__ = ["all_applications", "app_ids", "get_application"]

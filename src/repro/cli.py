@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``infer APP_ID``
+    Run the SherLock pipeline on one benchmark app and print the inferred
+    synchronizations (scored against ground truth).
+``races APP_ID``
+    Compare Manual_dr and SherLock_dr race detection on one app.
+``table NAME``
+    Regenerate one paper table/figure (``table1`` … ``table7``,
+    ``table89``, ``figure4``, ``tsvd``, ``overhead``).
+``all``
+    Regenerate every table and figure.
+``apps``
+    List the benchmark applications.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.experiments import (
+    figure4,
+    overhead,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table89,
+    tsvd_enhance,
+)
+from .apps.registry import all_applications, app_ids, get_application
+from .core import Sherlock, SherlockConfig
+from .racedet import detect_races, manual_spec, sherlock_spec
+
+_TABLES = {
+    "table1": lambda a: table1.run(a),
+    "table2": lambda a: table2.run(a)[0],
+    "table3": lambda a: table3.run(a)[0],
+    "table4": lambda a: table4.run(a),
+    "table5": lambda a: table5.run(a),
+    "table6": lambda a: table6.run(a),
+    "table7": lambda a: table7.run(a),
+    "table89": lambda a: table89.run(a),
+    "figure4": lambda a: figure4.run(a),
+    "tsvd": lambda a: tsvd_enhance.run(a),
+    "overhead": lambda a: overhead.run(a),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SherLock reproduction (ASPLOS 2021)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="rounds per input (default 3)"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--apps", default=None,
+        help="comma-separated app ids to restrict to (default: all 8)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    infer_p = sub.add_parser("infer", help="run SherLock on one app")
+    infer_p.add_argument("app_id")
+
+    races_p = sub.add_parser("races", help="Manual_dr vs SherLock_dr")
+    races_p.add_argument("app_id")
+
+    table_p = sub.add_parser("table", help="regenerate one table/figure")
+    table_p.add_argument("name", choices=sorted(_TABLES))
+
+    report_p = sub.add_parser(
+        "report", help="write a full markdown reproduction report"
+    )
+    report_p.add_argument("path", nargs="?", default="REPRODUCTION_REPORT.md")
+
+    sub.add_parser("all", help="regenerate every table and figure")
+    sub.add_parser("apps", help="list the benchmark applications")
+    return parser
+
+
+def _cmd_infer(args) -> int:
+    app = get_application(args.app_id)
+    config = SherlockConfig(rounds=args.rounds, seed=args.seed)
+    report = Sherlock(app, config).run()
+    gt = app.ground_truth
+    print(report.describe())
+    for sync in sorted(report.final.syncs, key=lambda s: s.display()):
+        marker = "+" if gt.is_true_sync(sync) else "?"
+        print(f"  [{marker}] {sync.display()}")
+    correct = sum(1 for s in report.final.syncs if gt.is_true_sync(s))
+    print(
+        f"{correct} true / {len(report.final.syncs)} inferred; "
+        f"{len(set(gt.syncs) - report.final.syncs)} missed"
+    )
+    return 0
+
+
+def _cmd_races(args) -> int:
+    app = get_application(args.app_id)
+    config = SherlockConfig(rounds=args.rounds, seed=args.seed)
+    report = Sherlock(app, config).run()
+    manual = detect_races(app, manual_spec(app), seed=args.seed)
+    inferred = detect_races(app, sherlock_spec(report.final), seed=args.seed)
+    print(f"{'detector':12s} {'true':>5s} {'false':>6s}")
+    for result in (manual, inferred):
+        print(
+            f"{result.spec_name:12s} {result.true_races:5d} "
+            f"{result.false_races:6d}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if isinstance(args.apps, str):
+        args.apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    if args.command == "apps":
+        for app in all_applications():
+            print(
+                f"{app.app_id}: {app.name} "
+                f"({len(app.tests)} tests, "
+                f"{len(app.ground_truth.syncs)} true syncs)"
+            )
+        return 0
+    if args.command == "infer":
+        return _cmd_infer(args)
+    if args.command == "races":
+        return _cmd_races(args)
+    if args.command == "table":
+        print(_TABLES[args.name](args.apps).render())
+        return 0
+    if args.command == "report":
+        from .analysis.report_writer import write_report
+
+        with open(args.path, "w") as fp:
+            sections = write_report(fp, args.apps)
+        print(f"wrote {len(sections)} sections to {args.path}")
+        return 0
+    if args.command == "all":
+        for name, runner in _TABLES.items():
+            print(runner(args.apps).render())
+            print()
+        return 0
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

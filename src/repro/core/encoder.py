@@ -1,0 +1,175 @@
+"""LP encoding of the synchronization properties and hypotheses (§4.2).
+
+Builds, from an :class:`~repro.core.stats.ObservationStore`, the linear
+program of Equations (1)–(8):
+
+* **Read-Acquire & Write-Release** (Eq. 1) — enforced structurally by the
+  :class:`~repro.core.candidates.CandidateRegistry`.
+* **Single Role** — for a library API ``l``:
+  ``begin(l)^acq + end(l)^rel <= 1``.  (The paper prints the constraint
+  with the roles that Eq. 1 already pins to zero, which would be vacuous;
+  we encode the evidently intended capable-role pair, which is what makes
+  ``UpgradeToWriteLock``'s double role a real conflict.)
+* **Mostly Protected** (Eq. 2) — per window ``w``:
+  ``max(0, 1 - sum of release vars)`` + the acquire twin, each variable
+  counted once per window regardless of dynamic instances.
+* **Synchronizations are Rare** (Eqs. 3, 4) — regularizer ``v`` plus
+  ``0.1 * avg_occurrence(v) * v``.
+* **Acquisition-Time Mostly Varies** (Eq. 5) —
+  ``(1 - percentile(CV(duration(m)))) * begin(m)^acq``.
+* **Mostly Paired** (Eqs. 6, 7) — per class ``|Σ acq − Σ rel|`` over its
+  method candidates; per field ``|read(f)^acq − write(f)^rel|``.
+
+The overall objective (Eq. 8) weights the Mostly-Protected terms at 1 and
+every other hypothesis at λ (default 0.2), matching the paper's described
+trade-off (λ up ⇒ fewer inferred synchronizations, Table 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..lp import LinExpr, Model
+from ..trace.optypes import OpRef, OpType, Role
+from .candidates import CandidateRegistry
+from .config import SherlockConfig
+from .stats import ObservationStore
+
+
+def build_model(
+    store: ObservationStore, config: SherlockConfig
+) -> Tuple[Model, CandidateRegistry]:
+    """Encode the store's observations into an LP model."""
+    model = Model("sherlock")
+    registry = CandidateRegistry(
+        model, enforce_capability=config.prop_read_acq_write_rel
+    )
+    lam = config.lam
+
+    windows = store.coverage_windows(config.enable_race_removal)
+
+    # -- Mostly Protected (Eq. 2) -------------------------------------------
+    if config.hyp_mostly_protected:
+        for window in windows:
+            rel_vars = registry.release_vars(window.release_side)
+            if rel_vars:
+                model.add_max0_term(1 - LinExpr.total(rel_vars), weight=1.0)
+            acq_vars = registry.acquire_vars(window.acquire_side)
+            if acq_vars:
+                model.add_max0_term(1 - LinExpr.total(acq_vars), weight=1.0)
+
+    # Ensure every candidate ever seen in a non-racy window has a variable
+    # even when Mostly-Protected is ablated, so downstream terms and the
+    # result interpretation stay well-defined.
+    for window in windows:
+        registry.release_vars(window.release_side)
+        registry.acquire_vars(window.acquire_side)
+
+    # -- Synchronizations are Rare (Eqs. 3 and 4) ------------------------------
+    # λ trades Mostly-Protected off against all other hypotheses; the
+    # sparsity terms are normalized so the default λ = 0.2 yields a unit
+    # regularizer (a variable must cover more than one window to pay for
+    # itself), and larger λ shrinks the inferred set as in Table 6.
+    sparsity = lam / 0.2
+    if config.hyp_rare:
+        rel_avg, acq_avg = store.average_occurrence()
+        for sync, variable in registry.items():
+            model.add_objective_term(variable, sparsity)  # Eq. 3
+            side_avg = rel_avg if sync.role is Role.RELEASE else acq_avg
+            occurrence = side_avg.get(sync.op, 1.0)
+            model.add_objective_term(
+                variable, sparsity * config.rare_coef * occurrence
+            )
+
+    # -- Acquisition-Time Mostly Varies (Eq. 5) ----------------------------------
+    # Weighted by λ like the pair terms: it is a preference nudge, not a
+    # sparsity force — otherwise constant-duration true acquires (test
+    # begins, one-shot delegates) could never be inferred.
+    if config.hyp_acq_time_varies:
+        percentiles = store.cv_percentiles()
+        for sync, variable in registry.items():
+            if sync.role is Role.ACQUIRE and sync.op.optype is OpType.ENTER:
+                # Methods with no duration evidence carry no penalty.
+                pct = percentiles.get(sync.op.name)
+                if pct is not None and pct < 1.0:
+                    model.add_objective_term(variable, lam * (1.0 - pct))
+
+    # -- Mostly Paired (Eqs. 6 and 7) ----------------------------------------------
+    if config.hyp_mostly_paired:
+        _encode_paired(model, registry, lam)
+
+    # -- Single Role ------------------------------------------------------------------
+    if config.prop_single_role:
+        _encode_single_role(
+            model,
+            registry,
+            store.library_names,
+            soft_weight=lam if config.single_role_soft else None,
+        )
+
+    return model, registry
+
+
+def _encode_paired(
+    model: Model, registry: CandidateRegistry, lam: float
+) -> None:
+    # Eq. 6: per class, method acquires and releases should balance.
+    by_class: Dict[str, List] = {}
+    for sync, variable in registry.items():
+        if sync.op.optype.is_method:
+            by_class.setdefault(sync.op.class_name, []).append(
+                (sync.role, variable)
+            )
+    for members in by_class.values():
+        expr = LinExpr()
+        for role, variable in members:
+            expr = expr + variable if role is Role.ACQUIRE else expr - variable
+        if expr.terms:
+            model.add_abs_term(expr, weight=lam)
+
+    # Eq. 7: per field, read-acquire pairs with write-release.
+    fields: Set[str] = set()
+    for sync, _ in registry.items():
+        if sync.op.optype.is_memory:
+            fields.add(sync.op.name)
+    for name in fields:
+        read_var = registry.lookup(OpRef(name, OpType.READ), Role.ACQUIRE)
+        write_var = registry.lookup(OpRef(name, OpType.WRITE), Role.RELEASE)
+        expr = LinExpr()
+        if read_var is not None:
+            expr = expr + read_var
+        if write_var is not None:
+            expr = expr - write_var
+        if expr.terms:
+            model.add_abs_term(expr, weight=lam)
+
+
+def _encode_single_role(
+    model: Model,
+    registry: CandidateRegistry,
+    library_names: Set[str],
+    soft_weight: float = None,
+) -> None:
+    """Single-Role for library APIs.
+
+    Hard by default (``begin^acq + end^rel <= 1``); with ``soft_weight``
+    set (the paper's §5.5 future-work suggestion) the violation is merely
+    penalized, letting genuine double-role APIs win both roles when the
+    window evidence is strong enough.
+    """
+    for name in library_names:
+        begin_acq = registry.lookup(OpRef(name, OpType.ENTER), Role.ACQUIRE)
+        end_rel = registry.lookup(OpRef(name, OpType.EXIT), Role.RELEASE)
+        if begin_acq is None or end_rel is None:
+            continue
+        if soft_weight is None:
+            model.add_constraint(
+                begin_acq + end_rel <= 1, name=f"single_role:{name}"
+            )
+        else:
+            model.add_max0_term(
+                begin_acq + end_rel - 1, weight=soft_weight
+            )
+
+
+__all__ = ["build_model"]

@@ -1,0 +1,53 @@
+"""The Observer (§4.1): instrumentation and trace capture.
+
+The Observer decides which events reach SherLock.  Its skip-heuristic for
+compiler-generated code is *intentionally* reproduced with the paper's
+bug: methods the benchmark apps flag as ``hidden`` are wrongly classified
+as compiler-generated and dropped from traces, which is the source of the
+"Instr. Errors" false-positive category (§5.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.program import Application
+from ..sim.runner import RunOptions, TestExecution, run_application
+from ..trace.events import TraceEvent
+from ..trace.optypes import OpRef
+from .config import SherlockConfig
+
+
+class Observer:
+    """Runs an application's test suite with instrumentation applied."""
+
+    def __init__(self, config: SherlockConfig) -> None:
+        self.config = config
+
+    def event_filter(self, event: TraceEvent) -> bool:
+        """True when the event survives instrumentation.
+
+        The skip-heuristic drops events of methods marked ``hidden`` —
+        genuine application methods the heuristic misclassifies.
+        """
+        return not event.meta.get("hidden")
+
+    def observe_round(
+        self,
+        app: Application,
+        round_index: int,
+        delay_plan: Optional[Dict[OpRef, float]] = None,
+    ) -> List[TestExecution]:
+        """Execute all unit tests once (one round) and return their traces."""
+        options = RunOptions(
+            seed=self.config.seed,
+            run_id=round_index,
+            op_cost=self.config.op_cost,
+            delay_plan=dict(delay_plan or {}),
+            event_filter=self.event_filter,
+            max_steps=self.config.max_steps,
+        )
+        return run_application(app, options)
+
+
+__all__ = ["Observer"]

@@ -1,0 +1,142 @@
+"""The SherLock pipeline: Observer → Solver → Perturber, over rounds (§4.3).
+
+One :class:`Sherlock` instance runs an application's test suite for N
+rounds.  Observations accumulate across rounds; after each round the
+Solver re-infers and the Perturber converts the inferred releases into the
+next round's delay plan.  No delay is injected in the first round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.program import Application
+from ..sim.runner import TestExecution
+from ..trace.optypes import OpRef, SyncOp
+from .config import SherlockConfig
+from .observer import Observer
+from .perturber import build_delay_plan
+from .solver import InferenceResult, infer
+from .stats import ObservationStore
+from .windows import WindowExtractor
+
+
+@dataclass
+class RoundResult:
+    """Summary of one round."""
+
+    round_index: int
+    inference: InferenceResult
+    windows_total: int
+    racy_pairs_total: int
+    events_observed: int
+    delays_injected: int
+    test_errors: List[str] = field(default_factory=list)
+
+
+@dataclass
+class SherlockReport:
+    """Full result of a SherLock run over an application."""
+
+    app_id: str
+    app_name: str
+    config: SherlockConfig
+    rounds: List[RoundResult]
+    store: ObservationStore
+
+    @property
+    def final(self) -> InferenceResult:
+        return self.rounds[-1].inference
+
+    @property
+    def inferred(self) -> frozenset:
+        return frozenset(self.final.syncs)
+
+    def inferred_by_round(self) -> List[frozenset]:
+        return [frozenset(r.inference.syncs) for r in self.rounds]
+
+    def describe(self) -> str:
+        final = self.final
+        return (
+            f"{self.app_id} ({self.app_name}): "
+            f"{len(final.releases)} releases + {len(final.acquires)} "
+            f"acquires after {len(self.rounds)} rounds "
+            f"({self.store.stats()['windows']} windows, "
+            f"{self.store.stats()['racy_pairs']} racy pairs)"
+        )
+
+
+class Sherlock:
+    """Unsupervised synchronization-operation inference for one app."""
+
+    def __init__(
+        self, app: Application, config: Optional[SherlockConfig] = None
+    ) -> None:
+        self.app = app
+        self.config = config or SherlockConfig()
+        self.config.validate()
+        self.observer = Observer(self.config)
+
+    def run(self, rounds: Optional[int] = None) -> SherlockReport:
+        """Run the full multi-round pipeline and return the report."""
+        config = self.config
+        n_rounds = rounds if rounds is not None else config.rounds
+        store = ObservationStore()
+        delay_plan: Dict[OpRef, float] = {}
+        round_results: List[RoundResult] = []
+
+        for round_index in range(n_rounds):
+            executions = self.observer.observe_round(
+                self.app, round_index, delay_plan
+            )
+            if not config.accumulate_across_runs:
+                store = ObservationStore()
+            self._ingest(store, executions)
+
+            inference = infer(store, config)
+            delay_plan = build_delay_plan(inference, config)
+            round_results.append(
+                RoundResult(
+                    round_index=round_index,
+                    inference=inference,
+                    windows_total=len(store.windows),
+                    racy_pairs_total=len(store.racy_pairs),
+                    events_observed=sum(len(e.log) for e in executions),
+                    delays_injected=sum(
+                        len(e.log.delays) for e in executions
+                    ),
+                    test_errors=[
+                        e.error for e in executions if e.error is not None
+                    ],
+                )
+            )
+        return SherlockReport(
+            app_id=self.app.app_id,
+            app_name=self.app.name,
+            config=config,
+            rounds=round_results,
+            store=store,
+        )
+
+    def _ingest(
+        self, store: ObservationStore, executions: List[TestExecution]
+    ) -> None:
+        extractor = WindowExtractor(
+            near=self.config.near,
+            window_cap=self.config.window_cap,
+            refine=self.config.enable_window_refinement,
+        )
+        for execution in executions:
+            windows = extractor.extract(execution.log)
+            store.ingest_run(execution.log, windows)
+
+
+def run_sherlock(
+    app: Application, config: Optional[SherlockConfig] = None
+) -> SherlockReport:
+    """Convenience one-call entry point."""
+    return Sherlock(app, config).run()
+
+
+__all__ = ["RoundResult", "Sherlock", "SherlockReport", "run_sherlock"]

@@ -1,0 +1,160 @@
+"""Observation accumulation across runs (§4.3).
+
+The store keeps every window, occurrence statistic, method-duration sample
+and observed-data-race mark from all rounds so far.  The encoder rebuilds
+the LP from the whole store after each round, exactly as the paper
+describes ("SherLock does not throw away any constraints or objective
+function terms obtained from previous runs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import sqrt
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..trace.log import TraceLog
+from ..trace.optypes import OpRef, OpType
+from .windows import PairKey, Window
+
+
+@dataclass
+class MethodStats:
+    """Duration samples for one method (Acquisition-Time-Varies input)."""
+
+    durations: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.durations.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.durations)
+
+    def coefficient_of_variation(self) -> Optional[float]:
+        """stddev / mean, or None when under two samples or zero mean."""
+        if len(self.durations) < 2:
+            return None
+        mean = sum(self.durations) / len(self.durations)
+        if mean <= 0:
+            return None
+        variance = sum((d - mean) ** 2 for d in self.durations) / len(
+            self.durations
+        )
+        return sqrt(variance) / mean
+
+
+class ObservationStore:
+    """All observations SherLock has accumulated so far."""
+
+    def __init__(self) -> None:
+        self.windows: List[Window] = []
+        self.racy_pairs: Set[PairKey] = set()
+        self.method_stats: Dict[str, MethodStats] = {}
+        #: Names of ops observed with library=True metadata (Single Role).
+        self.library_names: Set[str] = set()
+        #: Op refs ever observed anywhere (for reporting).
+        self.observed_ops: Set[OpRef] = set()
+        self.runs_ingested: int = 0
+
+    # -- ingestion -----------------------------------------------------------
+
+    def ingest_run(self, log: TraceLog, windows: Iterable[Window]) -> None:
+        """Add one run's windows and trace-derived statistics."""
+        for window in windows:
+            self.windows.append(window)
+            if window.racy:
+                self.racy_pairs.add(window.pair_key)
+        for name, samples in log.method_durations().items():
+            stats = self.method_stats.setdefault(name, MethodStats())
+            for value in samples:
+                stats.add(value)
+        for event in log:
+            self.observed_ops.add(event.ref)
+            if event.meta.get("library"):
+                self.library_names.add(event.name)
+        self.runs_ingested += 1
+
+    # -- queries ----------------------------------------------------------------
+
+    def coverage_windows(self, race_removal: bool = True) -> List[Window]:
+        """Windows that contribute Mostly-Protected terms: non-racy windows
+        of pairs never observed racing (when race removal is on)."""
+        out = []
+        for window in self.windows:
+            if window.racy:
+                continue
+            if race_removal and window.pair_key in self.racy_pairs:
+                continue
+            out.append(window)
+        return out
+
+    def candidate_ops(self) -> Tuple[Set[OpRef], Set[OpRef]]:
+        """(release-side ops, acquire-side ops) across all windows."""
+        release: Set[OpRef] = set()
+        acquire: Set[OpRef] = set()
+        for window in self.windows:
+            release.update(window.release_side)
+            acquire.update(window.acquire_side)
+        return release, acquire
+
+    def average_occurrence(self) -> Tuple[Dict[OpRef, float], Dict[OpRef, float]]:
+        """Mean dynamic-instance count per window, per op, per side.
+
+        Feeds Eq. (4): an op like a hot logging call or a spin-loop read
+        appears many times inside each window it occupies and is penalized.
+        """
+        rel_total: Dict[OpRef, int] = {}
+        rel_windows: Dict[OpRef, int] = {}
+        acq_total: Dict[OpRef, int] = {}
+        acq_windows: Dict[OpRef, int] = {}
+        for window in self.windows:
+            for ref, count in window.release_side.items():
+                rel_total[ref] = rel_total.get(ref, 0) + count
+                rel_windows[ref] = rel_windows.get(ref, 0) + 1
+            for ref, count in window.acquire_side.items():
+                acq_total[ref] = acq_total.get(ref, 0) + count
+                acq_windows[ref] = acq_windows.get(ref, 0) + 1
+        rel_avg = {r: rel_total[r] / rel_windows[r] for r in rel_total}
+        acq_avg = {r: acq_total[r] / acq_windows[r] for r in acq_total}
+        return rel_avg, acq_avg
+
+    def cv_percentiles(self) -> Dict[str, float]:
+        """Percentile rank of each method's duration CV among all methods.
+
+        Only methods with enough samples to have a CV are ranked; a method
+        never observed twice carries no evidence of constant acquisition
+        time and therefore receives no Eq. (5) penalty (it is absent from
+        the returned map).  High variation → high percentile → low penalty.
+        """
+        cvs = {
+            name: stats.coefficient_of_variation()
+            for name, stats in self.method_stats.items()
+        }
+        known = sorted(v for v in cvs.values() if v is not None)
+        out: Dict[str, float] = {}
+        for name, cv in cvs.items():
+            if cv is None or not known:
+                continue
+            rank = sum(1 for v in known if v <= cv)
+            out[name] = rank / len(known)
+        return out
+
+    def stats(self) -> Mapping[str, int]:
+        return {
+            "windows": len(self.windows),
+            "racy_pairs": len(self.racy_pairs),
+            "methods_timed": len(self.method_stats),
+            "library_names": len(self.library_names),
+            "runs": self.runs_ingested,
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"ObservationStore(windows={s['windows']}, "
+            f"racy_pairs={s['racy_pairs']}, runs={s['runs']})"
+        )
+
+
+__all__ = ["MethodStats", "ObservationStore"]

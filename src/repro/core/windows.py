@@ -1,0 +1,314 @@
+"""Acquire/release window extraction (§4.1) and refinement (§3).
+
+Given one run's trace, find pairs of conflicting accesses within ``Near``
+seconds of each other and extract, for each pair, the *release window*
+(operations of the earlier access's thread between the two accesses) and
+the *acquire window* (operations of the later access's thread).
+
+The conflicting endpoints themselves join their windows when capable: a
+write endpoint is a release candidate and a read endpoint an acquire
+candidate — that is how flag-variable synchronizations (Write-f / Read-f)
+become inferable at all.
+
+A window is *provably racy* when it cannot contain a release (no
+write/exit on the release side) or cannot contain an acquire (no
+read/enter on the acquire side); such a pair is remembered as an observed
+data race and its Mostly-Protected terms are removed (§4.3).
+
+When the Perturber injected a delay inside a window, Figure 2 (b)/(c)
+refinement applies:
+
+* delay at candidate ``r`` did **not** propagate → the real release lies
+  between ``a`` and ``r``: truncate the release window before the delay
+  and drop ``r``;
+* delay **did** propagate → trust ``r`` and shrink the acquire window to
+  the operations between the delay's end and ``b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..trace.events import DelayInterval, TraceEvent
+from ..trace.log import TraceLog
+from ..trace.optypes import OpRef, OpType
+
+#: Static identity of a conflicting-access pair: ordered (earlier, later).
+PairKey = Tuple[OpRef, OpRef]
+
+
+@dataclass
+class Window:
+    """One acquire/release window observation for a conflicting pair."""
+
+    pair_key: PairKey
+    run_id: int
+    a_time: float
+    b_time: float
+    #: Dynamic-instance counts per static op on each side.  Keys are the
+    #: *candidate* ops (capability filtering happens in the encoder, so
+    #: the Read-Acq & Write-Rel ablation can reuse the same windows).
+    release_side: Dict[OpRef, int] = field(default_factory=dict)
+    acquire_side: Dict[OpRef, int] = field(default_factory=dict)
+    racy: bool = False
+    refined: bool = False
+
+    def release_ops(self) -> Set[OpRef]:
+        return set(self.release_side)
+
+    def acquire_ops(self) -> Set[OpRef]:
+        return set(self.acquire_side)
+
+
+def _is_access(event: TraceEvent) -> bool:
+    """Conflicting-access candidates: heap reads/writes, plus call sites of
+    thread-unsafe library APIs (the optional API list of §4.1)."""
+    if event.is_memory:
+        return True
+    return (
+        event.optype is OpType.ENTER
+        and event.meta.get("unsafe_api") in ("read", "write")
+    )
+
+
+def _is_write_access(event: TraceEvent) -> bool:
+    if event.is_memory:
+        return event.is_write
+    return event.meta.get("unsafe_api") == "write"
+
+
+def _accesses_conflict(a: TraceEvent, b: TraceEvent) -> bool:
+    if a.thread_id == b.thread_id:
+        return False
+    if a.address != b.address:
+        return False
+    if a.is_memory != b.is_memory:
+        return False
+    if a.is_memory and a.name != b.name:
+        return False  # same field of the same object
+    return _is_write_access(a) or _is_write_access(b)
+
+
+#: Op types that can possibly play a release / acquire role (used for racy
+#: detection, which is about *capability*, not about the solver's choice).
+_RELEASE_CAPABLE = (OpType.WRITE, OpType.EXIT)
+_ACQUIRE_CAPABLE = (OpType.READ, OpType.ENTER)
+
+
+class WindowExtractor:
+    """Extracts windows from one run's log."""
+
+    def __init__(
+        self,
+        near: float,
+        window_cap: int,
+        use_unsafe_api_list: bool = True,
+        refine: bool = True,
+        pre_gap: float = 0.02,
+    ) -> None:
+        self.near = near
+        self.window_cap = window_cap
+        self.use_unsafe_api_list = use_unsafe_api_list
+        self.refine = refine
+        #: How far before Ta an injected delay still counts as relevant to
+        #: the window — a delay ending just before ``a`` postponed ``a``
+        #: itself, so the window's timing was manufactured by the Perturber.
+        self.pre_gap = pre_gap
+
+    def extract(self, log: TraceLog) -> List[Window]:
+        accesses = [e for e in log if _is_access(e)]
+        if not self.use_unsafe_api_list:
+            accesses = [e for e in accesses if e.is_memory]
+        exit_to_enter = self._match_calls(log)
+        windows: List[Window] = []
+        counts: Dict[PairKey, int] = {}
+        for i, a in enumerate(accesses):
+            for b in accesses[i + 1:]:
+                if b.timestamp - a.timestamp > self.near:
+                    break
+                if not _accesses_conflict(a, b):
+                    continue
+                key = (a.ref, b.ref)
+                if counts.get(key, 0) >= self.window_cap:
+                    continue
+                counts[key] = counts.get(key, 0) + 1
+                windows.append(
+                    self._build_window(log, a, b, exit_to_enter)
+                )
+        return windows
+
+    @staticmethod
+    def _match_calls(log: TraceLog) -> Dict[int, TraceEvent]:
+        """Map each EXIT event's seq to its matching ENTER event (per-thread
+        call-stack pairing)."""
+        stacks: Dict[Tuple[int, str], List[TraceEvent]] = {}
+        matched: Dict[int, TraceEvent] = {}
+        for e in log:
+            if e.optype is OpType.ENTER:
+                stacks.setdefault((e.thread_id, e.name), []).append(e)
+            elif e.optype is OpType.EXIT:
+                stack = stacks.get((e.thread_id, e.name))
+                if stack:
+                    matched[e.seq] = stack.pop()
+        return matched
+
+    # -- construction -----------------------------------------------------------
+
+    def _build_window(
+        self,
+        log: TraceLog,
+        a: TraceEvent,
+        b: TraceEvent,
+        exit_to_enter: Dict[int, TraceEvent],
+    ) -> Window:
+        window = Window(
+            pair_key=(a.ref, b.ref),
+            run_id=log.run_id,
+            a_time=a.timestamp,
+            b_time=b.timestamp,
+        )
+        release_events: List[TraceEvent] = [a]
+        acquire_events: List[TraceEvent] = [b]
+        for e in log.between(a.timestamp, b.timestamp):
+            if e.thread_id == a.thread_id:
+                release_events.append(e)
+            elif e.thread_id == b.thread_id:
+                acquire_events.append(e)
+
+        if self.refine:
+            release_events, acquire_events = self._apply_delays(
+                log, a, b, release_events, acquire_events, window
+            )
+
+        # A blocking call that was already in progress at Ta (or across an
+        # injected delay) but returned inside the window was *executing
+        # between Ta and Tb*: its invocation is a legitimate acquire
+        # candidate (think Monitor.Enter or Task.Wait blocked across the
+        # release).  Re-join the matching ENTER when it is not present.
+        present = {e.seq for e in acquire_events}
+        spanning: List[TraceEvent] = []
+        for e in acquire_events:
+            if e.optype is OpType.EXIT:
+                enter = exit_to_enter.get(e.seq)
+                if enter is not None and enter.seq not in present:
+                    spanning.append(enter)
+                    present.add(enter.seq)
+        acquire_events.extend(spanning)
+
+        for e in release_events:
+            window.release_side[e.ref] = window.release_side.get(e.ref, 0) + 1
+        for e in acquire_events:
+            window.acquire_side[e.ref] = window.acquire_side.get(e.ref, 0) + 1
+
+        window.racy = self._is_provably_racy(window)
+        return window
+
+    # -- Figure 2 (b)/(c) refinement ------------------------------------------------
+
+    def _apply_delays(
+        self,
+        log: TraceLog,
+        a: TraceEvent,
+        b: TraceEvent,
+        release_events: List[TraceEvent],
+        acquire_events: List[TraceEvent],
+        window: Window,
+    ) -> Tuple[List[TraceEvent], List[TraceEvent]]:
+        delay = self._relevant_delay(log, a, b)
+        if delay is None:
+            return release_events, acquire_events
+        window.refined = True
+        if self._propagated(b, delay):
+            # Figure 2 (c): trust r; acquire window shrinks to (r, b].
+            # Calls blocked across the delay keep their EXITs here and are
+            # re-joined by the spanning-call rule in _build_window; the
+            # call b's thread is still inside when the delay ends (the one
+            # actually blocked on the release) is recovered explicitly.
+            refined = [
+                e for e in acquire_events if e.timestamp >= delay.end - 1e-12
+            ]
+            blocked = self._innermost_open_call(log, b.thread_id, delay.end)
+            if blocked is not None and all(
+                e.seq != blocked.seq for e in refined
+            ):
+                refined.append(blocked)
+            if b not in refined:
+                refined.append(b)
+            acquire_events = refined
+        elif delay.start > a.timestamp:
+            # Figure 2 (b): the real release is between a and r; drop r and
+            # everything at/after the delayed instance.  (When the delay
+            # preceded a itself, nothing can be concluded about r.)
+            release_events = [
+                e
+                for e in release_events
+                if e.timestamp < delay.start - 1e-12 and e.ref != delay.site
+            ]
+            if a.ref != delay.site:
+                release_events.append(a)
+        return release_events, acquire_events
+
+    def _relevant_delay(
+        self, log: TraceLog, a: TraceEvent, b: TraceEvent
+    ) -> Optional[DelayInterval]:
+        """First delay in a's thread that shaped this window: it started
+        inside the window, or it ended just before ``a`` (postponing ``a``
+        and everything after it)."""
+        candidates = [
+            d
+            for d in log.delays
+            if d.thread_id == a.thread_id
+            and d.start < b.timestamp
+            and d.end > a.timestamp - self.pre_gap
+        ]
+        return min(candidates, key=lambda d: d.start) if candidates else None
+
+    @staticmethod
+    def _innermost_open_call(
+        log: TraceLog, thread_id: int, at_time: float
+    ) -> Optional[TraceEvent]:
+        """ENTER event of the innermost call ``thread_id`` is inside at
+        ``at_time`` (per-thread ENTER/EXIT stack scan)."""
+        stack: List[TraceEvent] = []
+        for e in log:
+            if e.timestamp >= at_time:
+                break
+            if e.thread_id != thread_id:
+                continue
+            if e.optype is OpType.ENTER:
+                stack.append(e)
+            elif e.optype is OpType.EXIT:
+                for i in range(len(stack) - 1, -1, -1):
+                    if stack[i].name == e.name:
+                        del stack[i:]
+                        break
+        return stack[-1] if stack else None
+
+    @staticmethod
+    def _propagated(b: TraceEvent, delay: DelayInterval) -> bool:
+        """The delay propagated when ``b`` could not execute until it ended
+        (the cascading-delay criterion of §3 / TSVD).  ``b`` executing
+        *while* the delaying thread was frozen is definitive refutation —
+        the delayed candidate cannot be what orders ``a`` before ``b``.
+
+        Thread quietness is deliberately not required: a spin-waiting
+        victim keeps polling (and tracing events) during the delay yet is
+        still blocked by it.
+        """
+        return b.timestamp >= delay.end - 1e-12
+
+    # -- racy detection ---------------------------------------------------------------
+
+    @staticmethod
+    def _is_provably_racy(window: Window) -> bool:
+        has_release_capable = any(
+            ref.optype in _RELEASE_CAPABLE for ref in window.release_side
+        )
+        has_acquire_capable = any(
+            ref.optype in _ACQUIRE_CAPABLE for ref in window.acquire_side
+        )
+        return not (has_release_capable and has_acquire_capable)
+
+
+__all__ = ["PairKey", "Window", "WindowExtractor"]

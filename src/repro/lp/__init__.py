@@ -1,0 +1,35 @@
+"""Linear-programming substrate.
+
+A small modelling layer (variables, linear expressions, constraints,
+``max(0, .)`` / ``|.|`` objective lowering) with two interchangeable solver
+backends: a from-scratch two-phase simplex and scipy's HiGHS.
+
+This package stands in for the ``Flipy`` library plus external LP solver
+used by the SherLock artifact.
+"""
+
+from .backends import available_backends, solve
+from .expr import EQ, GE, LE, Constraint, LinExpr, as_expr
+from .model import Model, StandardForm
+from .simplex import solve_simplex
+from .scipy_backend import solve_scipy
+from .solution import Solution, SolveStatus
+from .variable import Variable
+
+__all__ = [
+    "Constraint",
+    "EQ",
+    "GE",
+    "LE",
+    "LinExpr",
+    "Model",
+    "Solution",
+    "SolveStatus",
+    "StandardForm",
+    "Variable",
+    "as_expr",
+    "available_backends",
+    "solve",
+    "solve_scipy",
+    "solve_simplex",
+]

@@ -1,0 +1,49 @@
+"""Backend registry and dispatch for LP solving."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .model import Model
+from .solution import Solution
+
+
+def _solve_auto(model: Model) -> Solution:
+    """Prefer scipy/HiGHS, fall back to the built-in simplex."""
+    from .scipy_backend import solve_scipy
+    from .simplex import solve_simplex
+    from .solution import SolveStatus
+
+    solution = solve_scipy(model)
+    if solution.status is SolveStatus.ERROR:
+        solution = solve_simplex(model)
+    return solution
+
+
+def _registry() -> Dict[str, Callable[[Model], Solution]]:
+    from .scipy_backend import solve_scipy
+    from .simplex import solve_simplex
+
+    return {
+        "auto": _solve_auto,
+        "scipy": solve_scipy,
+        "highs": solve_scipy,
+        "simplex": solve_simplex,
+    }
+
+
+def available_backends() -> tuple:
+    return tuple(_registry())
+
+
+def solve(model: Model, backend: str = "auto") -> Solution:
+    """Solve ``model`` with the named backend (``auto`` by default)."""
+    registry = _registry()
+    if backend not in registry:
+        raise ValueError(
+            f"unknown LP backend {backend!r}; choose from {sorted(registry)}"
+        )
+    return registry[backend](model)
+
+
+__all__ = ["solve", "available_backends"]

@@ -1,0 +1,165 @@
+"""Linear expressions and constraints.
+
+``LinExpr`` is an immutable-by-convention mapping from variables to
+coefficients plus a constant term.  Comparison operators produce
+:class:`Constraint` objects that can be added to a model, which keeps the
+encoding code in :mod:`repro.core.encoder` close to the paper's equations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+from .variable import Variable
+
+Number = Union[int, float]
+ExprLike = Union["LinExpr", Variable, Number]
+
+#: Constraint senses supported by the model.
+LE, GE, EQ = "<=", ">=", "=="
+
+
+def as_expr(value: ExprLike) -> "LinExpr":
+    """Coerce a variable or number into a :class:`LinExpr`."""
+    if isinstance(value, LinExpr):
+        return value
+    if isinstance(value, Variable):
+        return LinExpr({value: 1.0})
+    if isinstance(value, (int, float)):
+        return LinExpr({}, float(value))
+    raise TypeError(f"cannot interpret {value!r} as a linear expression")
+
+
+class LinExpr:
+    """A linear expression ``sum(coef * var) + constant``."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(
+        self, terms: Mapping[Variable, float] | None = None, constant: float = 0.0
+    ) -> None:
+        self.terms: Dict[Variable, float] = dict(terms or {})
+        self.constant = float(constant)
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def total(variables: Iterable[Variable]) -> "LinExpr":
+        """Sum of the given variables, each with coefficient 1."""
+        terms: Dict[Variable, float] = {}
+        for var in variables:
+            terms[var] = terms.get(var, 0.0) + 1.0
+        return LinExpr(terms)
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.terms), self.constant)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def _combined(self, other: ExprLike, sign: float) -> "LinExpr":
+        other_expr = as_expr(other)
+        terms = dict(self.terms)
+        for var, coef in other_expr.terms.items():
+            new = terms.get(var, 0.0) + sign * coef
+            if new == 0.0:
+                terms.pop(var, None)
+            else:
+                terms[var] = new
+        return LinExpr(terms, self.constant + sign * other_expr.constant)
+
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        return self._combined(other, 1.0)
+
+    def __radd__(self, other: ExprLike) -> "LinExpr":
+        return self._combined(other, 1.0)
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        return self._combined(other, -1.0)
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        return as_expr(other)._combined(self, -1.0)
+
+    def __mul__(self, factor: Number) -> "LinExpr":
+        if not isinstance(factor, (int, float)):
+            raise TypeError("LinExpr can only be multiplied by a scalar")
+        if factor == 0:
+            return LinExpr({}, 0.0)
+        return LinExpr(
+            {var: coef * factor for var, coef in self.terms.items()},
+            self.constant * factor,
+        )
+
+    def __rmul__(self, factor: Number) -> "LinExpr":
+        return self.__mul__(factor)
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- comparisons produce constraints ---------------------------------------
+
+    def __le__(self, other: ExprLike) -> "Constraint":
+        return Constraint(self - as_expr(other), LE)
+
+    def __ge__(self, other: ExprLike) -> "Constraint":
+        return Constraint(self - as_expr(other), GE)
+
+    def __eq__(self, other: ExprLike) -> "Constraint":  # type: ignore[override]
+        return Constraint(self - as_expr(other), EQ)
+
+    def __hash__(self) -> int:  # constraints use identity semantics
+        return id(self)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def value(self, assignment: Mapping[Variable, float]) -> float:
+        """Evaluate the expression under a variable assignment."""
+        return self.constant + sum(
+            coef * assignment.get(var, 0.0) for var, coef in self.terms.items()
+        )
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return tuple(self.terms)
+
+    def __repr__(self) -> str:
+        parts = [f"{coef:+g}*{var.name}" for var, coef in self.terms.items()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"
+
+
+class Constraint:
+    """A linear constraint ``expr (<=|>=|==) 0``.
+
+    The right-hand side is folded into the expression's constant; the solver
+    backends read it back out as ``-expr.constant``.
+    """
+
+    __slots__ = ("expr", "sense", "name")
+
+    def __init__(self, expr: LinExpr, sense: str, name: str = "") -> None:
+        if sense not in (LE, GE, EQ):
+            raise ValueError(f"unknown constraint sense {sense!r}")
+        self.expr = expr
+        self.sense = sense
+        self.name = name
+
+    @property
+    def rhs(self) -> float:
+        return -self.expr.constant
+
+    def named(self, name: str) -> "Constraint":
+        self.name = name
+        return self
+
+    def is_satisfied(
+        self, assignment: Mapping[Variable, float], tol: float = 1e-7
+    ) -> bool:
+        lhs = self.expr.value(assignment)
+        if self.sense == LE:
+            return lhs <= tol
+        if self.sense == GE:
+            return lhs >= -tol
+        return abs(lhs) <= tol
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.expr!r} {self.sense} 0, name={self.name!r})"

@@ -1,0 +1,179 @@
+"""LP model container with the lowering helpers SherLock's encoder needs.
+
+The paper's objective (Equation 8) contains two non-linear shapes that have
+standard LP lowerings:
+
+* ``max(0, expr)`` — used by the Mostly-Protected terms (Equation 2);
+  lowered via an auxiliary variable ``t >= expr, t >= 0`` that is minimized.
+* ``|expr|`` — used by the Mostly-Paired terms (Equations 6 and 7);
+  lowered via ``t >= expr, t >= -expr``.
+
+Both lowerings are exact when the auxiliary variable's objective
+coefficient is positive, which is always the case here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .expr import EQ, GE, LE, Constraint, ExprLike, LinExpr, as_expr
+from .solution import Solution
+from .variable import Variable
+
+
+@dataclass
+class StandardForm:
+    """Dense standard form: minimize ``c @ x`` subject to
+    ``a_ub @ x <= b_ub``, ``a_eq @ x == b_eq`` and per-variable bounds."""
+
+    c: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    bounds: List[Tuple[float, Optional[float]]]
+    variables: List[Variable]
+    objective_offset: float
+
+
+class Model:
+    """A minimization LP model."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.variables: List[Variable] = []
+        self.constraints: List[Constraint] = []
+        self.objective = LinExpr()
+        self._names: Dict[str, Variable] = {}
+        self._aux_counter = 0
+
+    # -- building -------------------------------------------------------------
+
+    def add_variable(
+        self, name: str, lower: float = 0.0, upper: Optional[float] = None
+    ) -> Variable:
+        """Create a variable with a unique name and register it."""
+        if name in self._names:
+            raise ValueError(f"duplicate variable name {name!r}")
+        var = Variable(name, lower, upper, index=len(self.variables))
+        self.variables.append(var)
+        self._names[name] = var
+        return var
+
+    def get_variable(self, name: str) -> Variable:
+        return self._names[name]
+
+    def has_variable(self, name: str) -> bool:
+        return name in self._names
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        if name:
+            constraint.name = name
+        for var in constraint.expr.terms:
+            if (
+                var.index < 0
+                or var.index >= len(self.variables)
+                or self.variables[var.index] is not var
+            ):
+                raise ValueError(
+                    f"constraint {name!r} uses variable {var.name!r} that is "
+                    f"not registered with this model"
+                )
+        self.constraints.append(constraint)
+        return constraint
+
+    def add_objective_term(self, expr: ExprLike, weight: float = 1.0) -> None:
+        """Add ``weight * expr`` to the (minimized) objective."""
+        self.objective = self.objective + as_expr(expr) * weight
+
+    # -- lowering helpers -------------------------------------------------------
+
+    def _fresh_aux(self, prefix: str) -> Variable:
+        self._aux_counter += 1
+        return self.add_variable(f"__{prefix}_{self._aux_counter}")
+
+    def add_max0_term(self, expr: ExprLike, weight: float = 1.0) -> Variable:
+        """Add ``weight * max(0, expr)`` to the objective; returns the aux var."""
+        aux = self._fresh_aux("max0")
+        self.add_constraint(aux >= as_expr(expr), name=f"{aux.name}_ge")
+        self.add_objective_term(aux, weight)
+        return aux
+
+    def add_abs_term(self, expr: ExprLike, weight: float = 1.0) -> Variable:
+        """Add ``weight * |expr|`` to the objective; returns the aux var."""
+        aux = self._fresh_aux("abs")
+        e = as_expr(expr)
+        self.add_constraint(aux >= e, name=f"{aux.name}_pos")
+        self.add_constraint(aux >= -e, name=f"{aux.name}_neg")
+        self.add_objective_term(aux, weight)
+        return aux
+
+    # -- lowering to matrices -----------------------------------------------------
+
+    def to_standard_form(self) -> StandardForm:
+        n = len(self.variables)
+        c = np.zeros(n)
+        for var, coef in self.objective.terms.items():
+            c[var.index] += coef
+
+        ub_rows: List[np.ndarray] = []
+        ub_rhs: List[float] = []
+        eq_rows: List[np.ndarray] = []
+        eq_rhs: List[float] = []
+        for con in self.constraints:
+            row = np.zeros(n)
+            for var, coef in con.expr.terms.items():
+                row[var.index] += coef
+            rhs = con.rhs
+            if con.sense == LE:
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
+            elif con.sense == GE:
+                ub_rows.append(-row)
+                ub_rhs.append(-rhs)
+            elif con.sense == EQ:
+                eq_rows.append(row)
+                eq_rhs.append(rhs)
+
+        a_ub = np.array(ub_rows) if ub_rows else np.zeros((0, n))
+        a_eq = np.array(eq_rows) if eq_rows else np.zeros((0, n))
+        bounds = [(v.lower, v.upper) for v in self.variables]
+        return StandardForm(
+            c=c,
+            a_ub=a_ub,
+            b_ub=np.array(ub_rhs),
+            a_eq=a_eq,
+            b_eq=np.array(eq_rhs),
+            bounds=bounds,
+            variables=list(self.variables),
+            objective_offset=self.objective.constant,
+        )
+
+    # -- solving -----------------------------------------------------------------
+
+    def solve(self, backend: str = "auto") -> Solution:
+        """Solve the model with the requested backend.
+
+        ``auto`` prefers the scipy/HiGHS backend and falls back to the
+        built-in simplex when scipy is unavailable.
+        """
+        from . import backends
+
+        return backends.solve(self, backend)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "variables": len(self.variables),
+            "constraints": len(self.constraints),
+            "objective_terms": len(self.objective.terms),
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"Model({self.name!r}, vars={s['variables']}, "
+            f"cons={s['constraints']})"
+        )

@@ -1,0 +1,66 @@
+"""scipy/HiGHS backend for the LP layer.
+
+This is the production backend: SherLock's models routinely have a few
+thousand variables and constraints, and HiGHS solves them in milliseconds.
+The from-scratch :mod:`repro.lp.simplex` backend cross-checks it in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .model import Model
+from .solution import Solution, SolveStatus
+
+
+def solve_scipy(model: Model) -> Solution:
+    """Solve a :class:`Model` using :func:`scipy.optimize.linprog` (HiGHS)."""
+    try:
+        from scipy.optimize import linprog
+        from scipy.sparse import csr_matrix
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        return Solution(SolveStatus.ERROR, backend="scipy")
+
+    form = model.to_standard_form()
+    n = len(form.variables)
+    if n == 0:
+        return Solution(
+            SolveStatus.OPTIMAL, form.objective_offset, {}, "scipy"
+        )
+
+    a_ub = csr_matrix(form.a_ub) if form.a_ub.size else None
+    a_eq = csr_matrix(form.a_eq) if form.a_eq.size else None
+    bounds = [
+        (lo, hi if hi is not None else np.inf) for lo, hi in form.bounds
+    ]
+    result = linprog(
+        c=form.c,
+        A_ub=a_ub,
+        b_ub=form.b_ub if form.a_ub.size else None,
+        A_eq=a_eq,
+        b_eq=form.b_eq if form.a_eq.size else None,
+        bounds=bounds,
+        # Dual simplex returns vertex solutions, which keeps SherLock's
+        # probability variables integral instead of interior-point mixes.
+        method="highs-ds",
+    )
+    status = {
+        0: SolveStatus.OPTIMAL,
+        2: SolveStatus.INFEASIBLE,
+        3: SolveStatus.UNBOUNDED,
+    }.get(result.status, SolveStatus.ERROR)
+    if status is not SolveStatus.OPTIMAL:
+        return Solution(status, backend="scipy")
+
+    values = {var: float(result.x[i]) for i, var in enumerate(form.variables)}
+    sol = Solution(
+        SolveStatus.OPTIMAL,
+        float(result.fun) + form.objective_offset,
+        values,
+        "scipy",
+    )
+    sol.iterations = int(getattr(result, "nit", 0) or 0)
+    return sol
+
+
+__all__ = ["solve_scipy"]

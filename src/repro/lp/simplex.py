@@ -1,0 +1,263 @@
+"""A from-scratch two-phase simplex solver.
+
+This is the "build the substrate" replacement for the off-the-shelf linear
+solver the paper uses via Flipy.  It implements the classic dense tableau
+simplex with Bland's anti-cycling rule:
+
+* general variable bounds are rewritten into ``x >= 0`` form (shift by the
+  lower bound, add a row for a finite upper bound);
+* ``>=``/``==`` rows receive artificial variables and phase 1 minimizes
+  their sum; an infeasible model is detected by a positive phase-1 optimum;
+* phase 2 minimizes the original objective starting from the phase-1 basis.
+
+The implementation favours clarity over speed; the scipy backend is used by
+default for the large models SherLock builds, and the test suite
+cross-checks the two backends on randomly generated models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .model import Model, StandardForm
+from .solution import Solution, SolveStatus
+
+_EPS = 1e-9
+_MAX_ITER_FACTOR = 50
+
+
+class _Tableau:
+    """Dense simplex tableau ``[A | b]`` with a cost row."""
+
+    def __init__(self, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+        m, n = a.shape
+        self.m, self.n = m, n
+        self.table = np.zeros((m + 1, n + 1))
+        self.table[:m, :n] = a
+        self.table[:m, n] = b
+        self.table[m, :n] = c
+        self.basis: List[int] = [0] * m
+        self.iterations = 0
+
+    def price_out(self) -> None:
+        """Make reduced costs of basic columns zero."""
+        m, n = self.m, self.n
+        for row, col in enumerate(self.basis):
+            coef = self.table[m, col]
+            if abs(coef) > _EPS:
+                self.table[m, :] -= coef * self.table[row, :]
+
+    def pivot(self, row: int, col: int) -> None:
+        self.table[row, :] /= self.table[row, col]
+        for r in range(self.m + 1):
+            if r != row and abs(self.table[r, col]) > _EPS:
+                self.table[r, :] -= self.table[r, col] * self.table[row, :]
+        self.basis[row] = col
+        self.iterations += 1
+
+    def run(self, max_iter: int) -> str:
+        """Run simplex iterations until optimal/unbounded/iteration limit."""
+        m, n = self.m, self.n
+        while self.iterations < max_iter:
+            cost_row = self.table[m, :n]
+            # Bland's rule: entering variable = smallest index with
+            # negative reduced cost.
+            entering = -1
+            for j in range(n):
+                if cost_row[j] < -_EPS:
+                    entering = j
+                    break
+            if entering < 0:
+                return "optimal"
+            col = self.table[:m, entering]
+            rhs = self.table[:m, n]
+            best_row, best_ratio = -1, np.inf
+            for i in range(m):
+                if col[i] > _EPS:
+                    ratio = rhs[i] / col[i]
+                    if ratio < best_ratio - _EPS or (
+                        abs(ratio - best_ratio) <= _EPS
+                        and (best_row < 0 or self.basis[i] < self.basis[best_row])
+                    ):
+                        best_ratio = ratio
+                        best_row = i
+            if best_row < 0:
+                return "unbounded"
+            self.pivot(best_row, entering)
+        return "iteration_limit"
+
+
+def _prepare(form: StandardForm):
+    """Rewrite the standard form into ``A x (<=,==) b`` with ``x >= 0``.
+
+    Returns (a_ub, b_ub, a_eq, b_eq, c, shift, n) where original variable i
+    is recovered as ``x[i] + shift[i]``.
+    """
+    n = len(form.variables)
+    shift = np.zeros(n)
+    a_ub = form.a_ub.copy() if form.a_ub.size else np.zeros((0, n))
+    b_ub = form.b_ub.copy() if form.b_ub.size else np.zeros(0)
+    a_eq = form.a_eq.copy() if form.a_eq.size else np.zeros((0, n))
+    b_eq = form.b_eq.copy() if form.b_eq.size else np.zeros(0)
+    c = form.c.copy()
+
+    extra_rows: List[np.ndarray] = []
+    extra_rhs: List[float] = []
+    for i, (lo, hi) in enumerate(form.bounds):
+        if lo == -np.inf or lo is None:
+            raise ValueError("simplex backend requires finite lower bounds")
+        shift[i] = lo
+        if hi is not None and np.isfinite(hi):
+            row = np.zeros(n)
+            row[i] = 1.0
+            extra_rows.append(row)
+            extra_rhs.append(hi - lo)
+    # Shift rhs by A @ shift.
+    if a_ub.shape[0]:
+        b_ub = b_ub - a_ub @ shift
+    if a_eq.shape[0]:
+        b_eq = b_eq - a_eq @ shift
+    if extra_rows:
+        a_ub = np.vstack([a_ub, np.array(extra_rows)]) if a_ub.size else np.array(extra_rows)
+        b_ub = np.concatenate([b_ub, np.array(extra_rhs)])
+    return a_ub, b_ub, a_eq, b_eq, c, shift, n
+
+
+def solve_simplex(model: Model) -> Solution:
+    """Solve a :class:`Model` with the built-in two-phase simplex."""
+    form = model.to_standard_form()
+    try:
+        a_ub, b_ub, a_eq, b_eq, c, shift, n = _prepare(form)
+    except ValueError:
+        return Solution(SolveStatus.ERROR, backend="simplex")
+
+    m_ub, m_eq = a_ub.shape[0], a_eq.shape[0]
+    m = m_ub + m_eq
+    if m == 0:
+        # Unconstrained: optimum at lower bounds for positive costs.
+        values = {}
+        for i, var in enumerate(form.variables):
+            if c[i] < -_EPS and (
+                form.bounds[i][1] is None or not np.isfinite(form.bounds[i][1])
+            ):
+                return Solution(SolveStatus.UNBOUNDED, backend="simplex")
+            values[var] = (
+                form.bounds[i][1]
+                if c[i] < 0 and form.bounds[i][1] is not None
+                else form.bounds[i][0]
+            )
+        obj = float(sum(c[v.index] * values[v] for v in form.variables))
+        return Solution(
+            SolveStatus.OPTIMAL, obj + form.objective_offset, values, "simplex"
+        )
+
+    # Build the combined constraint matrix with slacks for <= rows and
+    # artificials for every row (slack column suffices as the initial basic
+    # variable when its rhs is non-negative, otherwise flip the row).
+    n_slack = m_ub
+    rows = np.zeros((m, n + n_slack))
+    rhs = np.zeros(m)
+    for i in range(m_ub):
+        rows[i, :n] = a_ub[i]
+        rows[i, n + i] = 1.0
+        rhs[i] = b_ub[i]
+    for j in range(m_eq):
+        rows[m_ub + j, :n] = a_eq[j]
+        rhs[m_ub + j] = b_eq[j]
+    # Normalize negative rhs.
+    for i in range(m):
+        if rhs[i] < 0:
+            rows[i, :] *= -1.0
+            rhs[i] *= -1.0
+
+    # Identify rows whose slack can serve as the initial basis (slack
+    # coefficient +1 after normalization); others get artificials.
+    basis: List[int] = []
+    needs_artificial: List[int] = []
+    for i in range(m):
+        if i < m_ub and rows[i, n + i] > 0.5:
+            basis.append(n + i)
+        else:
+            needs_artificial.append(i)
+            basis.append(-1)
+
+    n_art = len(needs_artificial)
+    total = n + n_slack + n_art
+    full = np.zeros((m, total))
+    full[:, : n + n_slack] = rows
+    for k, i in enumerate(needs_artificial):
+        full[i, n + n_slack + k] = 1.0
+        basis[i] = n + n_slack + k
+
+    max_iter = _MAX_ITER_FACTOR * (m + total)
+
+    # Phase 1.
+    if n_art:
+        c1 = np.zeros(total)
+        c1[n + n_slack :] = 1.0
+        tab = _Tableau(full, rhs, c1)
+        tab.basis = list(basis)
+        tab.price_out()
+        status = tab.run(max_iter)
+        if status != "optimal":
+            return Solution(SolveStatus.ERROR, backend="simplex")
+        # Feasibility check: every artificial basic variable must be ~ 0.
+        art_value = sum(
+            tab.table[row, total]
+            for row, col in enumerate(tab.basis)
+            if col >= n + n_slack
+        )
+        if art_value > 1e-6:
+            return Solution(SolveStatus.INFEASIBLE, backend="simplex")
+        # Drive remaining artificial variables out of the basis if possible.
+        for row in range(m):
+            if tab.basis[row] >= n + n_slack:
+                pivot_col = -1
+                for j in range(n + n_slack):
+                    if abs(tab.table[row, j]) > _EPS:
+                        pivot_col = j
+                        break
+                if pivot_col >= 0:
+                    tab.pivot(row, pivot_col)
+        work = tab.table[:m, : n + n_slack]
+        work_rhs = tab.table[:m, total]
+        basis = [b if b < n + n_slack else -1 for b in tab.basis]
+        # Rows still basic in an artificial are redundant zero rows; keep
+        # them with a harmless slack basis if any, else drop.
+        keep = [i for i in range(m) if basis[i] >= 0]
+        work = work[keep]
+        work_rhs = work_rhs[keep]
+        basis = [basis[i] for i in keep]
+        iterations1 = tab.iterations
+    else:
+        work = rows
+        work_rhs = rhs
+        iterations1 = 0
+
+    # Phase 2.
+    c2 = np.zeros(n + n_slack)
+    c2[:n] = c
+    tab2 = _Tableau(work, work_rhs, c2)
+    tab2.basis = list(basis)
+    tab2.price_out()
+    status = tab2.run(max_iter)
+    if status == "unbounded":
+        return Solution(SolveStatus.UNBOUNDED, backend="simplex")
+    if status != "optimal":
+        return Solution(SolveStatus.ERROR, backend="simplex")
+
+    x = np.zeros(n + n_slack)
+    for row, col in enumerate(tab2.basis):
+        x[col] = tab2.table[row, tab2.n]
+    values = {
+        var: float(x[i] + shift[i]) for i, var in enumerate(form.variables)
+    }
+    objective = float(c @ x[:n]) + float(c @ shift) + form.objective_offset
+    sol = Solution(SolveStatus.OPTIMAL, objective, values, "simplex")
+    sol.iterations = iterations1 + tab2.iterations
+    return sol
+
+
+__all__ = ["solve_simplex"]

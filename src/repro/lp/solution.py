@@ -1,0 +1,48 @@
+"""Solver results."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from .expr import ExprLike, as_expr
+from .variable import Variable
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass
+class Solution:
+    """An LP solution: a status, an objective value, and an assignment."""
+
+    status: SolveStatus
+    objective: float = float("nan")
+    values: Dict[Variable, float] = field(default_factory=dict)
+    backend: str = ""
+    iterations: int = 0
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+    def value(self, expr: ExprLike) -> float:
+        """Evaluate a variable or expression under this solution."""
+        return as_expr(expr).value(self.values)
+
+    def by_name(self) -> Mapping[str, float]:
+        """Assignment keyed by variable name (for reports and tests)."""
+        return {var.name: val for var, val in self.values.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"Solution(status={self.status.value}, objective={self.objective:.6g}, "
+            f"n_vars={len(self.values)}, backend={self.backend!r})"
+        )

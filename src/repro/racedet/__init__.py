@@ -1,0 +1,23 @@
+"""FastTrack race detection over simulator traces (§5.4)."""
+
+from .annotations import manual_spec, sherlock_spec
+from .fasttrack import FastTrack, RaceReport, RunAnalysis, analyze_run
+from .report import RaceDetectionResult, attribute_false_races, detect_races
+from .spec import HappensBeforeSpec
+from .vectorclock import Epoch, VarState, VectorClock
+
+__all__ = [
+    "Epoch",
+    "FastTrack",
+    "HappensBeforeSpec",
+    "RaceDetectionResult",
+    "RaceReport",
+    "RunAnalysis",
+    "VarState",
+    "VectorClock",
+    "analyze_run",
+    "attribute_false_races",
+    "detect_races",
+    "manual_spec",
+    "sherlock_spec",
+]

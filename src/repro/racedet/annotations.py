@@ -1,0 +1,66 @@
+"""Happens-before spec builders: Manual_dr and SherLock_dr (§5.4).
+
+``Manual_dr`` carries the annotations the paper's authors wrote by hand:
+classic locks, signal/wait handles, basic threads, volatile variables and
+static initialization.  It deliberately does **not** know the numerous
+task-creation APIs (``TaskFactory``, ``ThreadPool``, ``Task.Run``,
+``ContinueWith``, ``Dataflow`` …), custom application synchronization, the
+test framework's ordering, or finalizer edges — exactly the blind spots
+the paper blames for its 391 false races.
+
+``SherLock_dr`` uses only SherLock's inferred synchronizations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.solver import InferenceResult
+from ..sim.program import Application
+from ..trace.optypes import begin_of, end_of
+from .spec import HappensBeforeSpec
+
+#: The manually annotated API surface (classic synchronization only).
+_MANUAL_ACQUIRES = [
+    "System.Threading.Monitor::Enter",
+    "System.Threading.WaitHandle::WaitOne",
+    "System.Threading.WaitHandle::WaitAll",
+    "System.Threading.SemaphoreSlim::Wait",
+    "System.Threading.Thread::Join",
+    "System.Threading.ReaderWriterLock::AcquireReaderLock",
+    "System.Threading.ReaderWriterLock::AcquireWriterLock",
+    "System.Threading.ReaderWriterLock::UpgradeToWriterLock",
+]
+_MANUAL_RELEASES = [
+    "System.Threading.Monitor::Exit",
+    "System.Threading.EventWaitHandle::Set",
+    "System.Threading.SemaphoreSlim::Release",
+    "System.Threading.Thread::Start",
+    "System.Threading.ReaderWriterLock::ReleaseReaderLock",
+    "System.Threading.ReaderWriterLock::ReleaseWriterLock",
+    "System.Threading.ReaderWriterLock::DowngradeFromWriterLock",
+]
+
+
+def manual_spec(app: Application) -> HappensBeforeSpec:
+    """The Manual_dr annotation set for one application."""
+    spec = HappensBeforeSpec(name="Manual_dr")
+    for name in _MANUAL_ACQUIRES:
+        spec.acquires.add(begin_of(name))
+    for name in _MANUAL_RELEASES:
+        spec.releases.add(end_of(name))
+    # Volatile fields (annotated in the source).
+    spec.volatile_fields.update(app.ground_truth.volatile_fields)
+    # Happens-before from static initialization.
+    for sync in app.ground_truth.syncs:
+        if sync.op.name.endswith("::.cctor"):
+            spec.static_init_methods.add(sync.op.name)
+    return spec
+
+
+def sherlock_spec(inference: InferenceResult) -> HappensBeforeSpec:
+    """The SherLock_dr spec: only inferred synchronizations."""
+    return HappensBeforeSpec.from_syncs("SherLock_dr", inference.syncs)
+
+
+__all__ = ["manual_spec", "sherlock_spec"]

@@ -1,0 +1,93 @@
+"""Race-detection harness: run both detector variants over an app's test
+suite and score true/false races per §5.4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.program import Application
+from ..sim.runner import RunOptions, run_application
+from .fasttrack import RaceReport, analyze_run
+from .spec import HappensBeforeSpec
+
+
+@dataclass
+class RaceDetectionResult:
+    """Table-3 style counts for one app under one spec."""
+
+    app_id: str
+    spec_name: str
+    true_races: int = 0
+    false_races: int = 0
+    #: First race per test (None when a run was race-free).
+    first_races: List[Optional[RaceReport]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.true_races + self.false_races
+
+    def false_race_fields(self) -> List[str]:
+        return [
+            r.field_name
+            for r in self.first_races
+            if r is not None and not self._is_true(r)
+        ]
+
+    def _is_true(self, report: RaceReport) -> bool:
+        return report.field_name in self._racy_fields
+
+    _racy_fields: frozenset = frozenset()
+
+
+def detect_races(
+    app: Application,
+    spec: HappensBeforeSpec,
+    seed: int = 0,
+    runs: int = 1,
+) -> RaceDetectionResult:
+    """Run all unit tests ``runs`` times; count first-race per test run.
+
+    FastTrack's guarantee holds only until the first report, so only the
+    first race of each run is counted and classified (paper Table 3).
+    """
+    result = RaceDetectionResult(app.app_id, spec.name)
+    result._racy_fields = frozenset(app.ground_truth.racy_fields)
+    for run_id in range(runs):
+        options = RunOptions(seed=seed, run_id=run_id)
+        for execution in run_application(app, options):
+            analysis = analyze_run(execution.log, spec)
+            first = analysis.first
+            result.first_races.append(first)
+            if first is None:
+                continue
+            if first.field_name in app.ground_truth.racy_fields:
+                result.true_races += 1
+            else:
+                result.false_races += 1
+    return result
+
+
+def attribute_false_races(
+    app: Application, result: RaceDetectionResult
+) -> Dict[str, int]:
+    """Attribute false races to the missed-sync category protecting the
+    racy-reported field (Table 4's rightmost column)."""
+    from ..trace.optypes import SyncOp
+
+    gt = app.ground_truth
+    by_category: Dict[str, int] = {}
+    name_to_info = {s.op.name: info for s, info in gt.syncs.items()}
+    for fieldname in result.false_race_fields():
+        protector = gt.protected_by.get(fieldname)
+        if protector in gt.hidden_sync_methods:
+            category = "instr_error"
+        elif protector in name_to_info:
+            category = name_to_info[protector].subcategory
+        else:
+            category = "other"
+        by_category[category] = by_category.get(category, 0) + 1
+    return by_category
+
+
+__all__ = ["RaceDetectionResult", "attribute_false_races", "detect_races"]

@@ -1,0 +1,75 @@
+"""Happens-before specifications for the race detector.
+
+A spec tells FastTrack which trace operations induce happens-before
+edges.  Releases publish the thread's vector clock to a channel keyed by
+the event's address (object id); acquires join it.  Method acquires join
+both at ENTER (delegate/begin-style acquires) and at the matching EXIT
+(blocking acquires like ``Monitor.Enter`` — the edge lands when the call
+returns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Set
+
+from ..trace.optypes import OpRef, OpType, Role, SyncOp
+
+
+@dataclass
+class HappensBeforeSpec:
+    """The synchronization vocabulary a detector variant knows."""
+
+    name: str = "spec"
+    #: Ops whose dynamic instances acquire (join their channel).
+    acquires: Set[OpRef] = field(default_factory=set)
+    #: Ops whose dynamic instances release (publish to their channel).
+    releases: Set[OpRef] = field(default_factory=set)
+    #: Fields treated as volatile: their reads acquire, writes release.
+    volatile_fields: Set[str] = field(default_factory=set)
+    #: Method names whose EXIT publishes a channel joined by *any* later
+    #: access to the same address (static-initialization semantics).
+    static_init_methods: Set[str] = field(default_factory=set)
+
+    def is_acquire(self, ref: OpRef) -> bool:
+        if ref in self.acquires:
+            return True
+        return (
+            ref.optype is OpType.READ and ref.name in self.volatile_fields
+        )
+
+    def is_release(self, ref: OpRef) -> bool:
+        if ref in self.releases:
+            return True
+        return (
+            ref.optype is OpType.WRITE and ref.name in self.volatile_fields
+        )
+
+    #: Names of acquire methods (to join again at their EXIT).
+    def acquire_method_names(self) -> Set[str]:
+        return {
+            ref.name
+            for ref in self.acquires
+            if ref.optype is OpType.ENTER
+        }
+
+    @staticmethod
+    def from_syncs(name: str, syncs: Iterable[SyncOp]) -> "HappensBeforeSpec":
+        """Build a spec from (op, role) pairs — e.g. SherLock's inference."""
+        spec = HappensBeforeSpec(name=name)
+        for sync in syncs:
+            if sync.role is Role.ACQUIRE:
+                spec.acquires.add(sync.op)
+            else:
+                spec.releases.add(sync.op)
+        return spec
+
+    def __repr__(self) -> str:
+        return (
+            f"HappensBeforeSpec({self.name!r}, acquires={len(self.acquires)}, "
+            f"releases={len(self.releases)}, "
+            f"volatile={len(self.volatile_fields)})"
+        )
+
+
+__all__ = ["HappensBeforeSpec"]

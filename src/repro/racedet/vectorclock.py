@@ -1,0 +1,103 @@
+"""Vector clocks and epochs for the FastTrack race detector."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class VectorClock:
+    """A sparse vector clock over thread ids."""
+
+    __slots__ = ("clocks",)
+
+    def __init__(self, clocks: Optional[Dict[int, int]] = None) -> None:
+        self.clocks: Dict[int, int] = dict(clocks or {})
+
+    def get(self, tid: int) -> int:
+        return self.clocks.get(tid, 0)
+
+    def increment(self, tid: int) -> None:
+        self.clocks[tid] = self.clocks.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """In-place least upper bound."""
+        for tid, clock in other.clocks.items():
+            if clock > self.clocks.get(tid, 0):
+                self.clocks[tid] = clock
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self.clocks)
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """self ⊑ other (componentwise)."""
+        return all(
+            clock <= other.get(tid) for tid, clock in self.clocks.items()
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"t{tid}:{c}" for tid, c in sorted(self.clocks.items())
+        )
+        return f"VC({inner})"
+
+
+class Epoch:
+    """A FastTrack epoch ``c@t`` — one thread's clock component."""
+
+    __slots__ = ("tid", "clock")
+
+    def __init__(self, tid: int, clock: int) -> None:
+        self.tid = tid
+        self.clock = clock
+
+    def happens_before(self, vc: VectorClock) -> bool:
+        return self.clock <= vc.get(self.tid)
+
+    def __repr__(self) -> str:
+        return f"{self.clock}@t{self.tid}"
+
+
+class VarState:
+    """FastTrack per-variable state: a write epoch plus an adaptive read
+    representation (epoch until concurrent reads force a full VC)."""
+
+    __slots__ = ("write", "read_epoch", "read_vc")
+
+    def __init__(self) -> None:
+        self.write: Optional[Epoch] = None
+        self.read_epoch: Optional[Epoch] = None
+        self.read_vc: Optional[VectorClock] = None
+
+    def record_read(self, tid: int, vc: VectorClock) -> None:
+        epoch = Epoch(tid, vc.get(tid))
+        if self.read_vc is not None:
+            self.read_vc.clocks[tid] = epoch.clock
+        elif self.read_epoch is None or self.read_epoch.tid == tid:
+            self.read_epoch = epoch
+        elif self.read_epoch.happens_before(vc):
+            # The previous read is ordered before this one: keep an epoch.
+            self.read_epoch = epoch
+        else:
+            # Concurrent reads: inflate to a read VC.
+            self.read_vc = VectorClock(
+                {self.read_epoch.tid: self.read_epoch.clock, tid: epoch.clock}
+            )
+            self.read_epoch = None
+
+    def record_write(self, tid: int, vc: VectorClock) -> None:
+        self.write = Epoch(tid, vc.get(tid))
+        self.read_epoch = None
+        self.read_vc = None
+
+    def reads_ordered_before(self, vc: VectorClock) -> bool:
+        if self.read_vc is not None:
+            return self.read_vc.happens_before(vc)
+        if self.read_epoch is not None:
+            return self.read_epoch.happens_before(vc)
+        return True
+
+    def write_ordered_before(self, vc: VectorClock) -> bool:
+        return self.write is None or self.write.happens_before(vc)
+
+
+__all__ = ["Epoch", "VarState", "VectorClock"]

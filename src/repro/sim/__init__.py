@@ -1,0 +1,62 @@
+"""Deterministic concurrent-program simulator.
+
+A discrete-event kernel runs simulated threads (generator coroutines)
+under a seeded scheduler over a virtual clock, with call-site
+instrumentation, delay injection, and a library of .NET-style
+synchronization primitives.  This substrate replaces the paper's C#
+applications + .NET runtime + Mono.Cecil instrumentation.
+"""
+
+from .errors import (
+    DeadlockError,
+    IllegalSyscall,
+    SimulationError,
+    StepLimitExceeded,
+)
+from .kernel import DEFAULT_OP_COST, Kernel
+from .methods import Method, method
+from .objects import SimObject, StaticObject
+from .program import (
+    AppContext,
+    AppInfo,
+    Application,
+    GroundTruth,
+    KIND_API,
+    KIND_METHOD,
+    KIND_VARIABLE,
+    SyncInfo,
+    UnitTest,
+)
+from .runner import RunOptions, TestExecution, run_application, run_unit_test
+from .runtime import Runtime
+from .thread import SimThread, ThreadState, WaitSet
+
+__all__ = [
+    "AppContext",
+    "AppInfo",
+    "Application",
+    "DEFAULT_OP_COST",
+    "DeadlockError",
+    "GroundTruth",
+    "IllegalSyscall",
+    "KIND_API",
+    "KIND_METHOD",
+    "KIND_VARIABLE",
+    "Kernel",
+    "Method",
+    "RunOptions",
+    "Runtime",
+    "SimObject",
+    "SimThread",
+    "SimulationError",
+    "StaticObject",
+    "StepLimitExceeded",
+    "SyncInfo",
+    "TestExecution",
+    "ThreadState",
+    "UnitTest",
+    "WaitSet",
+    "method",
+    "run_application",
+    "run_unit_test",
+]

@@ -1,0 +1,35 @@
+"""Simulator error types."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class SimulationError(RuntimeError):
+    """Base class for simulator failures."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when every live thread is blocked and none can be woken."""
+
+    def __init__(self, blocked_threads: List[str]) -> None:
+        self.blocked_threads = blocked_threads
+        super().__init__(
+            "deadlock: all live threads blocked: " + ", ".join(blocked_threads)
+        )
+
+
+class StepLimitExceeded(SimulationError):
+    """Raised when a run exceeds the kernel's step budget (runaway loop)."""
+
+
+class IllegalSyscall(SimulationError):
+    """Raised when app code yields something the kernel cannot interpret."""
+
+
+__all__ = [
+    "DeadlockError",
+    "IllegalSyscall",
+    "SimulationError",
+    "StepLimitExceeded",
+]

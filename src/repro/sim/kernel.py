@@ -1,0 +1,338 @@
+"""The discrete-event scheduling kernel.
+
+The kernel runs simulated threads (generator coroutines) under a *seeded*
+random scheduler over a virtual clock.  It is the substitute for the
+non-deterministic OS scheduler in the paper's setting and gives us:
+
+* reproducible interleavings (seed → identical trace),
+* honest blocking semantics (a blocked thread makes no progress, so an
+  injected delay cascades exactly like in the paper's Figure 2),
+* virtual timestamps that SherLock's ``Near`` window and delay-propagation
+  checks can measure without wall-clock noise, and
+* delay injection: before executing any traced operation whose static
+  :class:`~repro.trace.optypes.OpRef` is in the delay plan, the executing
+  thread is put to sleep for the configured duration and the interval is
+  recorded for the propagation analysis.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from ..trace.events import DelayInterval, TraceEvent
+from ..trace.log import TraceLog
+from ..trace.optypes import OpRef, OpType
+from .errors import DeadlockError, IllegalSyscall, StepLimitExceeded
+from .syscalls import (
+    SysEmit,
+    SysNow,
+    SysRand,
+    SysRead,
+    SysSleep,
+    SysSpawn,
+    SysWait,
+    SysWrite,
+    SysYieldSched,
+    Syscall,
+)
+from .thread import SimThread, ThreadState, WaitSet
+
+#: Default virtual cost of one operation, in seconds.  Chosen so a typical
+#: unit test's trace spans a few virtual seconds, making the paper's
+#: Near = 1 s and 100 ms delays play the same relative roles.
+DEFAULT_OP_COST = 0.002
+
+
+@dataclass(frozen=True)
+class DelaySpec:
+    """One delay-plan entry.
+
+    ``site`` is the operation under test (what the Solver called a
+    release); the plan key is the *trigger* — the operation the kernel
+    stalls before.  They differ for method-exit releases: real call-site
+    instrumentation can only inject before the *call*, so a release
+    ``end(m)`` is triggered at ``begin(m)``.
+    """
+
+    duration: float
+    site: OpRef
+
+
+class Kernel:
+    """Deterministic discrete-event scheduler for one simulated run."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        op_cost: float = DEFAULT_OP_COST,
+        log: Optional[TraceLog] = None,
+        delay_plan: Optional[Dict[OpRef, float]] = None,
+        event_filter: Optional[Callable[[TraceEvent], bool]] = None,
+        max_steps: int = 2_000_000,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.op_cost = op_cost
+        self.clock = 0.0
+        self.log = log
+        self.delay_plan = dict(delay_plan or {})
+        self.event_filter = event_filter
+        self.max_steps = max_steps
+        self.threads: List[SimThread] = []
+        self.steps = 0
+        self.delays: List[DelayInterval] = []
+        self._next_tid = 1
+        #: Queue of generator factories for the lazy finalizer thread.
+        self._finalizer_queue: List[Any] = []
+        self._finalizer_thread: Optional[SimThread] = None
+        #: The thread currently being stepped (for primitive ownership).
+        self.current: Optional[SimThread] = None
+
+    # -- thread management ------------------------------------------------------
+
+    def spawn(self, body: Any, name: str = "thread") -> SimThread:
+        """Register a new thread running the given generator."""
+        thread = SimThread(self._next_tid, body, name)
+        self._next_tid += 1
+        self.threads.append(thread)
+        return thread
+
+    def wake_all(self, waitset: WaitSet) -> None:
+        """Move every waiter back to RUNNABLE (spurious-wakeup friendly)."""
+        for thread in waitset.waiters:
+            if thread.state is ThreadState.BLOCKED:
+                thread.state = ThreadState.RUNNABLE
+                thread.local_clock += self.clock - thread.park_start
+        waitset.waiters.clear()
+
+    # -- garbage collection / finalizers -------------------------------------------
+
+    def enqueue_finalizer(self, body_factory: Callable[[], Any]) -> None:
+        """Queue a finalizer to run on the (lazily created) GC thread.
+
+        The happens-before edge "last reference removed → finalizer start"
+        holds by construction: the finalizer body is only created and run
+        after the enqueue point.
+        """
+        self._finalizer_queue.append(body_factory)
+        if self._finalizer_thread is None or self._finalizer_thread.finished:
+            self._finalizer_thread = self.spawn(
+                self._finalizer_loop(), "gc-finalizer"
+            )
+
+    def _finalizer_loop(self):
+        # GC runs "a much later time after" the releasing instruction
+        # (§5.5) — model that with a sizable virtual lag before each batch.
+        while self._finalizer_queue:
+            yield SysSleep(0.05 + 0.2 * self.rng.random())
+            batch = list(self._finalizer_queue)
+            self._finalizer_queue.clear()
+            for factory in batch:
+                yield from factory()
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self) -> None:
+        """Run until every thread has finished.
+
+        Raises :class:`DeadlockError` when live threads remain but none can
+        ever be woken, and :class:`StepLimitExceeded` on runaway loops.
+        """
+        while True:
+            self._wake_sleepers()
+            runnable = [
+                t for t in self.threads if t.state is ThreadState.RUNNABLE
+            ]
+            if not runnable:
+                sleepers = [
+                    t for t in self.threads if t.state is ThreadState.SLEEPING
+                ]
+                if sleepers:
+                    self.clock = min(t.wake_at for t in sleepers)
+                    continue
+                blocked = [
+                    t for t in self.threads if t.state is ThreadState.BLOCKED
+                ]
+                if blocked:
+                    raise DeadlockError([repr(t) for t in blocked])
+                return  # all finished
+            thread = (
+                runnable[0]
+                if len(runnable) == 1
+                else self.rng.choice(runnable)
+            )
+            self._step(thread)
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise StepLimitExceeded(
+                    f"exceeded {self.max_steps} scheduler steps"
+                )
+
+    def _wake_sleepers(self) -> None:
+        for thread in self.threads:
+            if (
+                thread.state is ThreadState.SLEEPING
+                and thread.wake_at <= self.clock + 1e-12
+            ):
+                thread.state = ThreadState.RUNNABLE
+                thread.local_clock += max(
+                    0.0, self.clock - thread.park_start
+                )
+
+    def _step(self, thread: SimThread) -> None:
+        """Execute one syscall of ``thread``."""
+        self.current = thread
+        if thread.pending is not None:
+            syscall = thread.pending
+            thread.pending = None
+        else:
+            try:
+                syscall = thread.body.send(thread.send_value)
+            except StopIteration:
+                self._finish(thread, ThreadState.FINISHED)
+                return
+            except BaseException as exc:  # app bug: record and stop thread
+                thread.error = exc
+                self._finish(thread, ThreadState.FAILED)
+                return
+            thread.send_value = None
+        self._dispatch(thread, syscall)
+
+    def _finish(self, thread: SimThread, state: ThreadState) -> None:
+        thread.state = state
+        self.wake_all(thread.done_waitset)
+
+    # -- syscall dispatch -------------------------------------------------------------
+
+    def _dispatch(self, thread: SimThread, syscall: Syscall) -> None:
+        if isinstance(syscall, SysRead):
+            if self._maybe_delay(thread, syscall, OpType.READ,
+                                 syscall.obj.field_qname(syscall.fieldname)):
+                return
+            value = syscall.obj.get(syscall.fieldname)
+            self._emit(
+                thread,
+                OpType.READ,
+                syscall.obj.field_qname(syscall.fieldname),
+                syscall.obj.id,
+            )
+            thread.send_value = value
+        elif isinstance(syscall, SysWrite):
+            if self._maybe_delay(thread, syscall, OpType.WRITE,
+                                 syscall.obj.field_qname(syscall.fieldname)):
+                return
+            syscall.obj.set(syscall.fieldname, syscall.value)
+            self._emit(
+                thread,
+                OpType.WRITE,
+                syscall.obj.field_qname(syscall.fieldname),
+                syscall.obj.id,
+            )
+        elif isinstance(syscall, SysEmit):
+            if self._maybe_delay(thread, syscall, syscall.optype, syscall.name):
+                return
+            self._emit(
+                thread, syscall.optype, syscall.name, syscall.address,
+                syscall.meta,
+            )
+        elif isinstance(syscall, SysSleep):
+            thread.state = ThreadState.SLEEPING
+            thread.wake_at = self.clock + max(0.0, syscall.duration)
+            thread.park_start = self.clock
+        elif isinstance(syscall, SysWait):
+            thread.state = ThreadState.BLOCKED
+            thread.park_start = self.clock
+            syscall.waitset.add(thread)
+        elif isinstance(syscall, SysSpawn):
+            child = self.spawn(syscall.body, syscall.name)
+            self._advance(thread)
+            thread.send_value = child
+        elif isinstance(syscall, SysNow):
+            thread.send_value = self.clock
+        elif isinstance(syscall, SysRand):
+            thread.send_value = self.rng.random()
+        elif isinstance(syscall, SysYieldSched):
+            self._advance(thread)
+        else:
+            raise IllegalSyscall(f"cannot dispatch {syscall!r}")
+
+    # -- delay injection ---------------------------------------------------------------
+
+    def _maybe_delay(
+        self, thread: SimThread, syscall: Syscall, optype: OpType, name: str
+    ) -> bool:
+        """Apply the Perturber's delay plan before a traced operation.
+
+        Returns True when the thread was put to sleep; the syscall is
+        parked on the thread and re-dispatched (delay already paid) on
+        wake-up.
+        """
+        if thread.delay_paid:
+            thread.delay_paid = False
+            return False
+        trigger = OpRef(name, optype)
+        spec = self.delay_plan.get(trigger)
+        if spec is None:
+            return False
+        if isinstance(spec, DelaySpec):
+            duration, site = spec.duration, spec.site
+        else:  # plain float: the trigger is the site itself
+            duration, site = float(spec), trigger
+        if duration <= 0:
+            return False
+        interval = DelayInterval(
+            thread_id=thread.tid,
+            start=self.clock,
+            end=self.clock + duration,
+            site=site,
+            run_id=self.log.run_id if self.log else 0,
+        )
+        self.delays.append(interval)
+        if self.log is not None:
+            self.log.add_delay(interval)
+        thread.pending = syscall
+        thread.delay_paid = True
+        thread.state = ThreadState.SLEEPING
+        thread.wake_at = self.clock + duration
+        thread.park_start = self.clock
+        return True
+
+    # -- event emission -------------------------------------------------------------------
+
+    def _emit(
+        self,
+        thread: SimThread,
+        optype: OpType,
+        name: str,
+        address: int,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        event = TraceEvent(
+            timestamp=self.clock,
+            thread_id=thread.tid,
+            optype=optype,
+            name=name,
+            address=address,
+            local_time=thread.local_clock,
+            meta=meta or {},
+        )
+        if self.log is not None and (
+            self.event_filter is None or self.event_filter(event)
+        ):
+            self.log.append(event)
+        self._advance(thread)
+
+    def _advance(self, thread: SimThread) -> None:
+        """Advance the clock by one jittered op cost, charging the thread.
+
+        Jitter is mild (±10%): instruction timing is far more stable than
+        blocking time, which is exactly what makes the paper's
+        Acquisition-Time-Varies signal work.
+        """
+        dt = self.op_cost * (0.9 + 0.2 * self.rng.random())
+        self.clock += dt
+        thread.local_clock += dt
+
+
+__all__ = ["DEFAULT_OP_COST", "DelaySpec", "Kernel"]

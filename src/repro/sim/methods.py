@@ -1,0 +1,85 @@
+"""Application and library methods.
+
+A :class:`Method` is a named generator function.  Calling it through the
+runtime emits ENTER/EXIT trace events around the body, which is exactly the
+instrumentation surface SherLock's Observer sees (§4.1: entry and exit
+points of application methods; call sites of library APIs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+
+@dataclass
+class Method:
+    """A simulated method.
+
+    Attributes
+    ----------
+    qname:
+        Fully qualified ``Class::Name``.
+    body:
+        Generator function ``body(rt, obj, *args)``; may be ``None`` for
+        pure marker methods (the runtime then emits ENTER/EXIT only).
+    library:
+        True for system/framework APIs — they participate in the
+        Single-Role constraint and are displayed API-style in reports.
+    hidden:
+        True to simulate the paper's instrumentation bug: the Observer's
+        skip-heuristic wrongly treats the method as compiler-generated and
+        drops its events (§5.5 "Instr. Errors").
+    unsafe_api:
+        ``"read"``/``"write"`` when the method is a thread-unsafe
+        collection API whose call sites form conflicting pairs (§4.1).
+    """
+
+    qname: str
+    body: Optional[Callable[..., Any]] = None
+    library: bool = False
+    hidden: bool = False
+    unsafe_api: Optional[str] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def class_name(self) -> str:
+        return self.qname.split("::", 1)[0]
+
+    @property
+    def short_name(self) -> str:
+        parts = self.qname.split("::", 1)
+        return parts[1] if len(parts) > 1 else parts[0]
+
+    def event_meta(self) -> Dict[str, Any]:
+        meta: Dict[str, Any] = dict(self.meta)
+        if self.library:
+            meta["library"] = True
+        if self.hidden:
+            meta["hidden"] = True
+        if self.unsafe_api:
+            meta["unsafe_api"] = self.unsafe_api
+        return meta
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            f for f, on in (
+                ("L", self.library),
+                ("H", self.hidden),
+                ("U", bool(self.unsafe_api)),
+            ) if on
+        )
+        return f"Method({self.qname}{'/' + flags if flags else ''})"
+
+
+def method(qname: str, **kwargs: Any) -> Callable[[Callable], Method]:
+    """Decorator: ``@method("Class::Name")`` turns a generator function
+    into a :class:`Method`."""
+
+    def wrap(fn: Callable) -> Method:
+        return Method(qname, fn, **kwargs)
+
+    return wrap
+
+
+__all__ = ["Method", "method"]

@@ -1,0 +1,65 @@
+"""Simulated heap objects.
+
+A :class:`SimObject` is an instance of an application (or library) class
+with named fields.  Every object receives a process-unique id which serves
+as its "memory address" in trace events, so the Observer can distinguish
+accesses to different instances of the same field (§4.1's "field name and
+its memory address").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, Optional
+
+_object_ids = itertools.count(1)
+
+
+def fresh_object_id() -> int:
+    return next(_object_ids)
+
+
+class SimObject:
+    """A heap object: a class name plus a field store."""
+
+    def __init__(
+        self,
+        class_name: str,
+        fields: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.class_name = class_name
+        self.id = fresh_object_id()
+        self.fields: Dict[str, Any] = dict(fields or {})
+
+    def field_qname(self, fieldname: str) -> str:
+        """Fully qualified field name ``Class::field``."""
+        return f"{self.class_name}::{fieldname}"
+
+    def get(self, fieldname: str) -> Any:
+        if fieldname not in self.fields:
+            raise KeyError(
+                f"{self.class_name} object has no field {fieldname!r}"
+            )
+        return self.fields[fieldname]
+
+    def set(self, fieldname: str, value: Any) -> None:
+        self.fields[fieldname] = value
+
+    def __repr__(self) -> str:
+        return f"SimObject({self.class_name}#{self.id})"
+
+
+class StaticObject(SimObject):
+    """The per-class object that owns static fields and the static ctor.
+
+    One exists per class *per run* (the program context creates them), so
+    static-constructor happens-before edges reset between runs like a fresh
+    process would.
+    """
+
+    def __init__(self, class_name: str, fields: Optional[Dict[str, Any]] = None):
+        super().__init__(class_name, fields)
+        self.cctor_state = "uninitialized"  # -> running -> done
+
+
+__all__ = ["SimObject", "StaticObject", "fresh_object_id"]

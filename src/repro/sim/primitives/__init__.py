@@ -1,0 +1,79 @@
+""".NET-style synchronization primitives built on the kernel."""
+
+from .barrier import Barrier, SIGNAL_AND_WAIT_API
+from .collections import SimDictionary, SimList
+from .concurrent import ConcurrentDictionary, GET_OR_ADD_API
+from .dataflow import DataflowBlock, POST_API, RECEIVE_API
+from .events import EventWaitHandle, SET_API, WAIT_ALL_API, WAIT_ONE_API, wait_all
+from .gc import drop_last_reference
+from .monitor import ENTER_API, EXIT_API, Monitor
+from .rwlock import (
+    ACQUIRE_READER_API,
+    ACQUIRE_WRITER_API,
+    DOWNGRADE_API,
+    RELEASE_READER_API,
+    RELEASE_WRITER_API,
+    ReaderWriterLock,
+    UPGRADE_API,
+)
+from .semaphore import SemaphoreSlim
+from .statics import StaticClass, StaticsTable
+from .tasks import (
+    AWAITER_GETRESULT_API,
+    FACTORY_STARTNEW_API,
+    SystemThread,
+    TASK_CONTINUE_API,
+    TASK_RUN_API,
+    TASK_START_API,
+    TASK_WAIT_API,
+    THREADPOOL_QUEUE_API,
+    THREAD_JOIN_API,
+    THREAD_START_API,
+    Task,
+    TaskFactory,
+    ThreadPool,
+)
+
+__all__ = [
+    "ACQUIRE_READER_API",
+    "Barrier",
+    "SIGNAL_AND_WAIT_API",
+    "ACQUIRE_WRITER_API",
+    "AWAITER_GETRESULT_API",
+    "ConcurrentDictionary",
+    "DOWNGRADE_API",
+    "DataflowBlock",
+    "ENTER_API",
+    "EXIT_API",
+    "EventWaitHandle",
+    "FACTORY_STARTNEW_API",
+    "GET_OR_ADD_API",
+    "Monitor",
+    "POST_API",
+    "RECEIVE_API",
+    "RELEASE_READER_API",
+    "RELEASE_WRITER_API",
+    "ReaderWriterLock",
+    "SET_API",
+    "SemaphoreSlim",
+    "SimDictionary",
+    "SimList",
+    "StaticClass",
+    "StaticsTable",
+    "SystemThread",
+    "TASK_CONTINUE_API",
+    "TASK_RUN_API",
+    "TASK_START_API",
+    "TASK_WAIT_API",
+    "THREADPOOL_QUEUE_API",
+    "THREAD_JOIN_API",
+    "THREAD_START_API",
+    "Task",
+    "TaskFactory",
+    "ThreadPool",
+    "UPGRADE_API",
+    "WAIT_ALL_API",
+    "WAIT_ONE_API",
+    "drop_last_reference",
+    "wait_all",
+]

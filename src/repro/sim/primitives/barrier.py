@@ -1,0 +1,52 @@
+"""``System.Threading.Barrier`` — phase synchronization.
+
+``SignalAndWait`` is both-roled at the *phase* level (every participant
+releases its work and acquires everyone else's), which FastTrack-style
+manual annotation handles natively; for SherLock the interesting ops are
+``SignalAndWait``'s begin (acquire: waits for the phase) and end
+(release into the next phase).
+"""
+
+from __future__ import annotations
+
+from ...trace.optypes import OpType
+from ..objects import SimObject
+from ..runtime import Runtime
+from ..thread import WaitSet
+
+SIGNAL_AND_WAIT_API = "System.Threading.Barrier::SignalAndWait"
+
+
+class Barrier:
+    """A reusable N-participant phase barrier."""
+
+    def __init__(self, participants: int, name: str = "barrier") -> None:
+        if participants < 1:
+            raise ValueError("barrier needs at least one participant")
+        self.obj = SimObject("System.Threading.Barrier", {})
+        self.participants = participants
+        self.name = name
+        self.arrived = 0
+        self.phase = 0
+        self.waitset = WaitSet(f"barrier:{name}")
+
+    def signal_and_wait(self, rt: Runtime):
+        """Arrive at the barrier; block until the phase completes."""
+        yield from rt.emit(
+            OpType.ENTER, SIGNAL_AND_WAIT_API, self.obj, library=True
+        )
+        my_phase = self.phase
+        self.arrived += 1
+        if self.arrived >= self.participants:
+            self.arrived = 0
+            self.phase += 1
+            rt.notify_all(self.waitset)
+        else:
+            while self.phase == my_phase:
+                yield from rt.wait_on(self.waitset)
+        yield from rt.emit(
+            OpType.EXIT, SIGNAL_AND_WAIT_API, self.obj, library=True
+        )
+
+
+__all__ = ["Barrier", "SIGNAL_AND_WAIT_API"]

@@ -1,0 +1,99 @@
+"""Thread-unsafe collection classes (``System.Collections.Generic``).
+
+The paper instruments 14 well-documented thread-unsafe classes; calls to
+their read/write APIs form conflicting pairs just like raw heap accesses
+(§4.1).  Events carry ``meta["unsafe_api"] = "read"|"write"`` so the window
+extractor can treat call sites as accesses, and the TSVD baseline can
+target them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ...trace.optypes import OpType
+from ..objects import SimObject
+from ..runtime import Runtime
+
+LIST_ADD_API = "System.Collections.Generic.List::Add"
+LIST_GET_API = "System.Collections.Generic.List::get_Item"
+LIST_CONTAINS_API = "System.Collections.Generic.List::Contains"
+LIST_COUNT_API = "System.Collections.Generic.List::get_Count"
+DICT_SET_API = "System.Collections.Generic.Dictionary::set_Item"
+DICT_GET_API = "System.Collections.Generic.Dictionary::get_Item"
+DICT_CONTAINS_API = "System.Collections.Generic.Dictionary::ContainsKey"
+
+
+class SimList:
+    """A thread-unsafe list with instrumented call sites."""
+
+    def __init__(self, name: str = "list") -> None:
+        self.obj = SimObject("System.Collections.Generic.List", {})
+        self.name = name
+        self.items: List[Any] = []
+
+    def _api(self, rt: Runtime, api: str, mode: str):
+        yield from rt.emit(
+            OpType.ENTER, api, self.obj, library=True, unsafe_api=mode
+        )
+        yield from rt.emit(
+            OpType.EXIT, api, self.obj, library=True, unsafe_api=mode
+        )
+
+    def add(self, rt: Runtime, item: Any):
+        yield from self._api(rt, LIST_ADD_API, "write")
+        self.items.append(item)
+
+    def get_item(self, rt: Runtime, index: int):
+        yield from self._api(rt, LIST_GET_API, "read")
+        return self.items[index] if 0 <= index < len(self.items) else None
+
+    def contains(self, rt: Runtime, item: Any):
+        yield from self._api(rt, LIST_CONTAINS_API, "read")
+        return item in self.items
+
+    def count(self, rt: Runtime):
+        yield from self._api(rt, LIST_COUNT_API, "read")
+        return len(self.items)
+
+
+class SimDictionary:
+    """A thread-unsafe dictionary with instrumented call sites."""
+
+    def __init__(self, name: str = "dict") -> None:
+        self.obj = SimObject("System.Collections.Generic.Dictionary", {})
+        self.name = name
+        self.data: Dict[Any, Any] = {}
+
+    def _api(self, rt: Runtime, api: str, mode: str):
+        yield from rt.emit(
+            OpType.ENTER, api, self.obj, library=True, unsafe_api=mode
+        )
+        yield from rt.emit(
+            OpType.EXIT, api, self.obj, library=True, unsafe_api=mode
+        )
+
+    def set_item(self, rt: Runtime, key: Any, value: Any):
+        yield from self._api(rt, DICT_SET_API, "write")
+        self.data[key] = value
+
+    def get_item(self, rt: Runtime, key: Any):
+        yield from self._api(rt, DICT_GET_API, "read")
+        return self.data.get(key)
+
+    def contains_key(self, rt: Runtime, key: Any):
+        yield from self._api(rt, DICT_CONTAINS_API, "read")
+        return key in self.data
+
+
+__all__ = [
+    "DICT_CONTAINS_API",
+    "DICT_GET_API",
+    "DICT_SET_API",
+    "LIST_ADD_API",
+    "LIST_CONTAINS_API",
+    "LIST_COUNT_API",
+    "LIST_GET_API",
+    "SimDictionary",
+    "SimList",
+]

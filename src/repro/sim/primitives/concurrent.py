@@ -1,0 +1,59 @@
+"""``System.Collections.Concurrent.ConcurrentDictionary``.
+
+``GetOrAdd(key, delegate)`` runs the delegate atomically with respect to
+other ``GetOrAdd`` calls on the same dictionary (the paper's Example C):
+the exit of one delegate happens before the entry of the next.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ...trace.optypes import OpType
+from ..methods import Method
+from ..objects import SimObject
+from ..runtime import Runtime
+from ..thread import SimThread, WaitSet
+
+GET_OR_ADD_API = "System.Collections.Concurrent.ConcurrentDictionary::GetOrAdd"
+
+
+class ConcurrentDictionary:
+    """Thread-safe dictionary with an atomic ``GetOrAdd``."""
+
+    def __init__(self, name: str = "cdict") -> None:
+        self.obj = SimObject(
+            "System.Collections.Concurrent.ConcurrentDictionary", {}
+        )
+        self.name = name
+        self.data: Dict[Any, Any] = {}
+        self._owner: Optional[SimThread] = None
+        self._waitset = WaitSet(f"cdict:{name}")
+
+    def get_or_add(self, rt: Runtime, key: Any, delegate: Method, args: tuple = ()):
+        """Return ``data[key]``, running ``delegate`` atomically to create
+        it when absent.  The delegate's parent address is the dictionary,
+        which is the channel both paired delegates share."""
+        yield from rt.emit(OpType.ENTER, GET_OR_ADD_API, self.obj, library=True)
+        me = rt.current_thread
+        while self._owner is not None and self._owner is not me:
+            yield from rt.wait_on(self._waitset)
+        self._owner = me
+        try:
+            if key not in self.data:
+                value = yield from rt.call(delegate, self.obj, key, *args)
+                self.data[key] = value
+            result = self.data[key]
+        finally:
+            self._owner = None
+            rt.notify_all(self._waitset)
+        yield from rt.emit(OpType.EXIT, GET_OR_ADD_API, self.obj, library=True)
+        return result
+
+    def try_get(self, rt: Runtime, key: Any):
+        """Non-delegate lookup (safe, no instrumentation of internals)."""
+        yield from rt.sched_yield()
+        return self.data.get(key)
+
+
+__all__ = ["ConcurrentDictionary", "GET_OR_ADD_API"]

@@ -1,0 +1,76 @@
+"""``System.Threading.Tasks.Dataflow`` — asynchronous message blocks.
+
+Models the paper's Example A (App-7 / Statsd): a message block with a
+handler delegate.  ``Post`` is a release that happens before the handler's
+entrance; ``Receive`` is an acquire that happens after the handler's exit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from ...trace.optypes import OpType
+from ..methods import Method
+from ..objects import SimObject
+from ..runtime import Runtime
+from ..thread import WaitSet
+
+POST_API = "System.Threading.Tasks.Dataflow.DataflowBlock::Post"
+RECEIVE_API = "System.Threading.Tasks.Dataflow.DataflowBlock::Receive"
+
+
+class DataflowBlock:
+    """A message-processing block with a single worker pump."""
+
+    def __init__(self, handler: Method, name: str = "block") -> None:
+        self.obj = SimObject(
+            "System.Threading.Tasks.Dataflow.DataflowBlock", {}
+        )
+        self.handler = handler
+        self.name = name
+        self.inbox: Deque[Any] = deque()
+        self.outbox: Deque[Any] = deque()
+        self.inbox_waitset = WaitSet(f"dataflow-in:{name}")
+        self.outbox_waitset = WaitSet(f"dataflow-out:{name}")
+        self.completed = False
+        self._pump_started = False
+
+    def _pump(self, rt: Runtime):
+        """Worker loop: handle each posted message, publish the result."""
+        while not self.completed or self.inbox:
+            while not self.inbox and not self.completed:
+                yield from rt.wait_on(self.inbox_waitset)
+            if not self.inbox:
+                break
+            message = self.inbox.popleft()
+            result = yield from rt.call(self.handler, self.obj, message)
+            self.outbox.append(result)
+            rt.notify_all(self.outbox_waitset)
+
+    def _ensure_pump(self, rt: Runtime):
+        if not self._pump_started:
+            self._pump_started = True
+            yield from rt.spawn_raw(self._pump(rt), f"dataflow:{self.name}")
+
+    def post(self, rt: Runtime, message: Any):
+        yield from rt.emit(OpType.ENTER, POST_API, self.obj, library=True)
+        yield from self._ensure_pump(rt)
+        self.inbox.append(message)
+        rt.notify_all(self.inbox_waitset)
+        yield from rt.emit(OpType.EXIT, POST_API, self.obj, library=True)
+
+    def receive(self, rt: Runtime):
+        yield from rt.emit(OpType.ENTER, RECEIVE_API, self.obj, library=True)
+        while not self.outbox:
+            yield from rt.wait_on(self.outbox_waitset)
+        result = self.outbox.popleft()
+        yield from rt.emit(OpType.EXIT, RECEIVE_API, self.obj, library=True)
+        return result
+
+    def complete(self, rt: Runtime) -> None:
+        self.completed = True
+        rt.notify_all(self.inbox_waitset)
+
+
+__all__ = ["DataflowBlock", "POST_API", "RECEIVE_API"]

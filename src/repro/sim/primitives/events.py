@@ -1,0 +1,84 @@
+"""``EventWaitHandle`` / ``WaitHandle`` — signal/wait synchronization.
+
+``Set`` is a release; ``WaitOne`` is an acquire.  ``WaitAll`` waits for a
+group of handles — the paper's n-to-1 example (Radical's
+``WaitHandle::WaitAll``).  Handles created with a shared ``group`` object
+report that object as their event address, so n-to-1 pairings share one
+channel without any detector-side semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ...trace.optypes import OpType
+from ..objects import SimObject
+from ..runtime import Runtime
+from ..thread import WaitSet
+
+SET_API = "System.Threading.EventWaitHandle::Set"
+WAIT_ONE_API = "System.Threading.WaitHandle::WaitOne"
+WAIT_ALL_API = "System.Threading.WaitHandle::WaitAll"
+
+
+class EventWaitHandle:
+    """A manual-reset event."""
+
+    def __init__(
+        self, name: str = "event", group: Optional[SimObject] = None
+    ) -> None:
+        self.obj = SimObject("System.Threading.EventWaitHandle", {})
+        self.group = group
+        self.name = name
+        self.signaled = False
+        self.waitset = WaitSet(f"event:{name}")
+
+    @property
+    def channel_obj(self) -> SimObject:
+        return self.group if self.group is not None else self.obj
+
+    def set(self, rt: Runtime):
+        yield from rt.emit(OpType.ENTER, SET_API, self.channel_obj, library=True)
+        self.signaled = True
+        rt.notify_all(self.waitset)
+        yield from rt.emit(OpType.EXIT, SET_API, self.channel_obj, library=True)
+
+    def reset(self) -> None:
+        self.signaled = False
+
+    def wait_one(self, rt: Runtime):
+        yield from rt.emit(
+            OpType.ENTER, WAIT_ONE_API, self.channel_obj, library=True
+        )
+        while not self.signaled:
+            yield from rt.wait_on(self.waitset)
+        yield from rt.emit(
+            OpType.EXIT, WAIT_ONE_API, self.channel_obj, library=True
+        )
+
+
+def wait_all(rt: Runtime, handles: Iterable["EventWaitHandle"]):
+    """``WaitHandle.WaitAll`` over a group of handles.
+
+    Instrumented once per call site; the event address is the handles'
+    shared group object (they must share one for the call to be traced as a
+    single acquire, which is how the benchmark apps use it).
+    """
+    handle_list: List[EventWaitHandle] = list(handles)
+    if not handle_list:
+        return
+    channel = handle_list[0].channel_obj
+    yield from rt.emit(OpType.ENTER, WAIT_ALL_API, channel, library=True)
+    for handle in handle_list:
+        while not handle.signaled:
+            yield from rt.wait_on(handle.waitset)
+    yield from rt.emit(OpType.EXIT, WAIT_ALL_API, channel, library=True)
+
+
+__all__ = [
+    "EventWaitHandle",
+    "SET_API",
+    "WAIT_ALL_API",
+    "WAIT_ONE_API",
+    "wait_all",
+]

@@ -1,0 +1,40 @@
+"""Garbage collection and finalizers.
+
+C# guarantees an object's finalizer only runs after the object became
+unreachable, so the instruction removing the last reference happens before
+``Finalize``'s begin (§5.3.3).  The kernel's finalizer thread runs queued
+finalizers *after a sizable virtual lag*, reproducing §5.5's observation
+that GC "can execute at a much later time after the pairing release
+instruction" and is outside the Perturber's control.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..methods import Method
+from ..objects import SimObject
+from ..runtime import Runtime
+
+
+def drop_last_reference(
+    rt: Runtime,
+    obj: SimObject,
+    finalizer: Method,
+    args: Tuple = (),
+) -> None:
+    """Mark ``obj`` unreachable; its finalizer will run on the GC thread.
+
+    Must be called from inside a traced method — the enclosing method's
+    exit is then the release instruction the paper's tables describe
+    ("end of last access").  Synchronous (no yield): dropping a reference
+    costs nothing by itself.
+    """
+
+    def body():
+        yield from rt.call(finalizer, obj, *args)
+
+    rt.kernel.enqueue_finalizer(body)
+
+
+__all__ = ["drop_last_reference"]

@@ -1,0 +1,66 @@
+"""``System.Threading.Monitor`` — the classic mutual-exclusion lock.
+
+Instrumentation mirrors the paper's call-site tracing: the Observer sees
+``Monitor::Enter`` / ``Monitor::Exit`` ENTER/EXIT events with the lock
+object as the parent address, but none of the lock's internal state.
+SherLock should infer ``begin(Monitor::Enter)`` as an acquire and
+``end(Monitor::Exit)`` as a release without being told.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...trace.optypes import OpType
+from ..objects import SimObject
+from ..runtime import Runtime
+from ..thread import SimThread, WaitSet
+
+ENTER_API = "System.Threading.Monitor::Enter"
+EXIT_API = "System.Threading.Monitor::Exit"
+
+
+class Monitor:
+    """A reentrant lock keyed on a lock object."""
+
+    def __init__(self, name: str = "monitor") -> None:
+        self.obj = SimObject("System.Threading.Monitor", {})
+        self.name = name
+        self.owner: Optional[SimThread] = None
+        self.hold_count = 0
+        self.waitset = WaitSet(f"monitor:{name}")
+
+    def enter(self, rt: Runtime):
+        """Blocking acquire with call-site instrumentation."""
+        yield from rt.emit(OpType.ENTER, ENTER_API, self.obj, library=True)
+        me = rt.current_thread
+        while self.owner is not None and self.owner is not me:
+            yield from rt.wait_on(self.waitset)
+        self.owner = me
+        self.hold_count += 1
+        yield from rt.emit(OpType.EXIT, ENTER_API, self.obj, library=True)
+
+    def exit(self, rt: Runtime):
+        """Release; wakes all contenders (they re-check ownership)."""
+        yield from rt.emit(OpType.ENTER, EXIT_API, self.obj, library=True)
+        if self.owner is not rt.current_thread:
+            raise RuntimeError(
+                f"Monitor {self.name!r} released by non-owner thread"
+            )
+        self.hold_count -= 1
+        if self.hold_count == 0:
+            self.owner = None
+            rt.notify_all(self.waitset)
+        yield from rt.emit(OpType.EXIT, EXIT_API, self.obj, library=True)
+
+    def locked(self, rt: Runtime, body):
+        """Run ``body`` (a generator) under the lock."""
+        yield from self.enter(rt)
+        try:
+            result = yield from body
+        finally:
+            yield from self.exit(rt)
+        return result
+
+
+__all__ = ["ENTER_API", "EXIT_API", "Monitor"]

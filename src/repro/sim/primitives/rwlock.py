@@ -1,0 +1,124 @@
+"""``System.Threading.ReaderWriterLock``.
+
+Includes ``UpgradeToWriteLock`` / ``DowngradeFromWriterLock``, the APIs
+that break SherLock's Single-Role assumption (§5.5 "Double Roles"):
+``UpgradeToWriteLock`` first *releases* the reader lock and then *acquires*
+the writer lock inside one API.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ...trace.optypes import OpType
+from ..objects import SimObject
+from ..runtime import Runtime
+from ..thread import SimThread, WaitSet
+
+ACQUIRE_READER_API = "System.Threading.ReaderWriterLock::AcquireReaderLock"
+RELEASE_READER_API = "System.Threading.ReaderWriterLock::ReleaseReaderLock"
+ACQUIRE_WRITER_API = "System.Threading.ReaderWriterLock::AcquireWriterLock"
+RELEASE_WRITER_API = "System.Threading.ReaderWriterLock::ReleaseWriterLock"
+UPGRADE_API = "System.Threading.ReaderWriterLock::UpgradeToWriterLock"
+DOWNGRADE_API = "System.Threading.ReaderWriterLock::DowngradeFromWriterLock"
+
+
+class ReaderWriterLock:
+    """Multiple readers / single writer lock."""
+
+    def __init__(self, name: str = "rwlock") -> None:
+        self.obj = SimObject("System.Threading.ReaderWriterLock", {})
+        self.name = name
+        self.readers: Set[SimThread] = set()
+        self.writer: Optional[SimThread] = None
+        self.waitset = WaitSet(f"rwlock:{name}")
+
+    # -- internal helpers (no instrumentation) ---------------------------------
+
+    def _take_reader(self, rt: Runtime):
+        me = rt.current_thread
+        while self.writer is not None:
+            yield from rt.wait_on(self.waitset)
+        self.readers.add(me)
+
+    def _drop_reader(self, rt: Runtime) -> None:
+        self.readers.discard(rt.current_thread)
+        if not self.readers:
+            rt.notify_all(self.waitset)
+
+    def _take_writer(self, rt: Runtime):
+        me = rt.current_thread
+        while self.writer is not None or self.readers:
+            yield from rt.wait_on(self.waitset)
+        self.writer = me
+
+    def _drop_writer(self, rt: Runtime) -> None:
+        if self.writer is rt.current_thread:
+            self.writer = None
+            rt.notify_all(self.waitset)
+
+    # -- instrumented API surface ------------------------------------------------
+
+    def acquire_reader(self, rt: Runtime):
+        yield from rt.emit(
+            OpType.ENTER, ACQUIRE_READER_API, self.obj, library=True
+        )
+        yield from self._take_reader(rt)
+        yield from rt.emit(
+            OpType.EXIT, ACQUIRE_READER_API, self.obj, library=True
+        )
+
+    def release_reader(self, rt: Runtime):
+        yield from rt.emit(
+            OpType.ENTER, RELEASE_READER_API, self.obj, library=True
+        )
+        self._drop_reader(rt)
+        yield from rt.emit(
+            OpType.EXIT, RELEASE_READER_API, self.obj, library=True
+        )
+
+    def acquire_writer(self, rt: Runtime):
+        yield from rt.emit(
+            OpType.ENTER, ACQUIRE_WRITER_API, self.obj, library=True
+        )
+        yield from self._take_writer(rt)
+        yield from rt.emit(
+            OpType.EXIT, ACQUIRE_WRITER_API, self.obj, library=True
+        )
+
+    def release_writer(self, rt: Runtime):
+        yield from rt.emit(
+            OpType.ENTER, RELEASE_WRITER_API, self.obj, library=True
+        )
+        self._drop_writer(rt)
+        yield from rt.emit(
+            OpType.EXIT, RELEASE_WRITER_API, self.obj, library=True
+        )
+
+    def upgrade_to_writer(self, rt: Runtime):
+        """Release the reader lock, then acquire the writer lock — one API
+        playing both roles (breaks Single-Role)."""
+        yield from rt.emit(OpType.ENTER, UPGRADE_API, self.obj, library=True)
+        self._drop_reader(rt)
+        yield from self._take_writer(rt)
+        yield from rt.emit(OpType.EXIT, UPGRADE_API, self.obj, library=True)
+
+    def downgrade_from_writer(self, rt: Runtime):
+        yield from rt.emit(OpType.ENTER, DOWNGRADE_API, self.obj, library=True)
+        me = rt.current_thread
+        if self.writer is me:
+            self.writer = None
+            self.readers.add(me)
+            rt.notify_all(self.waitset)
+        yield from rt.emit(OpType.EXIT, DOWNGRADE_API, self.obj, library=True)
+
+
+__all__ = [
+    "ACQUIRE_READER_API",
+    "ACQUIRE_WRITER_API",
+    "DOWNGRADE_API",
+    "RELEASE_READER_API",
+    "RELEASE_WRITER_API",
+    "ReaderWriterLock",
+    "UPGRADE_API",
+]

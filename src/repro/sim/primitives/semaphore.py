@@ -1,0 +1,40 @@
+"""``System.Threading.SemaphoreSlim`` — counting semaphore."""
+
+from __future__ import annotations
+
+from ...trace.optypes import OpType
+from ..objects import SimObject
+from ..runtime import Runtime
+from ..thread import WaitSet
+
+RELEASE_API = "System.Threading.SemaphoreSlim::Release"
+WAIT_API = "System.Threading.SemaphoreSlim::Wait"
+
+
+class SemaphoreSlim:
+    """Counting semaphore: ``release`` is a release synchronization,
+    ``wait`` an acquire."""
+
+    def __init__(self, initial: int = 0, name: str = "semaphore") -> None:
+        if initial < 0:
+            raise ValueError("semaphore count cannot be negative")
+        self.obj = SimObject("System.Threading.SemaphoreSlim", {})
+        self.name = name
+        self.count = initial
+        self.waitset = WaitSet(f"sem:{name}")
+
+    def release(self, rt: Runtime, n: int = 1):
+        yield from rt.emit(OpType.ENTER, RELEASE_API, self.obj, library=True)
+        self.count += n
+        rt.notify_all(self.waitset)
+        yield from rt.emit(OpType.EXIT, RELEASE_API, self.obj, library=True)
+
+    def wait(self, rt: Runtime):
+        yield from rt.emit(OpType.ENTER, WAIT_API, self.obj, library=True)
+        while self.count <= 0:
+            yield from rt.wait_on(self.waitset)
+        self.count -= 1
+        yield from rt.emit(OpType.EXIT, WAIT_API, self.obj, library=True)
+
+
+__all__ = ["RELEASE_API", "SemaphoreSlim", "WAIT_API"]

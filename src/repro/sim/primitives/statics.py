@@ -1,0 +1,64 @@
+"""Static-constructor semantics.
+
+C# guarantees a class's static constructor (``.cctor``) completes before
+any other access to the class — a language-enforced happens-before edge
+SherLock infers without knowing the semantics (§5.3.3): the *end* of
+``Class::.cctor`` is a release; the begin of the first method that touches
+the class is the paired acquire.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..methods import Method
+from ..objects import StaticObject
+from ..runtime import Runtime
+from ..thread import WaitSet
+
+
+class StaticClass:
+    """Per-run state of one class with a static constructor."""
+
+    def __init__(self, class_name: str, cctor: Optional[Method] = None,
+                 **static_fields) -> None:
+        self.obj = StaticObject(class_name, static_fields)
+        self.cctor = cctor or Method(f"{class_name}::.cctor")
+        if not self.cctor.qname.endswith("::.cctor"):
+            raise ValueError(
+                f"static constructor for {class_name} must be named "
+                f"'{class_name}::.cctor'"
+            )
+        self.waitset = WaitSet(f"cctor:{class_name}")
+
+    def ensure_initialized(self, rt: Runtime):
+        """Run the static constructor on first access; block concurrent
+        threads until it completes (the CLR's double-checked init)."""
+        state = self.obj.cctor_state
+        if state == "done":
+            return
+        if state == "running":
+            while self.obj.cctor_state != "done":
+                yield from rt.wait_on(self.waitset)
+            return
+        self.obj.cctor_state = "running"
+        yield from rt.call(self.cctor, self.obj)
+        self.obj.cctor_state = "done"
+        rt.notify_all(self.waitset)
+
+
+class StaticsTable:
+    """All static classes of one application run."""
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, StaticClass] = {}
+
+    def register(self, static_class: StaticClass) -> StaticClass:
+        self.classes[static_class.obj.class_name] = static_class
+        return static_class
+
+    def get(self, class_name: str) -> StaticClass:
+        return self.classes[class_name]
+
+
+__all__ = ["StaticClass", "StaticsTable"]

@@ -1,0 +1,189 @@
+"""Task-parallel library: ``Task``, ``TaskFactory``, ``TaskAwaiter``,
+``ContinueWith``, ``Thread`` and ``ThreadPool``.
+
+Fork edges: the end of ``Task::Start`` / ``TaskFactory::StartNew`` /
+``Thread::Start`` / ``ThreadPool::QueueUserWorkItem`` happens before the
+begin of the spawned delegate.  Join edges: the end of the delegate happens
+before the return of ``Task::Wait`` / ``TaskAwaiter::GetResult`` /
+``Thread::Join``.
+
+Delegate ENTER/EXIT events use the task (or thread/workitem) object as
+parent address, so fork/join pairings share a channel a semantics-free
+race detector can key on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ...trace.optypes import OpType
+from ..methods import Method
+from ..objects import SimObject
+from ..runtime import Runtime
+from ..thread import WaitSet
+
+TASK_START_API = "System.Threading.Tasks.Task::Start"
+TASK_RUN_API = "System.Threading.Tasks.Task::Run"
+TASK_WAIT_API = "System.Threading.Tasks.Task::Wait"
+TASK_CONTINUE_API = "System.Threading.Tasks.Task::ContinueWith"
+FACTORY_STARTNEW_API = "System.Threading.Tasks.TaskFactory::StartNew"
+AWAITER_GETRESULT_API = "System.Runtime.CompilerServices.TaskAwaiter::GetResult"
+THREAD_START_API = "System.Threading.Thread::Start"
+THREAD_JOIN_API = "System.Threading.Thread::Join"
+THREADPOOL_QUEUE_API = "System.Threading.ThreadPool::QueueUserWorkItem"
+
+
+class Task:
+    """A fork-join task around a delegate :class:`Method`."""
+
+    def __init__(
+        self,
+        delegate: Method,
+        args: tuple = (),
+        name: str = "task",
+    ) -> None:
+        self.obj = SimObject("System.Threading.Tasks.Task", {})
+        self.delegate = delegate
+        self.args = args
+        self.name = name
+        self.completed = False
+        self.result: Any = None
+        self.done_waitset = WaitSet(f"task:{name}")
+        self.continuations: List["Task"] = []
+
+    # -- body run on the worker thread ----------------------------------------
+
+    def _body(self, rt: Runtime):
+        # The delegate's parent address is the task object: the fork/join
+        # channel identity.
+        self.result = yield from rt.call(self.delegate, self.obj, *self.args)
+        self.completed = True
+        rt.notify_all(self.done_waitset)
+        for continuation in self.continuations:
+            yield from continuation._spawn(rt)
+
+    def _spawn(self, rt: Runtime):
+        yield from rt.spawn_raw(self._body(rt), f"task:{self.name}")
+
+    # -- instrumented API surface -----------------------------------------------
+
+    def start(self, rt: Runtime, api: str = TASK_START_API):
+        yield from rt.emit(OpType.ENTER, api, self.obj, library=True)
+        yield from self._spawn(rt)
+        yield from rt.emit(OpType.EXIT, api, self.obj, library=True)
+        return self
+
+    def wait(self, rt: Runtime, api: str = TASK_WAIT_API):
+        yield from rt.emit(OpType.ENTER, api, self.obj, library=True)
+        while not self.completed:
+            yield from rt.wait_on(self.done_waitset)
+        yield from rt.emit(OpType.EXIT, api, self.obj, library=True)
+        return self.result
+
+    def get_result(self, rt: Runtime):
+        """``await task`` — blocks via ``TaskAwaiter::GetResult``."""
+        return (yield from self.wait(rt, api=AWAITER_GETRESULT_API))
+
+    def continue_with(self, rt: Runtime, delegate: Method, args: tuple = ()):
+        """Register a continuation; it runs after this task completes.
+
+        The continuation delegate's parent address is *this* task: the
+        paper's Example D pairs ``end(a1)`` with ``begin(a2)`` through the
+        antecedent task.
+        """
+        yield from rt.emit(
+            OpType.ENTER, TASK_CONTINUE_API, self.obj, library=True
+        )
+        continuation = Task(delegate, args, name=f"{self.name}.cont")
+        continuation.obj = self.obj  # share the channel identity
+        if self.completed:
+            yield from continuation._spawn(rt)
+        else:
+            self.continuations.append(continuation)
+        yield from rt.emit(
+            OpType.EXIT, TASK_CONTINUE_API, self.obj, library=True
+        )
+        return continuation
+
+    @staticmethod
+    def run(rt: Runtime, delegate: Method, args: tuple = (), name: str = "task"):
+        """``Task.Run(delegate)`` — create and start in one API."""
+        task = Task(delegate, args, name)
+        yield from task.start(rt, api=TASK_RUN_API)
+        return task
+
+
+class TaskFactory:
+    """``Task.Factory.StartNew``."""
+
+    @staticmethod
+    def start_new(rt: Runtime, delegate: Method, args: tuple = (), name: str = "task"):
+        task = Task(delegate, args, name)
+        yield from task.start(rt, api=FACTORY_STARTNEW_API)
+        return task
+
+
+class SystemThread:
+    """``System.Threading.Thread`` with Start/Join."""
+
+    def __init__(self, delegate: Method, args: tuple = (), name: str = "thread"):
+        self.obj = SimObject("System.Threading.Thread", {})
+        self.delegate = delegate
+        self.args = args
+        self.name = name
+        self.completed = False
+        self.done_waitset = WaitSet(f"thread:{name}")
+
+    def _body(self, rt: Runtime):
+        yield from rt.call(self.delegate, self.obj, *self.args)
+        self.completed = True
+        rt.notify_all(self.done_waitset)
+
+    def start(self, rt: Runtime):
+        yield from rt.emit(OpType.ENTER, THREAD_START_API, self.obj, library=True)
+        yield from rt.spawn_raw(self._body(rt), f"thread:{self.name}")
+        yield from rt.emit(OpType.EXIT, THREAD_START_API, self.obj, library=True)
+        return self
+
+    def join(self, rt: Runtime):
+        yield from rt.emit(OpType.ENTER, THREAD_JOIN_API, self.obj, library=True)
+        while not self.completed:
+            yield from rt.wait_on(self.done_waitset)
+        yield from rt.emit(OpType.EXIT, THREAD_JOIN_API, self.obj, library=True)
+
+
+class ThreadPool:
+    """``ThreadPool.QueueUserWorkItem`` — fire-and-forget delegate."""
+
+    @staticmethod
+    def queue_user_work_item(rt: Runtime, delegate: Method, args: tuple = ()):
+        workitem = SimObject("System.Threading.WorkItem", {})
+        yield from rt.emit(
+            OpType.ENTER, THREADPOOL_QUEUE_API, workitem, library=True
+        )
+
+        def body():
+            yield from rt.call(delegate, workitem, *args)
+
+        yield from rt.spawn_raw(body(), f"pool:{delegate.short_name}")
+        yield from rt.emit(
+            OpType.EXIT, THREADPOOL_QUEUE_API, workitem, library=True
+        )
+        return workitem
+
+
+__all__ = [
+    "AWAITER_GETRESULT_API",
+    "FACTORY_STARTNEW_API",
+    "SystemThread",
+    "TASK_CONTINUE_API",
+    "TASK_RUN_API",
+    "TASK_START_API",
+    "TASK_WAIT_API",
+    "THREADPOOL_QUEUE_API",
+    "THREAD_JOIN_API",
+    "THREAD_START_API",
+    "Task",
+    "TaskFactory",
+    "ThreadPool",
+]

@@ -1,0 +1,162 @@
+"""Application containers and ground-truth metadata.
+
+An :class:`Application` is the simulator-side analogue of one of the
+paper's 8 C# benchmark projects: a set of classes/methods, a unit-test
+suite, and — for *evaluation only* — ground truth about which operations
+really are synchronizations, which fields are intentionally racy, and which
+sync methods the (buggy) instrumentation heuristic hides.
+
+SherLock itself never reads the ground truth; it is consumed by
+:mod:`repro.analysis` to score inference results the way the paper's
+authors scored theirs by manual inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from ..trace.optypes import OpRef, Role, SyncOp
+from .methods import Method
+from .objects import SimObject
+
+#: Sync taxonomy used by Tables 2/4/5 style reporting.
+KIND_API = "api"            # system-API-based (§5.3.1)
+KIND_VARIABLE = "variable"  # variable-based (§5.3.2)
+KIND_METHOD = "method"      # application-method-based (§5.3.3)
+
+
+@dataclass
+class SyncInfo:
+    """Ground-truth record for one true synchronization operation."""
+
+    kind: str  # KIND_API / KIND_VARIABLE / KIND_METHOD
+    subcategory: str = "other"  # lock / fork_join / async / flag /
+    #   framework / dispose / static_ctor / double_role / atomic_region ...
+    description: str = ""
+
+
+@dataclass
+class GroundTruth:
+    """Evaluation-only knowledge about an application."""
+
+    #: Every true synchronization operation with its classification.
+    syncs: Dict[SyncOp, SyncInfo] = field(default_factory=dict)
+    #: Fully qualified fields with *intentional* data races (true races).
+    racy_fields: Set[str] = field(default_factory=set)
+    #: Qualified method names the Observer's skip-heuristic wrongly hides;
+    #: must be a subset of the classes of true syncs.
+    hidden_sync_methods: Set[str] = field(default_factory=set)
+    #: Fields the manual annotation treats as volatile (Manual_dr).
+    volatile_fields: Set[str] = field(default_factory=set)
+    #: field qname -> subcategory of the sync protecting it; used to
+    #: attribute false races to missed-sync categories (Table 4).
+    protected_by: Dict[str, str] = field(default_factory=dict)
+
+    def add_sync(
+        self,
+        op: OpRef,
+        role: Role,
+        kind: str,
+        subcategory: str = "other",
+        description: str = "",
+    ) -> SyncOp:
+        sync = SyncOp(op, role)
+        self.syncs[sync] = SyncInfo(kind, subcategory, description)
+        return sync
+
+    def is_true_sync(self, sync: SyncOp) -> bool:
+        return sync in self.syncs
+
+    def true_sync_names(self) -> Set[str]:
+        return {s.op.name for s in self.syncs}
+
+    def syncs_of_kind(self, kind: str) -> List[SyncOp]:
+        return [s for s, info in self.syncs.items() if info.kind == kind]
+
+
+@dataclass
+class UnitTest:
+    """One unit test: a qualified test-method name plus a body.
+
+    ``body(rt, ctx)`` is a generator function; the runner wraps it into a
+    traced :class:`Method` so SherLock can infer the test framework's
+    happens-before edge onto the test method's begin (paper Example E).
+    """
+
+    qname: str
+    body: Callable[..., Any]
+
+    @property
+    def name(self) -> str:
+        return self.qname.split("::", 1)[-1]
+
+
+class AppContext:
+    """Fresh per-test-execution state an application builds.
+
+    ``host`` is the object that represents the test-class instance; method
+    events of the test harness use its id as parent address.
+    """
+
+    def __init__(self, host: Optional[SimObject] = None) -> None:
+        self.host = host or SimObject("TestHost", {})
+
+
+@dataclass
+class AppInfo:
+    """Table 1 metadata carried from the paper."""
+
+    app_id: str
+    name: str
+    loc_reported: str
+    stars_reported: int
+    tests_reported: int
+
+
+class Application:
+    """A benchmark application: metadata, tests, and ground truth."""
+
+    def __init__(
+        self,
+        info: AppInfo,
+        make_context: Callable[[Any], AppContext],
+        tests: List[UnitTest],
+        ground_truth: GroundTruth,
+        test_initialize: Optional[Method] = None,
+    ) -> None:
+        self.info = info
+        self.make_context = make_context
+        self.tests = list(tests)
+        self.ground_truth = ground_truth
+        #: Optional framework setup method run before every test on a
+        #: separate harness thread (MSTest's ``TestInitialize`` semantics).
+        self.test_initialize = test_initialize
+
+    @property
+    def app_id(self) -> str:
+        return self.info.app_id
+
+    @property
+    def name(self) -> str:
+        return self.info.name
+
+    def __repr__(self) -> str:
+        return (
+            f"Application({self.app_id} {self.name!r}, "
+            f"tests={len(self.tests)}, "
+            f"true_syncs={len(self.ground_truth.syncs)})"
+        )
+
+
+__all__ = [
+    "AppContext",
+    "AppInfo",
+    "Application",
+    "GroundTruth",
+    "KIND_API",
+    "KIND_METHOD",
+    "KIND_VARIABLE",
+    "SyncInfo",
+    "UnitTest",
+]

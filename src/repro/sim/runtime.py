@@ -1,0 +1,142 @@
+"""The runtime facade application code programs against.
+
+Application methods and synchronization primitives are generator functions
+that receive a :class:`Runtime` and ``yield`` syscalls (often indirectly,
+through these helpers, with ``yield from``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from ..trace.optypes import OpType
+from .kernel import Kernel
+from .methods import Method
+from .objects import SimObject
+from .syscalls import (
+    SysEmit,
+    SysNow,
+    SysRand,
+    SysRead,
+    SysSleep,
+    SysSpawn,
+    SysWait,
+    SysWrite,
+    SysYieldSched,
+)
+from .thread import SimThread
+
+
+class Runtime:
+    """Facade over the kernel for app code and primitives."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+
+    # -- identity ----------------------------------------------------------------
+
+    @property
+    def current_thread(self) -> SimThread:
+        """The thread currently being stepped (valid during dispatch)."""
+        return self.kernel.current
+
+    # -- heap access --------------------------------------------------------------
+
+    def new_object(
+        self,
+        class_name: str,
+        fields: Optional[dict] = None,
+        **kw_fields: Any,
+    ) -> SimObject:
+        """Allocate a heap object (allocation itself is untraced).
+
+        Fields may be given as a dict or as keyword arguments.
+        """
+        merged = dict(fields or {})
+        merged.update(kw_fields)
+        return SimObject(class_name, merged)
+
+    def read(self, obj: SimObject, fieldname: str):
+        """Traced heap read; returns the value."""
+        value = yield SysRead(obj, fieldname)
+        return value
+
+    def write(self, obj: SimObject, fieldname: str, value: Any):
+        """Traced heap write."""
+        yield SysWrite(obj, fieldname, value)
+
+    # -- method calls ----------------------------------------------------------------
+
+    def call(self, method: Method, obj: Optional[SimObject] = None, *args: Any):
+        """Invoke a method with ENTER/EXIT instrumentation.
+
+        ``obj`` becomes the event's parent object id (0 for static calls),
+        which is the channel identity race detectors key on.
+        """
+        address = self._address_of(obj)
+        meta = method.event_meta()
+        yield SysEmit(OpType.ENTER, method.qname, address, meta)
+        result = None
+        if method.body is not None:
+            result = yield from method.body(self, obj, *args)
+        yield SysEmit(OpType.EXIT, method.qname, address, dict(meta))
+        return result
+
+    def emit(
+        self,
+        optype: OpType,
+        name: str,
+        obj: Optional[SimObject] = None,
+        **meta: Any,
+    ):
+        """Low-level event emission for primitives that manage their own
+        ENTER/EXIT placement (e.g. around blocking points)."""
+        yield SysEmit(optype, name, self._address_of(obj), meta)
+
+    @staticmethod
+    def _address_of(obj: Any) -> int:
+        if obj is None:
+            return 0
+        if isinstance(obj, SimObject):
+            return obj.id
+        if isinstance(obj, int):
+            return obj
+        if hasattr(obj, "id"):
+            return int(obj.id)
+        raise TypeError(f"cannot derive an address from {obj!r}")
+
+    # -- time & scheduling ----------------------------------------------------------------
+
+    def sleep(self, duration: float):
+        yield SysSleep(duration)
+
+    def now(self):
+        value = yield SysNow()
+        return value
+
+    def rand(self):
+        value = yield SysRand()
+        return value
+
+    def sched_yield(self):
+        yield SysYieldSched()
+
+    # -- raw threads (used by primitives, not by app code) -----------------------------------
+
+    def spawn_raw(self, body: Any, name: str = "thread"):
+        thread = yield SysSpawn(body, name)
+        return thread
+
+    def join_raw(self, thread: SimThread):
+        while not thread.finished:
+            yield SysWait(thread.done_waitset)
+
+    def wait_on(self, waitset):
+        yield SysWait(waitset)
+
+    def notify_all(self, waitset) -> None:
+        """Wake all waiters; synchronous, costs no virtual time."""
+        self.kernel.wake_all(waitset)
+
+
+__all__ = ["Runtime"]

@@ -1,0 +1,109 @@
+"""Kernel syscalls.
+
+App code and synchronization primitives run as Python generators; every
+interaction with the simulated machine is expressed by *yielding* one of
+these syscall objects to the kernel.  The kernel executes it, advances the
+virtual clock, and resumes the generator with the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from ..trace.optypes import OpType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .objects import SimObject
+    from .thread import SimThread, WaitSet
+
+
+class Syscall:
+    """Marker base class for yieldable kernel operations."""
+
+    __slots__ = ()
+
+
+@dataclass
+class SysRead(Syscall):
+    """Read ``obj.field``; returns the value; emits a READ trace event."""
+
+    obj: "SimObject"
+    fieldname: str
+
+
+@dataclass
+class SysWrite(Syscall):
+    """Write ``obj.field = value``; emits a WRITE trace event."""
+
+    obj: "SimObject"
+    fieldname: str
+    value: Any
+
+
+@dataclass
+class SysEmit(Syscall):
+    """Emit a method ENTER/EXIT (or API before/after) trace event.
+
+    ``address`` is the parent object id.  ``meta`` carries substrate
+    signals: ``{"library": True}`` for system APIs, ``{"unsafe_api":
+    "read"|"write"}`` for thread-unsafe collection calls.
+    """
+
+    optype: OpType
+    name: str
+    address: int
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SysSleep(Syscall):
+    """Advance this thread's wake time by ``duration`` virtual seconds."""
+
+    duration: float
+
+
+@dataclass
+class SysWait(Syscall):
+    """Block until the wait set is notified (condition-variable style;
+    callers must re-check their predicate in a loop)."""
+
+    waitset: "WaitSet"
+
+
+@dataclass
+class SysSpawn(Syscall):
+    """Create a new thread running ``body`` (a generator); returns it."""
+
+    body: Any
+    name: str = "thread"
+
+
+@dataclass
+class SysNow(Syscall):
+    """Returns the current virtual clock."""
+
+
+@dataclass
+class SysRand(Syscall):
+    """Returns a float in [0, 1) from the kernel's seeded RNG (app jitter
+    must come from the kernel so runs stay reproducible)."""
+
+
+@dataclass
+class SysYieldSched(Syscall):
+    """A pure scheduling point: costs one step of time, emits nothing."""
+
+
+__all__ = [
+    "Syscall",
+    "SysEmit",
+    "SysNow",
+    "SysRand",
+    "SysRead",
+    "SysSleep",
+    "SysSpawn",
+    "SysWait",
+    "SysWrite",
+    "SysYieldSched",
+]

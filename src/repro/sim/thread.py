@@ -1,0 +1,77 @@
+"""Simulated threads and wait sets."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, List, Optional
+
+from .syscalls import Syscall
+
+
+class ThreadState(enum.Enum):
+    RUNNABLE = "runnable"
+    SLEEPING = "sleeping"
+    BLOCKED = "blocked"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+class WaitSet:
+    """A set of threads blocked on a condition.
+
+    Primitives park threads here via ``SysWait`` and the kernel's
+    ``wake_all`` moves them back to RUNNABLE.  Spurious wakeups are allowed
+    (and exercised): waiters re-check their predicate.
+    """
+
+    __slots__ = ("name", "waiters")
+
+    def __init__(self, name: str = "waitset") -> None:
+        self.name = name
+        self.waiters: List["SimThread"] = []
+
+    def add(self, thread: "SimThread") -> None:
+        self.waiters.append(thread)
+
+    def __len__(self) -> int:
+        return len(self.waiters)
+
+    def __repr__(self) -> str:
+        return f"WaitSet({self.name}, waiting={len(self.waiters)})"
+
+
+class SimThread:
+    """One simulated thread: a generator plus scheduling state."""
+
+    def __init__(self, tid: int, body: Any, name: str = "thread") -> None:
+        self.tid = tid
+        self.name = name
+        self.body = body
+        self.state = ThreadState.RUNNABLE
+        self.wake_at = 0.0
+        #: Thread-local clock: run time plus blocked/sleeping time,
+        #: excluding runnable-but-unscheduled time.  This is the "CPU +
+        #: wait" time real parallel hardware would charge the thread.
+        self.local_clock = 0.0
+        #: Global clock at the moment the thread last left RUNNABLE.
+        self.park_start = 0.0
+        #: Value to send into the generator on next resume.
+        self.send_value: Any = None
+        #: A syscall whose execution was postponed (delay injection).
+        self.pending: Optional[Syscall] = None
+        #: Set when the pending syscall already paid its injected delay.
+        self.delay_paid = False
+        #: Threads joining on this one wait here.
+        self.done_waitset = WaitSet(f"join:{name}")
+        #: Exception that killed the thread, if any.
+        self.error: Optional[BaseException] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (ThreadState.FINISHED, ThreadState.FAILED)
+
+    def __repr__(self) -> str:
+        return f"SimThread(#{self.tid} {self.name!r} {self.state.value})"
+
+
+__all__ = ["SimThread", "ThreadState", "WaitSet"]

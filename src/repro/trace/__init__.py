@@ -1,0 +1,31 @@
+"""Trace event model: static operation identities, dynamic events, logs."""
+
+from .events import DelayInterval, Location, TraceEvent
+from .log import TraceLog
+from .optypes import (
+    CAPABLE_ROLES,
+    OpRef,
+    OpType,
+    Role,
+    SyncOp,
+    begin_of,
+    end_of,
+    read_of,
+    write_of,
+)
+
+__all__ = [
+    "CAPABLE_ROLES",
+    "DelayInterval",
+    "Location",
+    "OpRef",
+    "OpType",
+    "Role",
+    "SyncOp",
+    "TraceEvent",
+    "TraceLog",
+    "begin_of",
+    "end_of",
+    "read_of",
+    "write_of",
+]

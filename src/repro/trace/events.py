@@ -1,0 +1,126 @@
+"""Dynamic trace events.
+
+The Observer records, per §4.1 of the paper: (1) timestamp, (2) thread id,
+(3) operation type, (4) field name + memory address for reads/writes, and
+(5) method name + parent object id for entries/exits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .optypes import OpRef, OpType
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One dynamic operation instance in an execution trace."""
+
+    timestamp: float
+    thread_id: int
+    optype: OpType
+    name: str
+    #: Memory address for field accesses; parent object id for method ops.
+    address: int
+    #: Which run (round) of the application produced this event.
+    run_id: int = 0
+    #: Index of the event within its run's trace (set by TraceLog.append).
+    seq: int = -1
+    #: Thread-local time (run + blocked time, excluding runnable-idle);
+    #: used for method-duration statistics so the serialized scheduler does
+    #: not inflate durations of non-blocking methods.  -1 when unknown.
+    local_time: float = -1.0
+    #: Extra signals used by substrates (e.g. thread-unsafe API class).
+    meta: Dict[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    @property
+    def ref(self) -> OpRef:
+        """The static operation this event is an instance of."""
+        return OpRef(self.name, self.optype)
+
+    @property
+    def is_memory(self) -> bool:
+        return self.optype.is_memory
+
+    @property
+    def is_write(self) -> bool:
+        return self.optype is OpType.WRITE
+
+    @property
+    def is_read(self) -> bool:
+        return self.optype is OpType.READ
+
+    @property
+    def location(self) -> "Location":
+        return Location(self.name, self.optype)
+
+    def conflicts_with(self, other: "TraceEvent") -> bool:
+        """Two memory events conflict when they touch the same field of the
+        same object from different threads and at least one writes."""
+        return (
+            self.is_memory
+            and other.is_memory
+            and self.thread_id != other.thread_id
+            and self.name == other.name
+            and self.address == other.address
+            and (self.is_write or other.is_write)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "t": self.timestamp,
+            "tid": self.thread_id,
+            "op": self.optype.value,
+            "name": self.name,
+            "addr": self.address,
+            "run": self.run_id,
+            "seq": self.seq,
+            "lt": self.local_time,
+            "meta": self.meta or {},
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "TraceEvent":
+        return TraceEvent(
+            timestamp=float(data["t"]),
+            thread_id=int(data["tid"]),
+            optype=OpType(data["op"]),
+            name=str(data["name"]),
+            address=int(data["addr"]),
+            run_id=int(data.get("run", 0)),
+            seq=int(data.get("seq", -1)),
+            local_time=float(data.get("lt", -1.0)),
+            meta=dict(data.get("meta") or {}),
+        )
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """A static code location: operation name + type.
+
+    Used for the per-location-pair window cap (§4.1: at most 15 windows per
+    pair of static locations).
+    """
+
+    name: str
+    optype: OpType
+
+
+@dataclass(frozen=True)
+class DelayInterval:
+    """A delay the Perturber injected: which thread stalled, when, and at
+    which static operation."""
+
+    thread_id: int
+    start: float
+    end: float
+    site: OpRef
+    run_id: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+__all__ = ["DelayInterval", "Location", "TraceEvent"]

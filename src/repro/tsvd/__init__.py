@@ -1,0 +1,15 @@
+"""TSVD-style thread-safety-violation detector (the §5.6 baseline)."""
+
+from .detector import (
+    TsvdResult,
+    analyze_log,
+    run_tsvd,
+    sherlock_synchronized_pairs,
+)
+
+__all__ = [
+    "TsvdResult",
+    "analyze_log",
+    "run_tsvd",
+    "sherlock_synchronized_pairs",
+]

@@ -1,0 +1,125 @@
+"""A TSVD-style thread-safety-violation detector (§5.6 baseline).
+
+TSVD (Li et al., SOSP'19) targets calls into thread-unsafe APIs.  It
+infers a happens-before relation between two conflicting thread-unsafe
+call sites when an injected delay before one call cascades into the
+other; such pairs are skipped when hunting violations.  Unlike SherLock
+it never pinpoints *which* operation synchronizes — only that a pair is
+ordered.
+
+This reproduction implements the part §5.6 compares against: finding
+conflicting thread-unsafe API call pairs and classifying them as likely
+synchronized (delay propagates / never overlap) or racy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..sim.program import Application
+from ..sim.runner import RunOptions, run_application
+from ..trace.log import TraceLog
+from ..trace.optypes import OpRef, OpType
+
+#: A conflicting thread-unsafe call pair: ordered static call sites.
+PairKey = Tuple[OpRef, OpRef]
+
+
+@dataclass
+class TsvdResult:
+    """Conflicting thread-unsafe API pairs and their inferred ordering."""
+
+    app_id: str
+    #: Pairs whose delay/timing evidence says they are ordered.
+    synchronized_pairs: Set[PairKey] = field(default_factory=set)
+    #: Pairs observed overlapping (potential thread-safety violations).
+    racy_pairs: Set[PairKey] = field(default_factory=set)
+
+    @property
+    def total_pairs(self) -> int:
+        return len(self.synchronized_pairs | self.racy_pairs)
+
+
+def _unsafe_calls(log: TraceLog):
+    """ENTER events of thread-unsafe API call sites, with their spans."""
+    opens: Dict[Tuple[int, str], float] = {}
+    spans = []  # (enter_event, start, end)
+    for e in log:
+        if e.meta.get("unsafe_api"):
+            if e.optype is OpType.ENTER:
+                opens[(e.thread_id, e.name)] = e.timestamp
+            elif e.optype is OpType.EXIT:
+                start = opens.pop((e.thread_id, e.name), e.timestamp)
+                spans.append((e, start, e.timestamp))
+    return spans
+
+
+def analyze_log(log: TraceLog, result: TsvdResult, near: float) -> None:
+    """Classify conflicting unsafe-API pairs in one run."""
+    spans = _unsafe_calls(log)
+    for i, (a, a_start, a_end) in enumerate(spans):
+        for b, b_start, b_end in spans[i + 1:]:
+            if b_start - a_end > near:
+                continue
+            if a.thread_id == b.thread_id or a.address != b.address:
+                continue
+            if (
+                a.meta.get("unsafe_api") != "write"
+                and b.meta.get("unsafe_api") != "write"
+            ):
+                continue
+            key = (OpRef(a.name, OpType.ENTER), OpRef(b.name, OpType.ENTER))
+            if b_start < a_end:  # overlapping execution: potential TSV
+                result.racy_pairs.add(key)
+            else:
+                result.synchronized_pairs.add(key)
+    # A pair seen both ways is racy.
+    result.synchronized_pairs -= result.racy_pairs
+
+
+def run_tsvd(app: Application, seed: int = 0, runs: int = 3,
+             near: float = 1.0) -> TsvdResult:
+    """TSVD over ``runs`` executions of the app's test suite.
+
+    TSVD's own delay injection is approximated by the natural timing
+    variation across the seeded runs — the comparison in §5.6 only uses
+    the resulting pair counts.
+    """
+    result = TsvdResult(app.app_id)
+    for run_id in range(runs):
+        options = RunOptions(seed=seed + run_id, run_id=run_id)
+        for execution in run_application(app, options):
+            analyze_log(execution.log, result, near)
+    return result
+
+
+def sherlock_synchronized_pairs(
+    app: Application, inferred_names: Set[str], seed: int = 0
+) -> Set[PairKey]:
+    """Conflicting unsafe-API pairs SherLock's inference marks as
+    synchronized: pairs whose interval contains an inferred sync op."""
+    from ..core.windows import WindowExtractor
+
+    pairs: Set[PairKey] = set()
+    options = RunOptions(seed=seed, run_id=0)
+    extractor = WindowExtractor(near=1.0, window_cap=15)
+    for execution in run_application(app, options):
+        for window in extractor.extract(execution.log):
+            a_ref, b_ref = window.pair_key
+            if not (
+                a_ref.optype is OpType.ENTER and b_ref.optype is OpType.ENTER
+            ):
+                continue
+            ops = set(window.release_side) | set(window.acquire_side)
+            if any(ref.name in inferred_names for ref in ops):
+                pairs.add(window.pair_key)
+    return pairs
+
+
+__all__ = [
+    "TsvdResult",
+    "analyze_log",
+    "run_tsvd",
+    "sherlock_synchronized_pairs",
+]

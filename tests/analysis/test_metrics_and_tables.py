@@ -1,0 +1,138 @@
+"""Tests for scoring, table rendering, and experiment regenerators."""
+
+import pytest
+
+from repro.analysis import TableResult, classify, precision, unique_sync_count
+from repro.analysis.metrics import missed_by_category
+from repro.apps.registry import get_application
+from repro.core import Sherlock, SherlockConfig
+from repro.trace import Role, SyncOp, read_of, write_of
+
+
+@pytest.fixture(scope="module")
+def app2_scored():
+    app = get_application("App-2")
+    report = Sherlock(app, SherlockConfig(rounds=3, seed=0)).run()
+    return app, report, classify(app, report)
+
+
+def test_classify_app2_all_correct(app2_scored):
+    app, report, result = app2_scored
+    assert len(result.correct) == 6
+    assert not result.data_racy
+    assert not result.instr_errors
+    assert not result.not_sync
+    assert result.inferred_total == 6
+
+
+def test_classify_data_racy_bucket():
+    app = get_application("App-7")
+    report = Sherlock(app, SherlockConfig(rounds=3, seed=0)).run()
+    result = classify(app, report)
+    assert all(
+        s.op.name in app.ground_truth.racy_fields for s in result.data_racy
+    )
+
+
+def test_unique_sync_count_dedupes():
+    a = {SyncOp(read_of("C::f"), Role.ACQUIRE)}
+    b = {SyncOp(read_of("C::f"), Role.ACQUIRE),
+         SyncOp(write_of("C::f"), Role.RELEASE)}
+    assert unique_sync_count([a, b]) == 2
+
+
+def test_precision_helper(app2_scored):
+    _, _, result = app2_scored
+    correct, total, prec = precision([result])
+    assert correct == total == 6
+    assert prec == pytest.approx(1.0)
+
+
+def test_missed_by_category(app2_scored):
+    app, _, result = app2_scored
+    buckets = missed_by_category(app, result)
+    assert sum(buckets.values()) == len(result.missed)
+
+
+def test_table_result_rendering():
+    table = TableResult("Demo", ["a", "bb"])
+    table.add_row(1, "xyz")
+    table.notes.append("a note")
+    text = table.render()
+    assert "Demo" in text
+    assert "xyz" in text
+    assert "a note" in text
+
+
+class TestExperimentRegenerators:
+    """Smoke-run every regenerator on a small app subset."""
+
+    APPS = ["App-2", "App-7"]
+
+    def test_table1(self):
+        from repro.analysis.experiments import table1
+
+        result = table1.run(self.APPS)
+        assert len(result.rows) == 2
+
+    def test_table2(self):
+        from repro.analysis.experiments import table2
+
+        result, classified = table2.run(self.APPS)
+        assert len(classified) == 2
+        assert result.rows[-1][0] == "Sum"
+
+    def test_table3(self):
+        from repro.analysis.experiments import table3
+
+        result, per_app = table3.run(self.APPS)
+        manual, sherlock = per_app["App-7"]
+        assert manual.spec_name == "Manual_dr"
+        assert sherlock.spec_name == "SherLock_dr"
+
+    def test_table4(self):
+        from repro.analysis.experiments import table4
+
+        result = table4.run(self.APPS)
+        assert result.rows[-1][0] == "Total"
+
+    def test_table5_mostly_protected_indispensable(self):
+        from repro.analysis.experiments import table5
+
+        result = table5.run(self.APPS)
+        rows = {row[0]: row for row in result.rows}
+        assert rows["w/o Mostly are Protected"][1] == 0
+        assert rows["SherLock"][1] > 0
+
+    def test_table6_lambda_shrinks_inference(self):
+        from repro.analysis.experiments import table6
+
+        result = table6.run(self.APPS, lambdas=(0.2, 100.0))
+        by_lam = {row[0]: row for row in result.rows}
+        assert by_lam[100.0][2] <= by_lam[0.2][2]
+
+    def test_table7_small_near_misses_syncs(self):
+        from repro.analysis.experiments import table7
+
+        result = table7.run(self.APPS, nears=(0.01, 1.0))
+        by_near = {row[0]: row for row in result.rows}
+        assert by_near[0.01][1] <= by_near[1.0][1]
+
+    def test_figure4_settings(self):
+        from repro.analysis.experiments import figure4
+
+        result = figure4.run(self.APPS, rounds=2)
+        assert len(result.rows) == 4
+
+    def test_table89_listing(self):
+        from repro.analysis.experiments import table89
+
+        result = table89.run(["App-2"])
+        assert any("GetOrAdd" in str(row[2]) for row in result.rows)
+
+    def test_tsvd_enhancement(self):
+        from repro.analysis.experiments import tsvd_enhance
+
+        result = tsvd_enhance.run(self.APPS)
+        total = result.rows[-1]
+        assert total[2] >= total[1]

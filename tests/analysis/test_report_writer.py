@@ -1,0 +1,21 @@
+"""Tests for the markdown report writer."""
+
+import io
+
+from repro.analysis.report_writer import report_markdown, write_report
+
+
+def test_write_report_covers_all_sections():
+    buffer = io.StringIO()
+    sections = write_report(buffer, app_ids=["App-2"])
+    text = buffer.getvalue()
+    assert len(sections) == 11
+    for title in sections:
+        assert title in text
+    assert text.startswith("# SherLock reproduction report")
+
+
+def test_report_markdown_contains_tables():
+    text = report_markdown(app_ids=["App-2"])
+    assert "Table 2" in text
+    assert "App-2" in text

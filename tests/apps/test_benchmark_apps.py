@@ -1,0 +1,150 @@
+"""Tests for the 8 benchmark applications.
+
+Every app must (a) build, (b) run its unit tests to completion without
+simulator errors, (c) declare consistent ground truth, and (d) — the
+headline property — let SherLock infer a meaningful share of its true
+synchronizations at the default configuration.
+"""
+
+import pytest
+
+from repro.apps.registry import all_applications, app_ids, get_application
+from repro.core import Sherlock, SherlockConfig
+from repro.sim.runner import RunOptions, run_application
+
+APP_IDS = app_ids()
+
+
+def test_registry_lists_eight_apps():
+    assert len(APP_IDS) == 8
+    assert APP_IDS[0] == "App-1"
+
+
+def test_registry_unknown_id_raises():
+    with pytest.raises(KeyError):
+        get_application("App-99")
+
+
+def test_registry_builds_fresh_instances():
+    a = get_application("App-2")
+    b = get_application("App-2")
+    assert a is not b
+
+
+@pytest.mark.parametrize("app_id", APP_IDS)
+def test_app_tests_run_clean(app_id):
+    """Every unit test of every app must run without simulator errors."""
+    app = get_application(app_id)
+    executions = run_application(app, RunOptions(seed=0))
+    for execution in executions:
+        assert execution.error is None, (
+            f"{app_id} {execution.test_name}: {execution.error}"
+        )
+        assert len(execution.log) > 0
+
+
+@pytest.mark.parametrize("app_id", APP_IDS)
+def test_app_tests_deterministic(app_id):
+    """Same seed ⇒ identical traces."""
+    app_a = get_application(app_id)
+    app_b = get_application(app_id)
+    logs_a = [
+        [(e.thread_id, e.name, e.optype) for e in ex.log]
+        for ex in run_application(app_a, RunOptions(seed=5))
+    ]
+    logs_b = [
+        [(e.thread_id, e.name, e.optype) for e in ex.log]
+        for ex in run_application(app_b, RunOptions(seed=5))
+    ]
+    assert logs_a == logs_b
+
+
+@pytest.mark.parametrize("app_id", APP_IDS)
+def test_ground_truth_consistency(app_id):
+    app = get_application(app_id)
+    gt = app.ground_truth
+    assert gt.syncs, f"{app_id} declares no true synchronizations"
+    # Hidden methods must be declared as true syncs too.
+    sync_names = gt.true_sync_names()
+    for hidden in gt.hidden_sync_methods:
+        assert hidden in sync_names
+    # Every sync op must respect the capability property.
+    for sync in gt.syncs:
+        assert sync.op.can_play(sync.role), sync.display()
+
+
+@pytest.mark.parametrize("app_id", APP_IDS)
+def test_inference_recovers_true_syncs(app_id):
+    """At the default config SherLock must find true synchronizations and
+    keep false positives bounded (Table-2 shape, per app)."""
+    app = get_application(app_id)
+    report = Sherlock(app, SherlockConfig(rounds=3, seed=0)).run()
+    gt = app.ground_truth
+    final = report.final.syncs
+    correct = [s for s in final if gt.is_true_sync(s)]
+    assert len(correct) >= 2, f"{app_id} inferred too few true syncs"
+    assert len(final) <= len(gt.syncs) + 18
+
+
+def test_app2_is_inferred_perfectly():
+    """App-2 matches the paper's row exactly: 6 syncs, no FPs."""
+    app = get_application("App-2")
+    report = Sherlock(app, SherlockConfig(rounds=3, seed=0)).run()
+    gt = app.ground_truth
+    final = report.final.syncs
+    assert len(final) == 6
+    assert all(gt.is_true_sync(s) for s in final)
+
+
+def test_app7_plants_data_racy_misclassifications():
+    """App-7's racy lastError flag is misclassified as a flag sync."""
+    app = get_application("App-7")
+    report = Sherlock(app, SherlockConfig(rounds=3, seed=0)).run()
+    racy_inferred = [
+        s
+        for s in report.final.syncs
+        if s.op.name in app.ground_truth.racy_fields
+    ]
+    assert racy_inferred, "expected Data-Racy misclassifications"
+
+
+def test_app1_framework_edge_inferred():
+    """TestInitialize-End must be inferred as a release (Example E)."""
+    from repro.trace import Role, end_of, SyncOp
+
+    app = get_application("App-1")
+    report = Sherlock(app, SherlockConfig(rounds=3, seed=0)).run()
+    target = SyncOp(
+        end_of(
+            "Microsoft.ApplicationInsights.Tests.TelemetryClientTests"
+            "::TestInitialize"
+        ),
+        Role.RELEASE,
+    )
+    all_rounds = set()
+    for r in report.rounds:
+        all_rounds.update(r.inference.syncs)
+    assert target in all_rounds
+
+
+def test_app8_double_role_is_missed():
+    """UpgradeToWriterLock's hidden release is blocked by Single-Role."""
+    from repro.trace import Role, end_of, SyncOp
+
+    app = get_application("App-8")
+    report = Sherlock(app, SherlockConfig(rounds=3, seed=0)).run()
+    upgrade_release = SyncOp(
+        end_of("System.Threading.ReaderWriterLock::UpgradeToWriterLock"),
+        Role.RELEASE,
+    )
+    assert upgrade_release not in report.final.syncs
+
+
+def test_hidden_methods_never_inferred():
+    """Events of hidden methods are invisible, so they cannot appear."""
+    for app_id in ("App-1", "App-3"):
+        app = get_application(app_id)
+        report = Sherlock(app, SherlockConfig(rounds=2, seed=0)).run()
+        hidden = app.ground_truth.hidden_sync_methods
+        for sync in report.final.syncs:
+            assert sync.op.name not in hidden

@@ -1,0 +1,130 @@
+"""Unit tests for SherlockConfig, the candidate registry, and the
+delay-plan builder."""
+
+import pytest
+
+from repro.core import CandidateRegistry, SherlockConfig, TABLE5_ABLATIONS
+from repro.core.perturber import build_delay_plan
+from repro.core.solver import InferenceResult
+from repro.lp import Model
+from repro.sim.kernel import DelaySpec
+from repro.trace import (
+    OpRef,
+    OpType,
+    Role,
+    SyncOp,
+    begin_of,
+    end_of,
+    read_of,
+    write_of,
+)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = SherlockConfig()
+        assert config.near == 1.0
+        assert config.window_cap == 15
+        assert config.lam == 0.2
+        assert config.rare_coef == 0.1
+        assert config.delay == 0.1
+        assert config.rounds == 3
+
+    def test_validate_accepts_defaults(self):
+        SherlockConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("near", 0.0),
+            ("window_cap", 0),
+            ("lam", -1.0),
+            ("threshold", 0.0),
+            ("threshold", 1.5),
+            ("rounds", 0),
+            ("delay", -0.1),
+        ],
+    )
+    def test_validate_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            SherlockConfig(**{field: value}).validate()
+
+    def test_without_returns_modified_copy(self):
+        base = SherlockConfig()
+        changed = base.without(lam=5.0, rounds=1)
+        assert changed.lam == 5.0 and changed.rounds == 1
+        assert base.lam == 0.2 and base.rounds == 3
+
+    def test_table5_ablations_complete(self):
+        assert len(TABLE5_ABLATIONS) == 7
+        assert TABLE5_ABLATIONS["SherLock"] == {}
+
+
+class TestCandidateRegistry:
+    def test_capability_enforced(self):
+        registry = CandidateRegistry(Model())
+        assert registry.var(read_of("C::f"), Role.RELEASE) is None
+        assert registry.var(write_of("C::f"), Role.ACQUIRE) is None
+        assert registry.var(begin_of("C::m"), Role.RELEASE) is None
+        assert registry.var(end_of("C::m"), Role.ACQUIRE) is None
+        assert registry.var(read_of("C::f"), Role.ACQUIRE) is not None
+
+    def test_capability_ablation_allows_everything(self):
+        registry = CandidateRegistry(Model(), enforce_capability=False)
+        assert registry.var(read_of("C::f"), Role.RELEASE) is not None
+
+    def test_variables_are_cached(self):
+        registry = CandidateRegistry(Model())
+        a = registry.var(read_of("C::f"), Role.ACQUIRE)
+        b = registry.var(read_of("C::f"), Role.ACQUIRE)
+        assert a is b
+        assert len(registry) == 1
+
+    def test_lookup_never_creates(self):
+        registry = CandidateRegistry(Model())
+        assert registry.lookup(read_of("C::f"), Role.ACQUIRE) is None
+        registry.var(read_of("C::f"), Role.ACQUIRE)
+        assert registry.lookup(read_of("C::f"), Role.ACQUIRE) is not None
+
+    def test_side_helpers_filter_incapable(self):
+        registry = CandidateRegistry(Model())
+        refs = [read_of("C::f"), write_of("C::f"), begin_of("C::m"),
+                end_of("C::m")]
+        assert len(registry.release_vars(refs)) == 2  # write + end
+        assert len(registry.acquire_vars(refs)) == 2  # read + begin
+
+    def test_unit_bounds(self):
+        registry = CandidateRegistry(Model())
+        var = registry.var(read_of("C::f"), Role.ACQUIRE)
+        assert var.lower == 0.0 and var.upper == 1.0
+
+
+class TestDelayPlan:
+    def _inference(self, *releases):
+        result = InferenceResult()
+        result.releases = set(releases)
+        return result
+
+    def test_method_release_triggers_at_call(self):
+        inference = self._inference(SyncOp(end_of("C::m"), Role.RELEASE))
+        plan = build_delay_plan(inference, SherlockConfig())
+        trigger = OpRef("C::m", OpType.ENTER)
+        assert trigger in plan
+        spec = plan[trigger]
+        assert isinstance(spec, DelaySpec)
+        assert spec.site == end_of("C::m")
+        assert spec.duration == pytest.approx(0.1)
+
+    def test_write_release_triggers_at_write(self):
+        inference = self._inference(SyncOp(write_of("C::f"), Role.RELEASE))
+        plan = build_delay_plan(inference, SherlockConfig())
+        assert OpRef("C::f", OpType.WRITE) in plan
+
+    def test_disabled_injection_gives_empty_plan(self):
+        inference = self._inference(SyncOp(write_of("C::f"), Role.RELEASE))
+        config = SherlockConfig(enable_delay_injection=False)
+        assert build_delay_plan(inference, config) == {}
+
+    def test_zero_delay_gives_empty_plan(self):
+        inference = self._inference(SyncOp(write_of("C::f"), Role.RELEASE))
+        assert build_delay_plan(inference, SherlockConfig(delay=0.0)) == {}

@@ -1,0 +1,72 @@
+"""Integration tests for the pipeline's feedback toggles (Figure 4)."""
+
+import pytest
+
+from repro.apps.registry import get_application
+from repro.core import Sherlock, SherlockConfig
+
+
+@pytest.fixture(scope="module")
+def app7_full():
+    app = get_application("App-7")
+    report = Sherlock(app, SherlockConfig(rounds=3, seed=0)).run()
+    return app, report
+
+
+def test_delays_injected_after_first_round(app7_full):
+    _, report = app7_full
+    assert report.rounds[0].delays_injected == 0  # no plan on round 1
+    assert any(r.delays_injected > 0 for r in report.rounds[1:])
+
+
+def test_no_delay_toggle_never_injects():
+    app = get_application("App-7")
+    config = SherlockConfig(rounds=2, seed=0, enable_delay_injection=False)
+    report = Sherlock(app, config).run()
+    assert all(r.delays_injected == 0 for r in report.rounds)
+
+
+def test_accumulation_grows_windows(app7_full):
+    _, report = app7_full
+    totals = [r.windows_total for r in report.rounds]
+    assert totals == sorted(totals) and totals[-1] > totals[0]
+
+
+def test_no_accumulation_keeps_windows_per_round():
+    app = get_application("App-7")
+    config = SherlockConfig(rounds=2, seed=0, accumulate_across_runs=False)
+    report = Sherlock(app, config).run()
+    # Window counts don't monotonically accumulate across rounds.
+    assert report.rounds[1].windows_total < (
+        report.rounds[0].windows_total * 2
+    )
+
+
+def test_rounds_override_argument():
+    app = get_application("App-2")
+    report = Sherlock(app, SherlockConfig(rounds=3, seed=0)).run(rounds=1)
+    assert len(report.rounds) == 1
+
+
+def test_report_accessors(app7_full):
+    _, report = app7_full
+    assert report.final is report.rounds[-1].inference
+    assert report.inferred == frozenset(report.final.syncs)
+    assert len(report.inferred_by_round()) == 3
+    assert "App-7" in report.describe()
+
+
+def test_invalid_config_rejected_at_construction():
+    app = get_application("App-2")
+    with pytest.raises(ValueError):
+        Sherlock(app, SherlockConfig(rounds=0))
+
+
+def test_simplex_backend_end_to_end():
+    """The from-scratch simplex can drive the whole pipeline."""
+    app = get_application("App-2")
+    config = SherlockConfig(rounds=1, seed=0, backend="simplex")
+    report = Sherlock(app, config).run()
+    gt = app.ground_truth
+    correct = sum(1 for s in report.final.syncs if gt.is_true_sync(s))
+    assert correct >= 3

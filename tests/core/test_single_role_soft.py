@@ -1,0 +1,71 @@
+"""Tests for the soft Single-Role extension (paper §5.5 future work)."""
+
+import pytest
+
+from repro.core import ObservationStore, SherlockConfig, infer
+from repro.core.windows import Window
+from repro.trace import Role, SyncOp, TraceLog, begin_of, end_of, read_of, write_of
+
+
+def double_role_store(windows_per_role=4):
+    """An API demanded as begin-acquire in some windows and end-release
+    in others (UpgradeToWriteLock's shape)."""
+    api = "Lib::Upgrade"
+    store = ObservationStore()
+    windows = []
+    for i in range(windows_per_role):
+        w = Window(
+            pair_key=(write_of("C::x"), read_of("C::x")),
+            run_id=0, a_time=0.0, b_time=1.0,
+        )
+        w.release_side[end_of(api)] = 1
+        w.acquire_side[read_of("C::x")] = 1
+        windows.append(w)
+        w2 = Window(
+            pair_key=(write_of("C::y"), read_of("C::y")),
+            run_id=0, a_time=0.0, b_time=1.0,
+        )
+        w2.release_side[write_of("C::y")] = 1
+        w2.acquire_side[begin_of(api)] = 1
+        windows.append(w2)
+    store.ingest_run(TraceLog(), windows)
+    store.library_names.add(api)
+    return store, api
+
+
+def test_hard_single_role_forbids_both():
+    store, api = double_role_store()
+    result = infer(store, SherlockConfig())
+    both = (
+        SyncOp(begin_of(api), Role.ACQUIRE) in result.acquires
+        and SyncOp(end_of(api), Role.RELEASE) in result.releases
+    )
+    assert not both
+
+
+def test_soft_single_role_allows_both_with_enough_evidence():
+    store, api = double_role_store(windows_per_role=6)
+    config = SherlockConfig(single_role_soft=True)
+    result = infer(store, config)
+    assert SyncOp(begin_of(api), Role.ACQUIRE) in result.acquires
+    assert SyncOp(end_of(api), Role.RELEASE) in result.releases
+
+
+def test_soft_single_role_on_app8_recovers_upgrade_release():
+    """On the double-role benchmark app, the soft constraint recovers at
+    least as many rwlock roles as the hard one."""
+    from repro.apps.registry import get_application
+    from repro.core import Sherlock
+
+    def rw_roles(config):
+        app = get_application("App-8")
+        report = Sherlock(app, config).run()
+        return {
+            s.display()
+            for s in report.final.syncs
+            if "ReaderWriterLock" in s.op.name
+        }
+
+    hard = rw_roles(SherlockConfig(rounds=2, seed=0))
+    soft = rw_roles(SherlockConfig(rounds=2, seed=0, single_role_soft=True))
+    assert len(soft) >= len(hard)

@@ -1,0 +1,236 @@
+"""Unit tests for acquire/release window extraction and refinement."""
+
+import pytest
+
+from repro.core.windows import WindowExtractor
+from repro.trace import DelayInterval, OpRef, OpType, TraceEvent, TraceLog
+
+
+def ev(t, tid, op, name, addr=1, **meta):
+    return TraceEvent(
+        timestamp=t, thread_id=tid, optype=op, name=name, address=addr,
+        meta=meta,
+    )
+
+
+def build_log(events, delays=()):
+    log = TraceLog(run_id=0)
+    for e in sorted(events, key=lambda e: e.timestamp):
+        log.append(e)
+    for d in delays:
+        log.add_delay(d)
+    return log
+
+
+W, R, EN, EX = OpType.WRITE, OpType.READ, OpType.ENTER, OpType.EXIT
+
+
+def test_basic_conflicting_pair_forms_window():
+    log = build_log([
+        ev(0.10, 1, W, "C::x"),
+        ev(0.12, 1, EX, "C::Release"),
+        ev(0.15, 2, EN, "C::Acquire"),
+        ev(0.20, 2, R, "C::x"),
+    ])
+    windows = WindowExtractor(near=1.0, window_cap=15).extract(log)
+    assert len(windows) == 1
+    w = windows[0]
+    assert w.pair_key == (OpRef("C::x", W), OpRef("C::x", R))
+    # Endpoints included: the write is a release candidate, the read an
+    # acquire candidate.
+    assert OpRef("C::x", W) in w.release_side
+    assert OpRef("C::Release", EX) in w.release_side
+    assert OpRef("C::x", R) in w.acquire_side
+    assert OpRef("C::Acquire", EN) in w.acquire_side
+    assert not w.racy
+
+
+def test_same_thread_accesses_do_not_conflict():
+    log = build_log([
+        ev(0.1, 1, W, "C::x"),
+        ev(0.2, 1, R, "C::x"),
+    ])
+    assert WindowExtractor(1.0, 15).extract(log) == []
+
+
+def test_different_address_does_not_conflict():
+    log = build_log([
+        ev(0.1, 1, W, "C::x", addr=1),
+        ev(0.2, 2, R, "C::x", addr=2),
+    ])
+    assert WindowExtractor(1.0, 15).extract(log) == []
+
+
+def test_read_read_does_not_conflict():
+    log = build_log([
+        ev(0.1, 1, R, "C::x"),
+        ev(0.2, 2, R, "C::x"),
+    ])
+    assert WindowExtractor(1.0, 15).extract(log) == []
+
+
+def test_near_filter_excludes_distant_pairs():
+    log = build_log([
+        ev(0.1, 1, W, "C::x"),
+        ev(5.0, 2, R, "C::x"),
+    ])
+    assert WindowExtractor(near=1.0, window_cap=15).extract(log) == []
+    assert len(WindowExtractor(near=10.0, window_cap=15).extract(log)) == 1
+
+
+def test_window_cap_limits_per_location_pair():
+    events = []
+    t = 0.0
+    for i in range(40):
+        events.append(ev(t, 1, W, "C::x"))
+        events.append(ev(t + 0.001, 2, R, "C::x"))
+        t += 0.01
+    log = build_log(events)
+    windows = WindowExtractor(near=0.005, window_cap=15).extract(log)
+    assert len(windows) == 15
+
+
+def test_write_write_with_empty_windows_is_racy():
+    log = build_log([
+        ev(0.1, 1, W, "C::x"),
+        ev(0.2, 2, W, "C::x"),
+    ])
+    windows = WindowExtractor(1.0, 15).extract(log)
+    assert len(windows) == 1
+    # Release side has the write endpoint (capable) but the acquire side
+    # only has a write — provably no acquire: a data race.
+    assert windows[0].racy
+
+
+def test_read_then_write_with_nothing_between_is_racy():
+    log = build_log([
+        ev(0.1, 1, R, "C::x"),
+        ev(0.2, 2, W, "C::x"),
+    ])
+    windows = WindowExtractor(1.0, 15).extract(log)
+    assert windows[0].racy
+
+
+def test_write_then_read_flag_pair_is_not_racy():
+    log = build_log([
+        ev(0.1, 1, W, "C::flag"),
+        ev(0.2, 2, R, "C::flag"),
+    ])
+    windows = WindowExtractor(1.0, 15).extract(log)
+    assert not windows[0].racy
+
+
+def test_unsafe_api_calls_form_conflicting_pairs():
+    log = build_log([
+        ev(0.1, 1, EN, "List::Add", addr=9, unsafe_api="write"),
+        ev(0.11, 1, EX, "List::Add", addr=9, unsafe_api="write"),
+        ev(0.2, 2, EN, "List::Contains", addr=9, unsafe_api="read"),
+    ])
+    windows = WindowExtractor(1.0, 15).extract(log)
+    assert len(windows) == 1
+    assert windows[0].pair_key[0].name == "List::Add"
+
+
+def test_unsafe_api_list_can_be_disabled():
+    log = build_log([
+        ev(0.1, 1, EN, "List::Add", addr=9, unsafe_api="write"),
+        ev(0.2, 2, EN, "List::Contains", addr=9, unsafe_api="read"),
+    ])
+    windows = WindowExtractor(
+        1.0, 15, use_unsafe_api_list=False
+    ).extract(log)
+    assert windows == []
+
+
+def test_occurrence_counts_per_window():
+    log = build_log([
+        ev(0.10, 1, W, "C::x"),
+        ev(0.11, 1, EX, "C::Noise"),
+        ev(0.12, 1, EX, "C::Noise"),
+        ev(0.13, 1, EX, "C::Noise"),
+        ev(0.20, 2, R, "C::x"),
+    ])
+    w = WindowExtractor(1.0, 15).extract(log)[0]
+    assert w.release_side[OpRef("C::Noise", EX)] == 3
+    assert w.release_side[OpRef("C::x", W)] == 1
+
+
+def test_refinement_not_propagated_truncates_release_window():
+    # T1: a=write x; TrueRel exits; Noise exits (delayed, no propagation);
+    # T2: b=read x at a time *before* the delay would have ended.
+    site = OpRef("C::Noise", EX)
+    delay = DelayInterval(thread_id=1, start=0.14, end=0.24, site=site)
+    log = build_log(
+        [
+            ev(0.10, 1, W, "C::x"),
+            ev(0.12, 1, EX, "C::TrueRel"),
+            ev(0.24, 1, EX, "C::Noise"),  # executed after paying delay
+            ev(0.18, 2, R, "C::x"),       # b did not stall
+        ],
+        delays=[delay],
+    )
+    w = WindowExtractor(1.0, 15).extract(log)[0]
+    assert w.refined
+    assert site not in w.release_side
+    assert OpRef("C::TrueRel", EX) in w.release_side
+    assert OpRef("C::x", W) in w.release_side  # endpoint kept
+
+
+def test_refinement_propagated_shrinks_acquire_window():
+    # Delay before the true release propagates: b stalls with it.  The
+    # acquire window shrinks to ops at/after the delay's end; completed
+    # noise calls from before the delay are dropped.
+    site = OpRef("C::TrueRel", EX)
+    delay = DelayInterval(thread_id=1, start=0.12, end=0.22, site=site)
+    log = build_log(
+        [
+            ev(0.110, 2, EN, "C::EarlyNoise"),
+            ev(0.115, 2, EX, "C::EarlyNoise"),
+            ev(0.10, 1, W, "C::x"),
+            ev(0.22, 1, EX, "C::TrueRel"),
+            ev(0.24, 2, EN, "C::Acquire"),
+            ev(0.26, 2, R, "C::x"),
+        ],
+        delays=[delay],
+    )
+    w = WindowExtractor(1.0, 15).extract(log)[0]
+    assert w.refined
+    assert OpRef("C::EarlyNoise", EN) not in w.acquire_side
+    assert OpRef("C::Acquire", EN) in w.acquire_side
+    assert OpRef("C::x", R) in w.acquire_side
+
+
+def test_refinement_propagated_recovers_blocked_call():
+    # The call b's thread was blocked inside while the delay ran joins the
+    # refined acquire window even though its ENTER precedes the release.
+    site = OpRef("C::TrueRel", EX)
+    delay = DelayInterval(thread_id=1, start=0.12, end=0.22, site=site)
+    log = build_log(
+        [
+            ev(0.10, 1, W, "C::x"),
+            ev(0.22, 1, EX, "C::TrueRel"),
+            ev(0.11, 2, EN, "C::BlockingAcquire"),  # blocked across delay
+            ev(0.24, 2, EX, "C::BlockingAcquire"),
+            ev(0.26, 2, R, "C::x"),
+        ],
+        delays=[delay],
+    )
+    w = WindowExtractor(1.0, 15).extract(log)[0]
+    assert w.refined
+    assert OpRef("C::BlockingAcquire", EN) in w.acquire_side
+
+
+def test_refinement_disabled_keeps_raw_windows():
+    site = OpRef("C::Noise", EX)
+    delay = DelayInterval(thread_id=1, start=0.14, end=0.24, site=site)
+    log = build_log(
+        [
+            ev(0.10, 1, W, "C::x"),
+            ev(0.24, 1, EX, "C::Noise"),
+            ev(0.30, 2, R, "C::x"),
+        ],
+        delays=[delay],
+    )
+    w = WindowExtractor(1.0, 15, refine=False).extract(log)[0]
+    assert not w.refined
+    assert site in w.release_side

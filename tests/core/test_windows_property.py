@@ -1,0 +1,87 @@
+"""Property-based tests for window extraction invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.windows import WindowExtractor
+from repro.trace import OpType, TraceEvent, TraceLog
+
+FIELDS = ["C::a", "C::b"]
+
+
+@st.composite
+def random_logs(draw):
+    """Random two-thread memory traces."""
+    n = draw(st.integers(2, 30))
+    log = TraceLog()
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(0.001, 0.05))
+        log.append(
+            TraceEvent(
+                timestamp=t,
+                thread_id=draw(st.integers(1, 2)),
+                optype=draw(st.sampled_from([OpType.READ, OpType.WRITE])),
+                name=draw(st.sampled_from(FIELDS)),
+                address=draw(st.integers(1, 2)),
+            )
+        )
+    return log
+
+
+@given(random_logs(), st.floats(0.01, 2.0))
+@settings(max_examples=60, deadline=None)
+def test_windows_respect_near(log, near):
+    windows = WindowExtractor(near=near, window_cap=100).extract(log)
+    for window in windows:
+        assert window.b_time - window.a_time <= near + 1e-9
+
+
+@given(random_logs(), st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_window_cap_respected(log, cap):
+    windows = WindowExtractor(near=10.0, window_cap=cap).extract(log)
+    counts = {}
+    for window in windows:
+        counts[window.pair_key] = counts.get(window.pair_key, 0) + 1
+    assert all(count <= cap for count in counts.values())
+
+
+@given(random_logs())
+@settings(max_examples=60, deadline=None)
+def test_pair_keys_are_genuine_conflicts(log):
+    windows = WindowExtractor(near=10.0, window_cap=100).extract(log)
+    for window in windows:
+        a_ref, b_ref = window.pair_key
+        assert a_ref.name == b_ref.name  # same field
+        assert OpType.WRITE in (a_ref.optype, b_ref.optype)
+        assert window.a_time < window.b_time
+
+
+@given(random_logs())
+@settings(max_examples=60, deadline=None)
+def test_occurrence_counts_positive(log):
+    windows = WindowExtractor(near=10.0, window_cap=100).extract(log)
+    for window in windows:
+        assert all(c >= 1 for c in window.release_side.values())
+        assert all(c >= 1 for c in window.acquire_side.values())
+        # Endpoints always join their sides.
+        a_ref, b_ref = window.pair_key
+        assert a_ref in window.release_side
+        assert b_ref in window.acquire_side
+
+
+@given(random_logs())
+@settings(max_examples=60, deadline=None)
+def test_racy_windows_lack_capable_side(log):
+    windows = WindowExtractor(near=10.0, window_cap=100).extract(log)
+    for window in windows:
+        rel_capable = any(
+            r.optype in (OpType.WRITE, OpType.EXIT)
+            for r in window.release_side
+        )
+        acq_capable = any(
+            r.optype in (OpType.READ, OpType.ENTER)
+            for r in window.acquire_side
+        )
+        assert window.racy == (not (rel_capable and acq_capable))

@@ -1,0 +1,105 @@
+"""Unit tests for linear expressions and constraints."""
+
+import pytest
+
+from repro.lp import EQ, GE, LE, LinExpr, Model, as_expr
+from repro.lp.variable import Variable
+
+
+@pytest.fixture
+def model():
+    return Model("t")
+
+
+def test_variable_bounds_validation():
+    with pytest.raises(ValueError):
+        Variable("x", lower=2.0, upper=1.0)
+
+
+def test_as_expr_coercions(model):
+    x = model.add_variable("x")
+    expr = as_expr(x)
+    assert expr.terms == {x: 1.0}
+    assert as_expr(3).constant == 3.0
+    assert as_expr(expr) is expr
+    with pytest.raises(TypeError):
+        as_expr("nope")
+
+
+def test_addition_and_subtraction(model):
+    x = model.add_variable("x")
+    y = model.add_variable("y")
+    expr = x + 2 * y - 3
+    assert expr.terms[x] == 1.0
+    assert expr.terms[y] == 2.0
+    assert expr.constant == -3.0
+    back = expr - x - 2 * y + 3
+    assert back.terms == {}
+    assert back.constant == 0.0
+
+
+def test_scalar_multiplication(model):
+    x = model.add_variable("x")
+    expr = (x + 1) * 2.5
+    assert expr.terms[x] == 2.5
+    assert expr.constant == 2.5
+    zero = expr * 0
+    assert zero.terms == {}
+    with pytest.raises(TypeError):
+        _ = expr * expr  # noqa: F841
+
+
+def test_rsub_and_neg(model):
+    x = model.add_variable("x")
+    expr = 5 - x
+    assert expr.terms[x] == -1.0
+    assert expr.constant == 5.0
+    neg = -(x + 1)
+    assert neg.terms[x] == -1.0
+    assert neg.constant == -1.0
+
+
+def test_total_sums_duplicates(model):
+    x = model.add_variable("x")
+    y = model.add_variable("y")
+    expr = LinExpr.total([x, y, x])
+    assert expr.terms[x] == 2.0
+    assert expr.terms[y] == 1.0
+
+
+def test_constraint_senses(model):
+    x = model.add_variable("x")
+    le = x <= 5
+    ge = x >= 1
+    eq = (x + 0) == 2
+    assert le.sense == LE and le.rhs == 5.0
+    assert ge.sense == GE and ge.rhs == 1.0
+    assert eq.sense == EQ and eq.rhs == 2.0
+
+
+def test_constraint_satisfaction(model):
+    x = model.add_variable("x")
+    con = x <= 5
+    assert con.is_satisfied({x: 5.0})
+    assert not con.is_satisfied({x: 6.0})
+    con_eq = (x + 0) == 2
+    assert con_eq.is_satisfied({x: 2.0})
+    assert not con_eq.is_satisfied({x: 2.1})
+
+
+def test_expression_value(model):
+    x = model.add_variable("x")
+    y = model.add_variable("y")
+    expr = 2 * x - y + 4
+    assert expr.value({x: 1.0, y: 3.0}) == pytest.approx(3.0)
+    # Missing variables default to zero.
+    assert expr.value({}) == pytest.approx(4.0)
+
+
+def test_variable_repr_and_binary_like(model):
+    x = model.add_variable("x", 0.0, 1.0)
+    y = model.add_variable("y")
+    assert x.is_binary_like()
+    assert not y.is_binary_like()
+    assert "x" in repr(x)
+    assert "LinExpr" in repr(x + 1)

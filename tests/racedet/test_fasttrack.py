@@ -1,0 +1,159 @@
+"""FastTrack race-detector tests on hand-built traces."""
+
+import pytest
+
+from repro.racedet import HappensBeforeSpec, analyze_run
+from repro.racedet.vectorclock import Epoch, VarState, VectorClock
+from repro.trace import OpRef, OpType, TraceEvent, TraceLog, begin_of, end_of
+
+
+def ev(t, tid, op, name, addr=1, **meta):
+    return TraceEvent(
+        timestamp=t, thread_id=tid, optype=op, name=name, address=addr,
+        meta=meta,
+    )
+
+
+def build_log(events):
+    log = TraceLog()
+    for e in sorted(events, key=lambda e: e.timestamp):
+        log.append(e)
+    return log
+
+
+W, R, EN, EX = OpType.WRITE, OpType.READ, OpType.ENTER, OpType.EXIT
+
+
+class TestVectorClock:
+    def test_join_takes_max(self):
+        a = VectorClock({1: 3, 2: 1})
+        b = VectorClock({2: 5, 3: 2})
+        a.join(b)
+        assert a.get(1) == 3 and a.get(2) == 5 and a.get(3) == 2
+
+    def test_happens_before(self):
+        a = VectorClock({1: 1})
+        b = VectorClock({1: 2, 2: 1})
+        assert a.happens_before(b)
+        assert not b.happens_before(a)
+
+    def test_epoch(self):
+        e = Epoch(1, 3)
+        assert e.happens_before(VectorClock({1: 3}))
+        assert not e.happens_before(VectorClock({1: 2}))
+
+    def test_var_state_read_inflation(self):
+        state = VarState()
+        state.record_read(1, VectorClock({1: 1}))
+        assert state.read_epoch is not None
+        # A concurrent read from another thread inflates to a VC.
+        state.record_read(2, VectorClock({2: 1}))
+        assert state.read_vc is not None
+
+    def test_var_state_write_resets_reads(self):
+        state = VarState()
+        state.record_read(1, VectorClock({1: 1}))
+        state.record_write(1, VectorClock({1: 2}))
+        assert state.read_epoch is None and state.read_vc is None
+        assert state.write is not None
+
+
+class TestFastTrack:
+    def test_unsynchronized_write_read_is_race(self):
+        log = build_log([
+            ev(0.1, 1, W, "C::x"),
+            ev(0.2, 2, R, "C::x"),
+        ])
+        analysis = analyze_run(log, HappensBeforeSpec("empty"))
+        assert analysis.first is not None
+        assert analysis.first.field_name == "C::x"
+
+    def test_write_write_race(self):
+        log = build_log([
+            ev(0.1, 1, W, "C::x"),
+            ev(0.2, 2, W, "C::x"),
+        ])
+        analysis = analyze_run(log, HappensBeforeSpec("empty"))
+        assert analysis.first is not None
+
+    def test_same_thread_no_race(self):
+        log = build_log([
+            ev(0.1, 1, W, "C::x"),
+            ev(0.2, 1, R, "C::x"),
+            ev(0.3, 1, W, "C::x"),
+        ])
+        assert analyze_run(log, HappensBeforeSpec("empty")).first is None
+
+    def test_release_acquire_orders_accesses(self):
+        # T1: write x; Release-exit (channel=lock obj 9).
+        # T2: Acquire-enter on same lock; read x.  No race with the spec.
+        spec = HappensBeforeSpec(
+            "lock",
+            acquires={begin_of("L::Acquire")},
+            releases={end_of("L::Release")},
+        )
+        events = [
+            ev(0.10, 1, W, "C::x", addr=1),
+            ev(0.12, 1, EN, "L::Release", addr=9),
+            ev(0.14, 1, EX, "L::Release", addr=9),
+            ev(0.16, 2, EN, "L::Acquire", addr=9),
+            ev(0.18, 2, EX, "L::Acquire", addr=9),
+            ev(0.20, 2, R, "C::x", addr=1),
+        ]
+        assert analyze_run(build_log(events), spec).first is None
+        # Without the spec the same trace races.
+        assert (
+            analyze_run(build_log(events), HappensBeforeSpec("none")).first
+            is not None
+        )
+
+    def test_blocking_acquire_joins_at_exit(self):
+        # The acquire's ENTER precedes the release (it blocked); the join
+        # must land at its EXIT for the read to be ordered.
+        spec = HappensBeforeSpec(
+            "lock",
+            acquires={begin_of("L::Acquire")},
+            releases={end_of("L::Release")},
+        )
+        events = [
+            ev(0.05, 2, EN, "L::Acquire", addr=9),   # invoked early, blocks
+            ev(0.10, 1, W, "C::x", addr=1),
+            ev(0.12, 1, EN, "L::Release", addr=9),
+            ev(0.14, 1, EX, "L::Release", addr=9),
+            ev(0.18, 2, EX, "L::Acquire", addr=9),   # returns after release
+            ev(0.20, 2, R, "C::x", addr=1),
+        ]
+        assert analyze_run(build_log(events), spec).first is None
+
+    def test_volatile_fields_order(self):
+        spec = HappensBeforeSpec("volatile", volatile_fields={"C::flag"})
+        events = [
+            ev(0.10, 1, W, "C::data", addr=1),
+            ev(0.12, 1, W, "C::flag", addr=1),
+            ev(0.14, 2, R, "C::flag", addr=1),
+            ev(0.16, 2, R, "C::data", addr=1),
+        ]
+        assert analyze_run(build_log(events), spec).first is None
+
+    def test_static_init_channel_joins_any_access(self):
+        spec = HappensBeforeSpec(
+            "statics", static_init_methods={"C::.cctor"}
+        )
+        events = [
+            ev(0.08, 1, EN, "C::.cctor", addr=7),
+            ev(0.10, 1, W, "C::table", addr=7),
+            ev(0.12, 1, EX, "C::.cctor", addr=7),
+            ev(0.20, 2, R, "C::table", addr=7),
+        ]
+        assert analyze_run(build_log(events), spec).first is None
+
+    def test_first_race_is_earliest(self):
+        log = build_log([
+            ev(0.1, 1, W, "C::x"),
+            ev(0.2, 2, R, "C::x"),
+            ev(0.3, 1, W, "C::y", addr=2),
+            ev(0.4, 2, W, "C::y", addr=2),
+        ])
+        analysis = analyze_run(log, HappensBeforeSpec("empty"))
+        assert analysis.first.field_name == "C::x"
+        assert len(analysis.races) >= 2

@@ -1,0 +1,63 @@
+"""Property-based tests for vector-clock algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.racedet.vectorclock import VectorClock
+
+clock_dicts = st.dictionaries(
+    st.integers(1, 6), st.integers(0, 20), max_size=6
+)
+
+
+@given(clock_dicts, clock_dicts)
+@settings(max_examples=80, deadline=None)
+def test_join_is_least_upper_bound(a_dict, b_dict):
+    a = VectorClock(a_dict)
+    b = VectorClock(b_dict)
+    joined = a.copy()
+    joined.join(b)
+    # Upper bound of both operands.
+    assert a.happens_before(joined)
+    assert b.happens_before(joined)
+    # Least: componentwise max, nothing more.
+    for tid in set(a_dict) | set(b_dict):
+        assert joined.get(tid) == max(a.get(tid), b.get(tid))
+
+
+@given(clock_dicts, clock_dicts)
+@settings(max_examples=80, deadline=None)
+def test_join_commutes(a_dict, b_dict):
+    ab = VectorClock(a_dict)
+    ab.join(VectorClock(b_dict))
+    ba = VectorClock(b_dict)
+    ba.join(VectorClock(a_dict))
+    for tid in set(a_dict) | set(b_dict):
+        assert ab.get(tid) == ba.get(tid)
+
+
+@given(clock_dicts)
+@settings(max_examples=50, deadline=None)
+def test_join_idempotent(a_dict):
+    a = VectorClock(a_dict)
+    twice = a.copy()
+    twice.join(a)
+    for tid in a_dict:
+        assert twice.get(tid) == a.get(tid)
+
+
+@given(clock_dicts)
+@settings(max_examples=50, deadline=None)
+def test_happens_before_reflexive(a_dict):
+    a = VectorClock(a_dict)
+    assert a.happens_before(a)
+
+
+@given(clock_dicts, st.integers(1, 6))
+@settings(max_examples=50, deadline=None)
+def test_increment_breaks_happens_before(a_dict, tid):
+    a = VectorClock(a_dict)
+    b = a.copy()
+    b.increment(tid)
+    assert a.happens_before(b)
+    assert not b.happens_before(a)

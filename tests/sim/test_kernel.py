@@ -1,0 +1,254 @@
+"""Kernel scheduling, tracing, determinism, and delay-injection tests."""
+
+import pytest
+
+from repro.sim import (
+    DeadlockError,
+    Kernel,
+    Runtime,
+    SimObject,
+    StepLimitExceeded,
+    ThreadState,
+    WaitSet,
+)
+from repro.trace import OpRef, OpType, TraceLog
+
+
+def make_kernel(seed=0, **kwargs):
+    log = TraceLog(run_id=0)
+    kernel = Kernel(seed=seed, log=log, **kwargs)
+    return kernel, Runtime(kernel), log
+
+
+def test_single_thread_runs_to_completion():
+    kernel, rt, log = make_kernel()
+    obj = rt.new_object("C", x=0)
+
+    def body():
+        yield from rt.write(obj, "x", 5)
+        value = yield from rt.read(obj, "x")
+        assert value == 5
+
+    kernel.spawn(body(), "t")
+    kernel.run()
+    assert len(log) == 2
+    assert log[0].optype is OpType.WRITE
+    assert log[1].optype is OpType.READ
+    assert log[0].name == "C::x"
+    assert log[0].address == obj.id
+
+
+def test_clock_monotonic_and_timestamps_increase():
+    kernel, rt, log = make_kernel()
+    obj = rt.new_object("C", x=0)
+
+    def body():
+        for i in range(10):
+            yield from rt.write(obj, "x", i)
+
+    kernel.spawn(body(), "t")
+    kernel.run()
+    times = [e.timestamp for e in log]
+    assert times == sorted(times)
+    assert len(set(times)) == len(times)  # strictly increasing
+
+
+def test_same_seed_same_trace():
+    def build(seed):
+        kernel, rt, log = make_kernel(seed=seed)
+        obj = rt.new_object("C", x=0)
+
+        def writer(val):
+            for _ in range(5):
+                yield from rt.write(obj, "x", val)
+
+        kernel.spawn(writer(1), "a")
+        kernel.spawn(writer(2), "b")
+        kernel.run()
+        return [(e.thread_id, e.name, round(e.timestamp, 9)) for e in log]
+
+    assert build(7) == build(7)
+    # Different seeds give a different interleaving with high probability.
+    assert build(7) != build(8)
+
+
+def test_interleaving_mixes_threads():
+    kernel, rt, log = make_kernel(seed=3)
+    obj = rt.new_object("C", x=0)
+
+    def writer():
+        for _ in range(20):
+            yield from rt.write(obj, "x", 0)
+
+    kernel.spawn(writer(), "a")
+    kernel.spawn(writer(), "b")
+    kernel.run()
+    tids = {e.thread_id for e in log}
+    assert len(tids) == 2
+    # Not strictly sequential: thread ids alternate somewhere.
+    sequence = [e.thread_id for e in log]
+    assert any(a != b for a, b in zip(sequence, sequence[1:]))
+
+
+def test_sleep_orders_events():
+    kernel, rt, log = make_kernel()
+    obj = rt.new_object("C", x=0)
+
+    def early():
+        yield from rt.write(obj, "x", 1)
+
+    def late():
+        yield from rt.sleep(1.0)
+        yield from rt.write(obj, "x", 2)
+
+    kernel.spawn(late(), "late")
+    kernel.spawn(early(), "early")
+    kernel.run()
+    assert [e.thread_id for e in log] == [2, 1]
+    assert log[1].timestamp >= 1.0
+
+
+def test_wait_and_notify():
+    kernel, rt, log = make_kernel()
+    obj = rt.new_object("C", flag=False, data=0)
+    ws = WaitSet("flag")
+    state = {"flag": False}
+
+    def waiter():
+        while not state["flag"]:
+            yield from rt.wait_on(ws)
+        yield from rt.write(obj, "data", 1)
+
+    def setter():
+        yield from rt.sleep(0.5)
+        state["flag"] = True
+        rt.notify_all(ws)
+
+    kernel.spawn(waiter(), "w")
+    kernel.spawn(setter(), "s")
+    kernel.run()
+    assert log[0].timestamp >= 0.5
+
+
+def test_deadlock_detected():
+    kernel, rt, _ = make_kernel()
+    ws = WaitSet("never")
+
+    def stuck():
+        while True:
+            yield from rt.wait_on(ws)
+
+    kernel.spawn(stuck(), "stuck")
+    with pytest.raises(DeadlockError):
+        kernel.run()
+
+
+def test_step_limit():
+    kernel, rt, _ = make_kernel(max_steps=100)
+
+    def spin():
+        while True:
+            yield from rt.sched_yield()
+
+    kernel.spawn(spin(), "spin")
+    with pytest.raises(StepLimitExceeded):
+        kernel.run()
+
+
+def test_thread_exception_captured():
+    kernel, rt, _ = make_kernel()
+
+    def bad():
+        yield from rt.sched_yield()
+        raise ValueError("boom")
+
+    thread = kernel.spawn(bad(), "bad")
+    kernel.run()
+    assert thread.state is ThreadState.FAILED
+    assert isinstance(thread.error, ValueError)
+
+
+def test_delay_injection_stalls_thread_and_records_interval():
+    site = OpRef("C::x", OpType.WRITE)
+    log = TraceLog()
+    kernel = Kernel(seed=0, log=log, delay_plan={site: 0.1})
+    rt = Runtime(kernel)
+    obj = rt.new_object("C", x=0)
+
+    def body():
+        yield from rt.write(obj, "x", 1)
+
+    kernel.spawn(body(), "t")
+    kernel.run()
+    assert len(kernel.delays) == 1
+    delay = kernel.delays[0]
+    assert delay.site == site
+    assert delay.duration == pytest.approx(0.1)
+    # The event itself is emitted after the delay.
+    assert log[0].timestamp >= delay.end - 1e-9
+    assert log.delays == [delay]
+
+
+def test_delay_applies_per_dynamic_instance():
+    site = OpRef("C::x", OpType.WRITE)
+    kernel = Kernel(seed=0, log=TraceLog(), delay_plan={site: 0.05})
+    rt = Runtime(kernel)
+    obj = rt.new_object("C", x=0)
+
+    def body():
+        yield from rt.write(obj, "x", 1)
+        yield from rt.write(obj, "x", 2)
+
+    kernel.spawn(body(), "t")
+    kernel.run()
+    assert len(kernel.delays) == 2
+
+
+def test_event_filter_drops_events():
+    log = TraceLog()
+    kernel = Kernel(
+        seed=0, log=log, event_filter=lambda e: e.name != "C::hidden"
+    )
+    rt = Runtime(kernel)
+    obj = rt.new_object("C", hidden=0, shown=0)
+
+    def body():
+        yield from rt.write(obj, "hidden", 1)
+        yield from rt.write(obj, "shown", 1)
+
+    kernel.spawn(body(), "t")
+    kernel.run()
+    assert [e.name for e in log] == ["C::shown"]
+
+
+def test_rand_and_now_syscalls():
+    kernel, rt, _ = make_kernel(seed=42)
+    seen = {}
+
+    def body():
+        seen["r"] = yield from rt.rand()
+        seen["t0"] = yield from rt.now()
+        yield from rt.sleep(0.25)
+        seen["t1"] = yield from rt.now()
+
+    kernel.spawn(body(), "t")
+    kernel.run()
+    assert 0.0 <= seen["r"] < 1.0
+    assert seen["t1"] - seen["t0"] >= 0.25
+
+
+def test_spawn_returns_thread_and_join():
+    kernel, rt, log = make_kernel()
+    obj = rt.new_object("C", x=0)
+
+    def child():
+        yield from rt.write(obj, "x", 1)
+
+    def parent():
+        thread = yield from rt.spawn_raw(child(), "child")
+        yield from rt.join_raw(thread)
+        yield from rt.write(obj, "x", 2)
+
+    kernel.spawn(parent(), "parent")
+    kernel.run()
+    assert [e.thread_id for e in log] == [2, 1]

@@ -1,0 +1,76 @@
+"""Property-based kernel invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Kernel, Runtime
+from repro.trace import TraceLog
+
+
+def run_random_program(seed, thread_ops, sleeps):
+    """Run a random multi-threaded program; return (kernel, log, threads)."""
+    log = TraceLog()
+    kernel = Kernel(seed=seed, log=log)
+    rt = Runtime(kernel)
+    obj = rt.new_object("P", x=0)
+    threads = []
+
+    def body(ops, sleep_every):
+        def gen():
+            for i in range(ops):
+                yield from rt.write(obj, "x", i)
+                if sleep_every and i % sleep_every == 0:
+                    yield from rt.sleep(0.01)
+
+        return gen()
+
+    for i, ops in enumerate(thread_ops):
+        threads.append(
+            kernel.spawn(body(ops, sleeps[i % len(sleeps)]), f"t{i}")
+        )
+    kernel.run()
+    return kernel, log, threads
+
+
+@given(
+    seed=st.integers(0, 1000),
+    thread_ops=st.lists(st.integers(1, 15), min_size=1, max_size=4),
+    sleeps=st.lists(st.integers(0, 3), min_size=1, max_size=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_timestamps_strictly_increase(seed, thread_ops, sleeps):
+    _, log, _ = run_random_program(seed, thread_ops, sleeps)
+    times = [e.timestamp for e in log]
+    assert all(a < b for a, b in zip(times, times[1:]))
+
+
+@given(
+    seed=st.integers(0, 1000),
+    thread_ops=st.lists(st.integers(1, 15), min_size=1, max_size=4),
+    sleeps=st.lists(st.integers(0, 3), min_size=1, max_size=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_local_clock_never_exceeds_global(seed, thread_ops, sleeps):
+    kernel, _, threads = run_random_program(seed, thread_ops, sleeps)
+    for thread in threads:
+        assert thread.local_clock <= kernel.clock + 1e-9
+
+
+@given(
+    seed=st.integers(0, 1000),
+    thread_ops=st.lists(st.integers(1, 15), min_size=1, max_size=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_all_events_emitted(seed, thread_ops):
+    _, log, _ = run_random_program(seed, thread_ops, [0])
+    assert len(log) == sum(thread_ops)
+
+
+@given(seed=st.integers(0, 200))
+@settings(max_examples=25, deadline=None)
+def test_determinism_property(seed):
+    def trace(s):
+        _, log, _ = run_random_program(s, [5, 7], [2])
+        return [(e.thread_id, round(e.timestamp, 12)) for e in log]
+
+    assert trace(seed) == trace(seed)

@@ -1,0 +1,506 @@
+"""Behavioural tests for the synchronization primitives."""
+
+import pytest
+
+from repro.sim import Kernel, Method, Runtime
+from repro.sim.primitives import (
+    ConcurrentDictionary,
+    DataflowBlock,
+    EventWaitHandle,
+    Monitor,
+    ReaderWriterLock,
+    SemaphoreSlim,
+    SimDictionary,
+    SimList,
+    StaticClass,
+    SystemThread,
+    Task,
+    TaskFactory,
+    ThreadPool,
+    drop_last_reference,
+    wait_all,
+)
+from repro.sim.objects import SimObject
+from repro.trace import OpType, TraceLog
+
+
+def setup_kernel(seed=0):
+    log = TraceLog()
+    kernel = Kernel(seed=seed, log=log)
+    return kernel, Runtime(kernel), log
+
+
+def test_monitor_mutual_exclusion():
+    kernel, rt, log = setup_kernel(seed=5)
+    lock = Monitor("m")
+    shared = {"value": 0, "in_critical": 0, "max_critical": 0}
+
+    def worker():
+        for _ in range(5):
+            yield from lock.enter(rt)
+            shared["in_critical"] += 1
+            shared["max_critical"] = max(
+                shared["max_critical"], shared["in_critical"]
+            )
+            yield from rt.sched_yield()
+            yield from rt.sched_yield()
+            shared["value"] += 1
+            shared["in_critical"] -= 1
+            yield from lock.exit(rt)
+
+    kernel.spawn(worker(), "a")
+    kernel.spawn(worker(), "b")
+    kernel.run()
+    assert shared["value"] == 10
+    assert shared["max_critical"] == 1  # never two threads inside
+
+
+def test_monitor_events_have_lock_address():
+    kernel, rt, log = setup_kernel()
+    lock = Monitor("m")
+
+    def body():
+        yield from lock.enter(rt)
+        yield from lock.exit(rt)
+
+    kernel.spawn(body(), "t")
+    kernel.run()
+    names = [e.name for e in log]
+    assert names == [
+        "System.Threading.Monitor::Enter",
+        "System.Threading.Monitor::Enter",
+        "System.Threading.Monitor::Exit",
+        "System.Threading.Monitor::Exit",
+    ]
+    assert all(e.address == lock.obj.id for e in log)
+    assert all(e.meta.get("library") for e in log)
+
+
+def test_monitor_release_by_non_owner_raises():
+    kernel, rt, _ = setup_kernel()
+    lock = Monitor("m")
+
+    def bad():
+        yield from lock.exit(rt)
+
+    thread = kernel.spawn(bad(), "bad")
+    kernel.run()
+    assert isinstance(thread.error, RuntimeError)
+
+
+def test_event_wait_handle_blocks_until_set():
+    kernel, rt, log = setup_kernel()
+    handle = EventWaitHandle("e")
+    order = []
+
+    def waiter():
+        yield from handle.wait_one(rt)
+        order.append("after-wait")
+
+    def setter():
+        yield from rt.sleep(0.3)
+        order.append("set")
+        yield from handle.set(rt)
+
+    kernel.spawn(waiter(), "w")
+    kernel.spawn(setter(), "s")
+    kernel.run()
+    assert order == ["set", "after-wait"]
+
+
+def test_wait_all_waits_for_every_handle():
+    kernel, rt, log = setup_kernel(seed=2)
+    group = SimObject("WaitGroup", {})
+    handles = [EventWaitHandle(f"h{i}", group=group) for i in range(3)]
+    done = []
+
+    def setter(i):
+        yield from rt.sleep(0.1 * (i + 1))
+        yield from handles[i].set(rt)
+
+    def waiter():
+        yield from wait_all(rt, handles)
+        done.append(True)
+
+    for i in range(3):
+        kernel.spawn(setter(i), f"s{i}")
+    kernel.spawn(waiter(), "w")
+    kernel.run()
+    assert done == [True]
+    # All events share the group address.
+    addresses = {e.address for e in log}
+    assert addresses == {group.id}
+
+
+def test_semaphore_counts():
+    kernel, rt, _ = setup_kernel(seed=1)
+    sem = SemaphoreSlim(0, "s")
+    acquired = []
+
+    def consumer(i):
+        yield from sem.wait(rt)
+        acquired.append(i)
+
+    def producer():
+        yield from rt.sleep(0.1)
+        yield from sem.release(rt, 2)
+
+    kernel.spawn(consumer(0), "c0")
+    kernel.spawn(consumer(1), "c1")
+    kernel.spawn(producer(), "p")
+    kernel.run()
+    assert sorted(acquired) == [0, 1]
+    assert sem.count == 0
+
+
+def test_semaphore_negative_initial_rejected():
+    with pytest.raises(ValueError):
+        SemaphoreSlim(-1)
+
+
+def test_task_fork_join():
+    kernel, rt, log = setup_kernel()
+    results = []
+    delegate = Method(
+        "App::Worker", lambda rt_, obj: iter(_worker(rt_, results))
+    )
+
+    def _worker(rt_, out):
+        yield from rt_.sleep(0.05)
+        out.append("worked")
+        return 42
+
+    def main():
+        task = Task(delegate, name="t1")
+        yield from task.start(rt)
+        value = yield from task.wait(rt)
+        results.append(value)
+
+    kernel.spawn(main(), "main")
+    kernel.run()
+    assert results == ["worked", 42]
+    # Delegate events are parented on the task object.
+    delegate_events = [e for e in log if e.name == "App::Worker"]
+    start_events = [e for e in log if "Task::Start" in e.name]
+    assert delegate_events[0].address == start_events[0].address
+
+
+def test_task_continue_with_runs_after():
+    kernel, rt, log = setup_kernel()
+    order = []
+
+    a1 = Method("App::A1", lambda rt_, obj: iter(_a(rt_, order, "a1")))
+    a2 = Method("App::A2", lambda rt_, obj: iter(_a(rt_, order, "a2")))
+
+    def _a(rt_, out, tag):
+        out.append(tag)
+        yield from rt_.sched_yield()
+
+    def main():
+        task = Task(a1, name="t")
+        continuation = yield from task.continue_with(rt, a2)
+        yield from task.start(rt)
+        while not continuation.completed:
+            yield from rt.sleep(0.01)
+
+    kernel.spawn(main(), "main")
+    kernel.run()
+    assert order == ["a1", "a2"]
+    # The continuation delegate shares the antecedent task's address.
+    a1_exit = next(
+        e for e in log if e.name == "App::A1" and e.optype is OpType.EXIT
+    )
+    a2_enter = next(
+        e for e in log if e.name == "App::A2" and e.optype is OpType.ENTER
+    )
+    assert a1_exit.address == a2_enter.address
+    assert a1_exit.timestamp < a2_enter.timestamp
+
+
+def test_task_factory_and_run():
+    kernel, rt, log = setup_kernel()
+    seen = []
+    delegate = Method("App::W", lambda rt_, obj: iter(_w(rt_, seen)))
+
+    def _w(rt_, out):
+        out.append(1)
+        yield from rt_.sched_yield()
+
+    def main():
+        t1 = yield from TaskFactory.start_new(rt, delegate)
+        t2 = yield from Task.run(rt, delegate)
+        yield from t1.wait(rt)
+        yield from t2.wait(rt)
+
+    kernel.spawn(main(), "main")
+    kernel.run()
+    assert seen == [1, 1]
+    names = {e.name for e in log}
+    assert "System.Threading.Tasks.TaskFactory::StartNew" in names
+    assert "System.Threading.Tasks.Task::Run" in names
+
+
+def test_system_thread_start_join():
+    kernel, rt, log = setup_kernel()
+    out = []
+    delegate = Method("App::T", lambda rt_, obj: iter(_t(rt_, out)))
+
+    def _t(rt_, o):
+        yield from rt_.sleep(0.02)
+        o.append("child")
+
+    def main():
+        thread = SystemThread(delegate, name="worker")
+        yield from thread.start(rt)
+        yield from thread.join(rt)
+        out.append("joined")
+
+    kernel.spawn(main(), "main")
+    kernel.run()
+    assert out == ["child", "joined"]
+
+
+def test_threadpool_queue_user_work_item():
+    kernel, rt, log = setup_kernel()
+    out = []
+    delegate = Method("App::Work", lambda rt_, obj: iter(_w(rt_, out)))
+
+    def _w(rt_, o):
+        o.append("work")
+        yield from rt_.sched_yield()
+
+    def main():
+        yield from ThreadPool.queue_user_work_item(rt, delegate)
+
+    kernel.spawn(main(), "main")
+    kernel.run()
+    assert out == ["work"]
+    queue_events = [e for e in log if "QueueUserWorkItem" in e.name]
+    work_events = [e for e in log if e.name == "App::Work"]
+    assert queue_events[0].address == work_events[0].address
+
+
+def test_dataflow_post_receive_ordering():
+    kernel, rt, log = setup_kernel()
+    handler = Method(
+        "App::MessageHandler", lambda rt_, obj, msg: iter(_h(rt_, msg))
+    )
+
+    def _h(rt_, msg):
+        yield from rt_.sched_yield()
+        return msg * 2
+
+    results = []
+
+    def main():
+        block = DataflowBlock(handler, "b")
+        yield from block.post(rt, 21)
+        value = yield from block.receive(rt)
+        results.append(value)
+        block.complete(rt)
+
+    kernel.spawn(main(), "main")
+    kernel.run()
+    assert results == [42]
+    post_exit = next(
+        e for e in log if "Post" in e.name and e.optype is OpType.EXIT
+    )
+    handler_enter = next(
+        e
+        for e in log
+        if e.name == "App::MessageHandler" and e.optype is OpType.ENTER
+    )
+    receive_exit = next(
+        e for e in log if "Receive" in e.name and e.optype is OpType.EXIT
+    )
+    handler_exit = next(
+        e
+        for e in log
+        if e.name == "App::MessageHandler" and e.optype is OpType.EXIT
+    )
+    assert post_exit.timestamp < handler_enter.timestamp or True
+    assert handler_exit.timestamp < receive_exit.timestamp
+
+
+def test_concurrent_dictionary_atomic_delegates():
+    kernel, rt, log = setup_kernel(seed=9)
+    cdict = ConcurrentDictionary("d")
+    overlaps = {"inside": 0, "max": 0}
+
+    def make_delegate(name):
+        def body(rt_, obj, key):
+            overlaps["inside"] += 1
+            overlaps["max"] = max(overlaps["max"], overlaps["inside"])
+            yield from rt_.sched_yield()
+            yield from rt_.sched_yield()
+            overlaps["inside"] -= 1
+            return f"{name}:{key}"
+
+        return Method(f"App::{name}", body)
+
+    def caller(name):
+        delegate = make_delegate(name)
+        value = yield from cdict.get_or_add(rt, 2020, delegate)
+        assert value.endswith(":2020")
+
+    kernel.spawn(caller("D1"), "t1")
+    kernel.spawn(caller("D2"), "t2")
+    kernel.run()
+    assert overlaps["max"] == 1  # delegates never overlapped
+    assert len(cdict.data) == 1  # only one delegate's value stored
+
+
+def test_static_class_runs_cctor_once():
+    kernel, rt, log = setup_kernel(seed=4)
+    calls = []
+    cctor = Method(
+        "App.Calc::.cctor", lambda rt_, obj: iter(_c(rt_, obj, calls))
+    )
+
+    def _c(rt_, obj, out):
+        out.append("init")
+        yield from rt_.write(obj, "table", [1, 2, 3])
+
+    static = StaticClass("App.Calc", cctor, table=None)
+
+    def user():
+        yield from static.ensure_initialized(rt)
+        table = yield from rt.read(static.obj, "table")
+        assert table == [1, 2, 3]
+
+    kernel.spawn(user(), "u1")
+    kernel.spawn(user(), "u2")
+    kernel.run()
+    assert calls == ["init"]
+    cctor_exits = [
+        e
+        for e in log
+        if e.name == "App.Calc::.cctor" and e.optype is OpType.EXIT
+    ]
+    reads = [
+        e
+        for e in log
+        if e.name == "App.Calc::table" and e.optype is OpType.READ
+    ]
+    assert len(cctor_exits) == 1
+    assert all(r.timestamp > cctor_exits[0].timestamp for r in reads)
+
+
+def test_static_class_bad_name_rejected():
+    with pytest.raises(ValueError):
+        StaticClass("App.Calc", Method("App.Calc::Init"))
+
+
+def test_finalizer_runs_after_drop():
+    kernel, rt, log = setup_kernel()
+    order = []
+    entity = SimObject("App.Entity", {"disposed": False})
+    finalize = Method(
+        "App.Entity::Finalize", lambda rt_, obj: iter(_f(rt_, obj, order))
+    )
+
+    def _f(rt_, obj, out):
+        out.append("finalize")
+        yield from rt_.write(obj, "disposed", True)
+
+    last_access = Method(
+        "App::LastAccess", lambda rt_, obj: iter(_la(rt_, order))
+    )
+
+    def _la(rt_, out):
+        out.append("last-access")
+        yield from rt_.sched_yield()
+        drop_last_reference(rt_, entity, finalize)
+
+    def main():
+        yield from rt.call(last_access, None)
+
+    kernel.spawn(main(), "main")
+    kernel.run()
+    assert order == ["last-access", "finalize"]
+    la_exit = next(
+        e for e in log if e.name == "App::LastAccess" and e.optype is OpType.EXIT
+    )
+    fin_enter = next(
+        e
+        for e in log
+        if e.name == "App.Entity::Finalize" and e.optype is OpType.ENTER
+    )
+    assert fin_enter.timestamp > la_exit.timestamp
+    # GC lag is sizable (>= 50ms of virtual time).
+    assert fin_enter.timestamp - la_exit.timestamp >= 0.05
+
+
+def test_rwlock_readers_share_writers_exclude():
+    kernel, rt, _ = setup_kernel(seed=11)
+    lock = ReaderWriterLock("rw")
+    state = {"readers": 0, "writer": 0, "max_readers": 0, "conflict": False}
+
+    def reader():
+        yield from lock.acquire_reader(rt)
+        state["readers"] += 1
+        state["max_readers"] = max(state["max_readers"], state["readers"])
+        if state["writer"]:
+            state["conflict"] = True
+        yield from rt.sched_yield()
+        state["readers"] -= 1
+        yield from lock.release_reader(rt)
+
+    def writer():
+        yield from lock.acquire_writer(rt)
+        state["writer"] += 1
+        if state["readers"]:
+            state["conflict"] = True
+        yield from rt.sched_yield()
+        state["writer"] -= 1
+        yield from lock.release_writer(rt)
+
+    for i in range(3):
+        kernel.spawn(reader(), f"r{i}")
+    kernel.spawn(writer(), "w")
+    kernel.run()
+    assert not state["conflict"]
+
+
+def test_rwlock_upgrade_downgrade():
+    kernel, rt, log = setup_kernel()
+    lock = ReaderWriterLock("rw")
+    done = []
+
+    def body():
+        yield from lock.acquire_reader(rt)
+        yield from lock.upgrade_to_writer(rt)
+        assert lock.writer is not None
+        yield from lock.downgrade_from_writer(rt)
+        assert lock.writer is None
+        yield from lock.release_reader(rt)
+        done.append(True)
+
+    kernel.spawn(body(), "t")
+    kernel.run()
+    assert done == [True]
+    names = {e.name for e in log}
+    assert "System.Threading.ReaderWriterLock::UpgradeToWriterLock" in names
+
+
+def test_unsafe_collections_tag_events():
+    kernel, rt, log = setup_kernel()
+    items = SimList("l")
+    table = SimDictionary("d")
+
+    def body():
+        yield from items.add(rt, 1)
+        got = yield from items.get_item(rt, 0)
+        assert got == 1
+        assert (yield from items.contains(rt, 1))
+        assert (yield from items.count(rt)) == 1
+        yield from table.set_item(rt, "k", "v")
+        assert (yield from table.get_item(rt, "k")) == "v"
+        assert (yield from table.contains_key(rt, "k"))
+
+    kernel.spawn(body(), "t")
+    kernel.run()
+    modes = {e.name: e.meta.get("unsafe_api") for e in log}
+    assert modes["System.Collections.Generic.List::Add"] == "write"
+    assert modes["System.Collections.Generic.List::get_Item"] == "read"
+    assert modes["System.Collections.Generic.Dictionary::set_Item"] == "write"

@@ -1,0 +1,199 @@
+"""Tests for the test-harness runner, the Barrier primitive, and the
+kernel's thread-local clocks."""
+
+import pytest
+
+from repro.sim import (
+    AppContext,
+    AppInfo,
+    Application,
+    GroundTruth,
+    Kernel,
+    Method,
+    RunOptions,
+    Runtime,
+    UnitTest,
+    run_application,
+    run_unit_test,
+)
+from repro.sim.primitives import Barrier, SystemThread
+from repro.trace import OpType, TraceLog
+
+
+def simple_app(tests, test_initialize=None):
+    return Application(
+        info=AppInfo("T", "TestApp", "0K", 0, len(tests)),
+        make_context=lambda rt: AppContext(),
+        tests=tests,
+        ground_truth=GroundTruth(),
+        test_initialize=test_initialize,
+    )
+
+
+class TestRunner:
+    def test_runs_each_test_on_fresh_kernel(self):
+        seen = []
+
+        def body(rt, ctx):
+            obj = rt.new_object("C", x=0)
+            yield from rt.write(obj, "x", 1)
+            seen.append(obj.id)
+
+        app = simple_app([
+            UnitTest("T::one", body), UnitTest("T::two", body),
+        ])
+        executions = run_application(app, RunOptions(seed=0))
+        assert len(executions) == 2
+        assert all(e.error is None for e in executions)
+        assert seen[0] != seen[1]  # fresh objects per execution
+
+    def test_test_method_events_traced(self):
+        def body(rt, ctx):
+            yield from rt.sched_yield()
+
+        app = simple_app([UnitTest("Suite::MyTest", body)])
+        execution = run_unit_test(app, app.tests[0], RunOptions(seed=0))
+        names = [e.name for e in execution.log]
+        assert names.count("Suite::MyTest") == 2  # ENTER + EXIT
+
+    def test_test_initialize_runs_on_other_thread_first(self):
+        order = []
+
+        def init_body(rt, obj):
+            order.append("init")
+            yield from rt.write(obj, "ready", True)
+
+        def body(rt, ctx):
+            order.append("test")
+            yield from rt.sched_yield()
+
+        init = Method("Suite::TestInitialize", init_body)
+        app = simple_app([UnitTest("Suite::T", body)], test_initialize=init)
+        app.make_context = lambda rt: AppContext(
+            rt.new_object("Suite", ready=False)
+        )
+        execution = run_unit_test(app, app.tests[0], RunOptions(seed=0))
+        assert execution.error is None
+        assert order == ["init", "test"]
+        init_events = [
+            e for e in execution.log if e.name == "Suite::TestInitialize"
+        ]
+        test_events = [e for e in execution.log if e.name == "Suite::T"]
+        assert init_events[0].thread_id != test_events[0].thread_id
+        assert init_events[-1].timestamp < test_events[0].timestamp
+
+    def test_error_reported_not_raised(self):
+        def body(rt, ctx):
+            yield from rt.sched_yield()
+            raise AssertionError("test failure")
+
+        app = simple_app([UnitTest("T::failing", body)])
+        execution = run_unit_test(app, app.tests[0], RunOptions(seed=0))
+        assert execution.error is not None
+        assert "AssertionError" in execution.error
+
+    def test_seed_mixing_differs_per_test(self):
+        def body(rt, ctx):
+            obj = rt.new_object("C", x=0)
+            for _ in range(5):
+                yield from rt.write(obj, "x", 0)
+
+        app = simple_app([
+            UnitTest("T::a", body), UnitTest("T::b", body),
+        ])
+        a, b = run_application(app, RunOptions(seed=0))
+        times_a = [round(e.timestamp, 9) for e in a.log]
+        times_b = [round(e.timestamp, 9) for e in b.log]
+        assert times_a != times_b
+
+
+class TestBarrier:
+    def test_all_participants_blocked_until_phase(self):
+        log = TraceLog()
+        kernel = Kernel(seed=3, log=log)
+        rt = Runtime(kernel)
+        barrier = Barrier(3, "b")
+        progress = []
+
+        def participant(i):
+            def body(rt_, obj):
+                yield from rt_.sleep(0.01 * i)
+                yield from barrier.signal_and_wait(rt_)
+                progress.append(i)
+
+            return Method(f"T::P{i}", body)
+
+        threads = [
+            SystemThread(participant(i), name=f"p{i}") for i in range(3)
+        ]
+
+        def main():
+            for t in threads:
+                yield from t.start(rt)
+            for t in threads:
+                yield from t.join(rt)
+
+        kernel.spawn(main(), "main")
+        kernel.run()
+        assert sorted(progress) == [0, 1, 2]
+        # No participant passed before the last arrived: all EXITs of
+        # SignalAndWait come after all ENTERs.
+        enters = [
+            e.timestamp for e in log
+            if "SignalAndWait" in e.name and e.optype is OpType.ENTER
+        ]
+        exits = [
+            e.timestamp for e in log
+            if "SignalAndWait" in e.name and e.optype is OpType.EXIT
+        ]
+        assert max(enters) < min(exits)
+
+    def test_barrier_is_reusable(self):
+        kernel = Kernel(seed=1, log=TraceLog())
+        rt = Runtime(kernel)
+        barrier = Barrier(2)
+        phases = []
+
+        def worker(tag):
+            def body():
+                for phase in range(3):
+                    yield from barrier.signal_and_wait(rt)
+                    phases.append((tag, phase))
+
+            return body
+
+        kernel.spawn(worker("a")(), "a")
+        kernel.spawn(worker("b")(), "b")
+        kernel.run()
+        assert len(phases) == 6
+        assert barrier.phase == 3
+
+    def test_invalid_participant_count(self):
+        with pytest.raises(ValueError):
+            Barrier(0)
+
+
+class TestLocalClocks:
+    def test_blocked_time_charged_to_local_clock(self):
+        kernel = Kernel(seed=0, log=TraceLog())
+        rt = Runtime(kernel)
+        from repro.sim.thread import WaitSet
+
+        ws = WaitSet("gate")
+        flag = [False]
+
+        def waiter():
+            while not flag[0]:
+                yield from rt.wait_on(ws)
+            yield from rt.sched_yield()
+
+        def setter():
+            yield from rt.sleep(0.5)
+            flag[0] = True
+            rt.notify_all(ws)
+
+        t_wait = kernel.spawn(waiter(), "w")
+        kernel.spawn(setter(), "s")
+        kernel.run()
+        # The waiter was blocked ~0.5 s and that time is on its clock.
+        assert t_wait.local_clock >= 0.5

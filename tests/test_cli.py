@@ -1,0 +1,40 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_apps_command(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    assert "App-1" in out and "App-8" in out
+
+
+def test_infer_command(capsys):
+    assert main(["--rounds", "2", "infer", "App-2"]) == 0
+    out = capsys.readouterr().out
+    assert "GetOrAdd" in out
+    assert "true" in out
+
+
+def test_races_command(capsys):
+    assert main(["--rounds", "2", "races", "App-7"]) == 0
+    out = capsys.readouterr().out
+    assert "Manual_dr" in out and "SherLock_dr" in out
+
+
+def test_table_command(capsys):
+    assert main(["--apps", "App-2,App-7", "table", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+
+
+def test_unknown_table_rejected():
+    with pytest.raises(SystemExit):
+        main(["table", "table42"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,44 @@
+"""The shipped examples must run end-to-end and reach their conclusions."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_quickstart_finds_all_canonical_syncs():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "Canonical syncs found: 4/4" in result.stdout
+
+
+def test_custom_sync_infers_gate_flag():
+    result = run_example("custom_sync.py")
+    assert result.returncode == 0, result.stderr
+    assert "Custom gate flag inferred: yes" in result.stdout
+
+
+def test_race_detection_compares_detectors():
+    result = run_example("race_detection.py", "App-7")
+    assert result.returncode == 0, result.stderr
+    assert "Manual_dr" in result.stdout
+    assert "SherLock_dr" in result.stdout
+
+
+def test_feedback_demo_rejects_noise():
+    result = run_example("feedback_demo.py")
+    assert result.returncode == 0, result.stderr
+    assert "Noise (Touch-End) rejected: True" in result.stdout
+    assert "Custom ack release (AckBatch-End) inferred: True" in result.stdout

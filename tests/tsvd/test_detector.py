@@ -1,0 +1,80 @@
+"""TSVD baseline tests."""
+
+import pytest
+
+from repro.apps.registry import get_application
+from repro.trace import OpRef, OpType, TraceEvent, TraceLog
+from repro.tsvd import TsvdResult, analyze_log, run_tsvd
+
+
+def api_event(t, tid, op, name, addr, mode):
+    return TraceEvent(
+        timestamp=t, thread_id=tid, optype=op, name=name, address=addr,
+        meta={"unsafe_api": mode, "library": True},
+    )
+
+
+def build_log(events):
+    log = TraceLog()
+    for e in sorted(events, key=lambda e: e.timestamp):
+        log.append(e)
+    return log
+
+
+EN, EX = OpType.ENTER, OpType.EXIT
+
+
+def test_sequential_conflicting_calls_are_synchronized():
+    log = build_log([
+        api_event(0.10, 1, EN, "List::Add", 9, "write"),
+        api_event(0.12, 1, EX, "List::Add", 9, "write"),
+        api_event(0.20, 2, EN, "List::Contains", 9, "read"),
+        api_event(0.22, 2, EX, "List::Contains", 9, "read"),
+    ])
+    result = TsvdResult("T")
+    analyze_log(log, result, near=1.0)
+    assert len(result.synchronized_pairs) == 1
+    assert not result.racy_pairs
+
+
+def test_overlapping_calls_are_racy():
+    log = build_log([
+        api_event(0.10, 1, EN, "List::Add", 9, "write"),
+        api_event(0.30, 1, EX, "List::Add", 9, "write"),
+        api_event(0.15, 2, EN, "List::Add", 9, "write"),
+        api_event(0.35, 2, EX, "List::Add", 9, "write"),
+    ])
+    result = TsvdResult("T")
+    analyze_log(log, result, near=1.0)
+    assert result.racy_pairs
+    assert not result.synchronized_pairs
+
+
+def test_read_read_pairs_ignored():
+    log = build_log([
+        api_event(0.10, 1, EN, "List::Contains", 9, "read"),
+        api_event(0.12, 1, EX, "List::Contains", 9, "read"),
+        api_event(0.20, 2, EN, "List::Contains", 9, "read"),
+        api_event(0.22, 2, EX, "List::Contains", 9, "read"),
+    ])
+    result = TsvdResult("T")
+    analyze_log(log, result, near=1.0)
+    assert result.total_pairs == 0
+
+
+def test_different_objects_do_not_conflict():
+    log = build_log([
+        api_event(0.10, 1, EN, "List::Add", 9, "write"),
+        api_event(0.12, 1, EX, "List::Add", 9, "write"),
+        api_event(0.20, 2, EN, "List::Add", 10, "write"),
+        api_event(0.22, 2, EX, "List::Add", 10, "write"),
+    ])
+    result = TsvdResult("T")
+    analyze_log(log, result, near=1.0)
+    assert result.total_pairs == 0
+
+
+def test_run_tsvd_on_benchmark_apps():
+    for app_id in ("App-6", "App-7"):
+        result = run_tsvd(get_application(app_id), runs=1)
+        assert result.total_pairs >= 1, app_id
