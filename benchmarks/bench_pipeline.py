@@ -1,12 +1,27 @@
-"""Micro-benchmarks of the pipeline's components."""
+"""Micro-benchmarks of the pipeline's components and execution modes.
 
+The execution-mode trio (serial cold / parallel / warm cache) measures the
+runtime layer's wall-clock leverage: on a multi-core box the process pool
+beats serial cold, and the warm trace cache beats both by skipping test
+execution entirely.  All three produce byte-identical serialized reports.
+"""
+
+import json
+
+import repro
 from repro.apps.registry import get_application
 from repro.core import Sherlock, SherlockConfig, ObservationStore, WindowExtractor, infer
 from repro.core.observer import Observer
+from repro.core.serialize import report_to_dict
+from repro.runtime import ExecutionRuntime, TraceCache
+
+
+def _canonical(report):
+    return json.dumps(report_to_dict(report), sort_keys=True)
 
 
 def test_full_pipeline_one_app(benchmark):
-    """End-to-end 3-round SherLock run on App-2."""
+    """End-to-end 3-round SherLock run on App-2 (serial cold baseline)."""
 
     def run():
         app = get_application("App-2")
@@ -14,6 +29,33 @@ def test_full_pipeline_one_app(benchmark):
 
     report = benchmark(run)
     assert len(report.final.syncs) >= 4
+
+
+def test_full_pipeline_parallel(benchmark):
+    """Same run fanned out across a 4-worker process pool.
+
+    The pool is created once (as a long-lived service would) so the
+    benchmark measures steady-state parallel execution, not fork cost.
+    """
+    config = SherlockConfig(rounds=3, seed=0)
+    baseline = _canonical(repro.run("App-2", config))
+    with ExecutionRuntime(workers=4) as runtime:
+        repro.run("App-2", config, runtime=runtime)  # warm the pool up
+
+        report = benchmark(lambda: repro.run("App-2", config, runtime=runtime))
+    assert _canonical(report) == baseline
+
+
+def test_full_pipeline_warm_cache(benchmark):
+    """Same run replayed from a warm in-memory trace cache."""
+    config = SherlockConfig(rounds=3, seed=0)
+    baseline = _canonical(repro.run("App-2", config))
+    cache = TraceCache()
+    repro.run("App-2", config, cache=cache)  # cold run populates the cache
+
+    report = benchmark(lambda: repro.run("App-2", config, cache=cache))
+    assert _canonical(report) == baseline
+    assert report.metrics.cache_hits == 3  # every round served warm
 
 
 def test_solver_only(benchmark):

@@ -3,6 +3,11 @@ Operation Inference (Li, Chen, Lu, Musuvathi, Nath — ASPLOS 2021).
 
 Public API tour:
 
+* :func:`repro.run` — the one-call entry point: resolve an app, run the
+  multi-round pipeline (optionally across worker processes and against a
+  trace cache), return a :class:`~repro.core.SherlockReport`.
+* :mod:`repro.runtime` — the execution runtime: process-pool fan-out,
+  content-addressed trace caching, per-phase :class:`RunMetrics`.
 * :mod:`repro.sim` — the deterministic concurrent-program simulator and
   its .NET-style synchronization primitives.
 * :mod:`repro.core` — SherLock itself: :class:`~repro.core.Sherlock`
@@ -17,14 +22,20 @@ Public API tour:
 
 Quickstart::
 
-    from repro import Sherlock, SherlockConfig, get_application
+    import repro
 
-    app = get_application("App-2")
-    report = Sherlock(app, SherlockConfig(rounds=3)).run()
+    report = repro.run("App-2", workers=4, cache=True)
     for sync in sorted(report.final.syncs, key=lambda s: s.display()):
         print(sync.display())
+    print(report.metrics.describe())   # phase timings, cache hits
+
+``workers`` fans test execution out across a process pool; ``cache``
+memoizes observed rounds under ``.repro_cache/``.  Both are guaranteed
+not to change results: serial, parallel, and warm-cache runs serialize
+byte-identically.
 """
 
+from .api import run
 from .apps import all_applications, app_ids, get_application
 from .core import (
     InferenceResult,
@@ -34,19 +45,23 @@ from .core import (
     run_sherlock,
 )
 from .racedet import detect_races, manual_spec, sherlock_spec
+from .runtime import ExecutionRuntime, RunMetrics, TraceCache
 from .trace import OpRef, OpType, Role, SyncOp, TraceEvent, TraceLog
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ExecutionRuntime",
     "InferenceResult",
     "OpRef",
     "OpType",
     "Role",
+    "RunMetrics",
     "Sherlock",
     "SherlockConfig",
     "SherlockReport",
     "SyncOp",
+    "TraceCache",
     "TraceEvent",
     "TraceLog",
     "all_applications",
@@ -54,6 +69,7 @@ __all__ = [
     "detect_races",
     "get_application",
     "manual_spec",
+    "run",
     "run_sherlock",
     "sherlock_spec",
 ]

@@ -11,12 +11,12 @@ Curves:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from ...core import Sherlock, SherlockConfig
-from ..metrics import classify, unique_sync_count
+from ...runtime import ExecutionRuntime
 from ..tables import TableResult
-from .common import select_apps
+from .common import default_runtime, select_apps
 
 SETTINGS = {
     "SherLock": {},
@@ -30,8 +30,10 @@ def run(
     app_ids: Optional[Iterable[str]] = None,
     rounds: int = 4,
     base_config: Optional[SherlockConfig] = None,
+    runtime: Optional[ExecutionRuntime] = None,
 ) -> TableResult:
     base = base_config or SherlockConfig()
+    runtime = runtime or default_runtime()
     table = TableResult(
         f"Figure 4: correctly inferred unique syncs per round"
         f" (rounds 1..{rounds})",
@@ -42,7 +44,7 @@ def run(
         apps = select_apps(app_ids)
         per_round: List[set] = [set() for _ in range(rounds)]
         for app in apps:
-            report = Sherlock(app, config).run()
+            report = Sherlock(app, config, runtime=runtime).run()
             gt = app.ground_truth
             for idx, round_result in enumerate(report.rounds):
                 correct = {

@@ -14,11 +14,11 @@ Implements the paper's misclassification taxonomy (Table 2):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, Set, Tuple
 
 from ..core.pipeline import SherlockReport
 from ..sim.program import Application
-from ..trace.optypes import OpType, SyncOp
+from ..trace.optypes import SyncOp
 
 
 @dataclass

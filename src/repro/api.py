@@ -1,0 +1,83 @@
+"""The one-call public entry point: :func:`repro.run`.
+
+``repro.run("App-2", workers=4, cache=True)`` resolves the application,
+builds an :class:`~repro.runtime.engine.ExecutionRuntime` (process pool +
+trace cache), runs the full multi-round SherLock pipeline, and returns
+the :class:`~repro.core.pipeline.SherlockReport`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from .apps.registry import get_application
+from .core.config import SherlockConfig
+from .core.pipeline import Sherlock, SherlockReport
+from .runtime.cache import DEFAULT_CACHE_DIR, TraceCache
+from .runtime.engine import ExecutionRuntime
+from .sim.program import Application
+
+CacheSpec = Union[None, bool, str, "os.PathLike[str]", TraceCache]
+
+
+def coerce_cache(cache: CacheSpec) -> Optional[TraceCache]:
+    """Interpret the ``cache=`` argument of :func:`run`.
+
+    ``None``/``False`` → no caching; ``True`` → on-disk store under
+    ``.repro_cache/``; a path → on-disk store there; a
+    :class:`TraceCache` is used as-is (sharable across calls).
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return TraceCache(DEFAULT_CACHE_DIR)
+    if isinstance(cache, TraceCache):
+        return cache
+    return TraceCache(os.fspath(cache))
+
+
+def run(
+    app_or_id: Union[Application, str],
+    config: Optional[SherlockConfig] = None,
+    *,
+    rounds: Optional[int] = None,
+    workers: int = 1,
+    cache: CacheSpec = None,
+    runtime: Optional[ExecutionRuntime] = None,
+) -> SherlockReport:
+    """Run SherLock on an application and return its report.
+
+    Parameters
+    ----------
+    app_or_id:
+        An :class:`Application` or a benchmark app id like ``"App-2"``
+        (resolved via :func:`repro.get_application`).
+    config:
+        Pipeline configuration; defaults to the paper's settings.
+    rounds:
+        Overrides ``config.rounds`` (the report's config reflects what
+        actually ran).
+    workers:
+        Worker processes for test execution; ``1`` runs serially.
+        Results are byte-identical either way.
+    cache:
+        ``True`` / a directory path / a :class:`TraceCache` to memoize
+        observed rounds; ``None`` disables caching.
+    runtime:
+        A pre-built :class:`ExecutionRuntime` to use (and keep open);
+        overrides ``workers``/``cache``.  Without one, a runtime is
+        created for this call and shut down afterwards.
+    """
+    app = (
+        get_application(app_or_id)
+        if isinstance(app_or_id, str)
+        else app_or_id
+    )
+    if runtime is not None:
+        return Sherlock(app, config, runtime=runtime).run(rounds=rounds)
+    with ExecutionRuntime(workers=workers, cache=coerce_cache(cache)) as rt:
+        return Sherlock(app, config, runtime=rt).run(rounds=rounds)
+
+
+__all__ = ["coerce_cache", "run"]

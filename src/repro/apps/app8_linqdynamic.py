@@ -26,7 +26,7 @@ from ..sim.primitives.rwlock import (
     UPGRADE_API,
 )
 from ..sim.primitives.tasks import FACTORY_STARTNEW_API
-from ..trace.optypes import Role, begin_of, end_of
+from ..trace.optypes import Role, end_of
 from .base import (
     GroundTruthBuilder,
     KIND_API,

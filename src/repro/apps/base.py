@@ -21,7 +21,6 @@ end-to-end tests):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..sim.methods import Method
 from ..sim.program import (
@@ -34,7 +33,7 @@ from ..sim.program import (
     KIND_VARIABLE,
     UnitTest,
 )
-from ..trace.optypes import OpRef, OpType, Role, begin_of, end_of, read_of, write_of
+from ..trace.optypes import Role, begin_of, end_of, read_of, write_of
 
 __all__ = [
     "GroundTruthBuilder",

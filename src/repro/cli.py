@@ -23,6 +23,7 @@ import sys
 from typing import List, Optional
 
 from .analysis.experiments import (
+    common,
     figure4,
     overhead,
     table1,
@@ -35,9 +36,11 @@ from .analysis.experiments import (
     table89,
     tsvd_enhance,
 )
-from .apps.registry import all_applications, app_ids, get_application
-from .core import Sherlock, SherlockConfig
+from .api import coerce_cache, run
+from .apps.registry import all_applications, get_application
+from .core import SherlockConfig
 from .racedet import detect_races, manual_spec, sherlock_spec
+from .runtime import DEFAULT_CACHE_DIR, ExecutionRuntime
 
 _TABLES = {
     "table1": lambda a: table1.run(a),
@@ -54,44 +57,91 @@ _TABLES = {
 }
 
 
+def _add_shared_options(parser: argparse.ArgumentParser, suppress: bool) -> None:
+    """Options valid both before and after the subcommand.
+
+    The subcommand copies use ``SUPPRESS`` defaults so a value given
+    before the subcommand isn't clobbered by the subparser's default.
+    """
+
+    def default(value):
+        return argparse.SUPPRESS if suppress else value
+
+    parser.add_argument(
+        "--rounds", type=int, default=default(3),
+        help="rounds per input (default 3)",
+    )
+    parser.add_argument("--seed", type=int, default=default(0))
+    parser.add_argument(
+        "--apps", default=default(None),
+        help="comma-separated app ids to restrict to (default: all 8)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=default(1),
+        help="worker processes for test execution (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache", nargs="?", const=DEFAULT_CACHE_DIR, default=default(None),
+        metavar="DIR",
+        help="memoize observed rounds on disk (default dir: "
+        f"{DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", default=default(False),
+        help="print per-phase timings and cache hit/miss counters",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SherLock reproduction (ASPLOS 2021)",
     )
-    parser.add_argument(
-        "--rounds", type=int, default=3, help="rounds per input (default 3)"
-    )
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
-        "--apps", default=None,
-        help="comma-separated app ids to restrict to (default: all 8)",
-    )
+    _add_shared_options(parser, suppress=False)
+    shared = argparse.ArgumentParser(add_help=False)
+    _add_shared_options(shared, suppress=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    infer_p = sub.add_parser("infer", help="run SherLock on one app")
+    infer_p = sub.add_parser(
+        "infer", help="run SherLock on one app", parents=[shared]
+    )
     infer_p.add_argument("app_id")
 
-    races_p = sub.add_parser("races", help="Manual_dr vs SherLock_dr")
+    races_p = sub.add_parser(
+        "races", help="Manual_dr vs SherLock_dr", parents=[shared]
+    )
     races_p.add_argument("app_id")
 
-    table_p = sub.add_parser("table", help="regenerate one table/figure")
+    table_p = sub.add_parser(
+        "table", help="regenerate one table/figure", parents=[shared]
+    )
     table_p.add_argument("name", choices=sorted(_TABLES))
 
     report_p = sub.add_parser(
-        "report", help="write a full markdown reproduction report"
+        "report",
+        help="write a full markdown reproduction report",
+        parents=[shared],
     )
     report_p.add_argument("path", nargs="?", default="REPRODUCTION_REPORT.md")
 
-    sub.add_parser("all", help="regenerate every table and figure")
+    sub.add_parser(
+        "all", help="regenerate every table and figure", parents=[shared]
+    )
     sub.add_parser("apps", help="list the benchmark applications")
     return parser
 
 
-def _cmd_infer(args) -> int:
+def _print_stats(report, runtime: ExecutionRuntime) -> None:
+    print("-- stats " + "-" * 31)
+    print(report.metrics.describe())
+    if runtime.cache is not None:
+        print(f"trace cache: {runtime.cache!r}")
+
+
+def _cmd_infer(args, runtime: ExecutionRuntime) -> int:
     app = get_application(args.app_id)
     config = SherlockConfig(rounds=args.rounds, seed=args.seed)
-    report = Sherlock(app, config).run()
+    report = run(app, config, runtime=runtime)
     gt = app.ground_truth
     print(report.describe())
     for sync in sorted(report.final.syncs, key=lambda s: s.display()):
@@ -102,13 +152,15 @@ def _cmd_infer(args) -> int:
         f"{correct} true / {len(report.final.syncs)} inferred; "
         f"{len(set(gt.syncs) - report.final.syncs)} missed"
     )
+    if args.stats:
+        _print_stats(report, runtime)
     return 0
 
 
-def _cmd_races(args) -> int:
+def _cmd_races(args, runtime: ExecutionRuntime) -> int:
     app = get_application(args.app_id)
     config = SherlockConfig(rounds=args.rounds, seed=args.seed)
-    report = Sherlock(app, config).run()
+    report = run(app, config, runtime=runtime)
     manual = detect_races(app, manual_spec(app), seed=args.seed)
     inferred = detect_races(app, sherlock_spec(report.final), seed=args.seed)
     print(f"{'detector':12s} {'true':>5s} {'false':>6s}")
@@ -117,6 +169,8 @@ def _cmd_races(args) -> int:
             f"{result.spec_name:12s} {result.true_races:5d} "
             f"{result.false_races:6d}"
         )
+    if args.stats:
+        _print_stats(report, runtime)
     return 0
 
 
@@ -132,12 +186,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{len(app.ground_truth.syncs)} true syncs)"
             )
         return 0
+    with ExecutionRuntime(
+        workers=args.workers, cache=coerce_cache(args.cache)
+    ) as runtime:
+        # Experiment regenerators pick this runtime up via run_all().
+        common.set_default_runtime(runtime)
+        try:
+            return _dispatch(args, runtime)
+        finally:
+            common.set_default_runtime(None)
+
+
+def _dispatch(args, runtime: ExecutionRuntime) -> int:
     if args.command == "infer":
-        return _cmd_infer(args)
+        return _cmd_infer(args, runtime)
     if args.command == "races":
-        return _cmd_races(args)
+        return _cmd_races(args, runtime)
     if args.command == "table":
         print(_TABLES[args.name](args.apps).render())
+        if args.stats and runtime.cache is not None:
+            print(f"trace cache: {runtime.cache!r}")
         return 0
     if args.command == "report":
         from .analysis.report_writer import write_report
@@ -150,6 +218,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name, runner in _TABLES.items():
             print(runner(args.apps).render())
             print()
+        if args.stats and runtime.cache is not None:
+            print(f"trace cache: {runtime.cache!r}")
         return 0
     return 2  # pragma: no cover
 

@@ -9,7 +9,7 @@ config changes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict
 
 from ..sim.kernel import DEFAULT_OP_COST
@@ -65,11 +65,18 @@ class SherlockConfig:
     #: Apply Figure 2 (b)/(c) window refinement from observed delays.
     enable_window_refinement: bool = True
 
+    def __post_init__(self) -> None:
+        # Invalid configs fail at construction (and after ``without()``,
+        # which goes through ``replace`` → ``__init__`` → here), not only
+        # when a pipeline eventually touches them.
+        self.validate()
+
     def without(self, **changes: Any) -> "SherlockConfig":
-        """A copy with the given fields changed (ablation helper)."""
+        """A validated copy with the given fields changed (ablation helper)."""
         return replace(self, **changes)
 
     def validate(self) -> None:
+        """Re-check field invariants (kept public for back-compat)."""
         if self.near <= 0:
             raise ValueError("near must be positive")
         if self.window_cap < 1:

@@ -4,16 +4,27 @@ One :class:`Sherlock` instance runs an application's test suite for N
 rounds.  Observations accumulate across rounds; after each round the
 Solver re-infers and the Perturber converts the inferred releases into the
 next round's delay plan.  No delay is injected in the first round.
+
+Test execution is delegated to an
+:class:`~repro.runtime.engine.ExecutionRuntime`, which may fan tests out
+across a process pool and/or replay rounds from a trace cache; the
+default runtime is serial and cache-less, matching historic behavior.
+Per-phase timings and cache counters land in a
+:class:`~repro.runtime.metrics.RunMetrics` on every round.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..runtime.engine import ExecutionRuntime
+from ..runtime.metrics import RunMetrics
 from ..sim.program import Application
 from ..sim.runner import TestExecution
-from ..trace.optypes import OpRef, SyncOp
+from ..trace.optypes import OpRef
 from .config import SherlockConfig
 from .observer import Observer
 from .perturber import build_delay_plan
@@ -33,6 +44,9 @@ class RoundResult:
     events_observed: int
     delays_injected: int
     test_errors: List[str] = field(default_factory=list)
+    #: Phase timings and cache counters (observability only; excluded
+    #: from serialized reports so runs stay byte-comparable).
+    metrics: Optional[RunMetrics] = None
 
 
 @dataclass
@@ -53,17 +67,25 @@ class SherlockReport:
     def inferred(self) -> frozenset:
         return frozenset(self.final.syncs)
 
+    @property
+    def metrics(self) -> RunMetrics:
+        """Aggregate phase timings and cache counters over all rounds."""
+        return RunMetrics.aggregate(
+            r.metrics for r in self.rounds if r.metrics is not None
+        )
+
     def inferred_by_round(self) -> List[frozenset]:
         return [frozenset(r.inference.syncs) for r in self.rounds]
 
     def describe(self) -> str:
         final = self.final
+        stats = self.store.stats()
         return (
             f"{self.app_id} ({self.app_name}): "
             f"{len(final.releases)} releases + {len(final.acquires)} "
             f"acquires after {len(self.rounds)} rounds "
-            f"({self.store.stats()['windows']} windows, "
-            f"{self.store.stats()['racy_pairs']} racy pairs)"
+            f"({stats['windows']} windows, "
+            f"{stats['racy_pairs']} racy pairs)"
         )
 
 
@@ -71,31 +93,61 @@ class Sherlock:
     """Unsupervised synchronization-operation inference for one app."""
 
     def __init__(
-        self, app: Application, config: Optional[SherlockConfig] = None
+        self,
+        app: Application,
+        config: Optional[SherlockConfig] = None,
+        runtime: Optional[ExecutionRuntime] = None,
     ) -> None:
         self.app = app
         self.config = config or SherlockConfig()
         self.config.validate()
+        self.runtime = runtime or ExecutionRuntime()
         self.observer = Observer(self.config)
 
     def run(self, rounds: Optional[int] = None) -> SherlockReport:
-        """Run the full multi-round pipeline and return the report."""
+        """Run the full multi-round pipeline and return the report.
+
+        ``rounds`` overrides the configured round count by deriving a
+        ``config.without(rounds=...)`` copy, so ``report.config.rounds``
+        always matches the number of rounds that actually ran.
+        """
         config = self.config
-        n_rounds = rounds if rounds is not None else config.rounds
+        if rounds is not None and rounds != config.rounds:
+            config = config.without(rounds=rounds)
         store = ObservationStore()
         delay_plan: Dict[OpRef, float] = {}
         round_results: List[RoundResult] = []
 
-        for round_index in range(n_rounds):
-            executions = self.observer.observe_round(
-                self.app, round_index, delay_plan
+        for round_index in range(config.rounds):
+            t_start = time.perf_counter()
+            outcome = self.runtime.observe_round(
+                self.app, config, round_index, delay_plan
             )
+            executions = outcome.executions
+            t_observed = time.perf_counter()
             if not config.accumulate_across_runs:
                 store = ObservationStore()
-            self._ingest(store, executions)
+            self._ingest(store, executions, config)
+            t_extracted = time.perf_counter()
 
             inference = infer(store, config)
+            t_solved = time.perf_counter()
             delay_plan = build_delay_plan(inference, config)
+            t_perturbed = time.perf_counter()
+
+            metrics = RunMetrics(
+                observe_s=t_observed - t_start,
+                extract_s=t_extracted - t_observed,
+                solve_s=t_solved - t_extracted,
+                perturb_s=t_perturbed - t_solved,
+                cache_hits=1 if outcome.cache_hit else 0,
+                cache_misses=0 if outcome.cache_hit else 1,
+                tests_executed=len(executions),
+                events_observed=outcome.events_observed,
+                lp_variables=inference.n_variables,
+                lp_constraints=inference.n_constraints,
+                workers=outcome.workers_used,
+            )
             round_results.append(
                 RoundResult(
                     round_index=round_index,
@@ -109,6 +161,7 @@ class Sherlock:
                     test_errors=[
                         e.error for e in executions if e.error is not None
                     ],
+                    metrics=metrics,
                 )
             )
         return SherlockReport(
@@ -120,12 +173,16 @@ class Sherlock:
         )
 
     def _ingest(
-        self, store: ObservationStore, executions: List[TestExecution]
+        self,
+        store: ObservationStore,
+        executions: List[TestExecution],
+        config: Optional[SherlockConfig] = None,
     ) -> None:
+        config = config or self.config
         extractor = WindowExtractor(
-            near=self.config.near,
-            window_cap=self.config.window_cap,
-            refine=self.config.enable_window_refinement,
+            near=config.near,
+            window_cap=config.window_cap,
+            refine=config.enable_window_refinement,
         )
         for execution in executions:
             windows = extractor.extract(execution.log)
@@ -135,7 +192,13 @@ class Sherlock:
 def run_sherlock(
     app: Application, config: Optional[SherlockConfig] = None
 ) -> SherlockReport:
-    """Convenience one-call entry point."""
+    """Deprecated one-call entry point; use :func:`repro.run` instead."""
+    warnings.warn(
+        "run_sherlock() is deprecated; use repro.run(app_or_id, ...) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return Sherlock(app, config).run()
 
 

@@ -10,7 +10,7 @@ observed windows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Dict, Set
 
 from ..lp import Solution, SolveStatus
 from ..trace.optypes import Role, SyncOp

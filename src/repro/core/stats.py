@@ -14,7 +14,7 @@ from math import sqrt
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from ..trace.log import TraceLog
-from ..trace.optypes import OpRef, OpType
+from ..trace.optypes import OpRef
 from .windows import PairKey, Window
 
 

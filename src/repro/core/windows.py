@@ -28,7 +28,7 @@ refinement applies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..trace.events import DelayInterval, TraceEvent
 from ..trace.log import TraceLog

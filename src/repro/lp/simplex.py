@@ -17,7 +17,7 @@ cross-checks the two backends on randomly generated models.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

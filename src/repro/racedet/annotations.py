@@ -13,7 +13,6 @@ the paper blames for its 391 false races.
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from ..core.solver import InferenceResult
 from ..sim.program import Application

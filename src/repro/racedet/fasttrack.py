@@ -14,7 +14,7 @@ test run, and classifies it true/false against the app's ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..trace.events import TraceEvent
 from ..trace.log import TraceLog

@@ -73,7 +73,6 @@ def attribute_false_races(
 ) -> Dict[str, int]:
     """Attribute false races to the missed-sync category protecting the
     racy-reported field (Table 4's rightmost column)."""
-    from ..trace.optypes import SyncOp
 
     gt = app.ground_truth
     by_category: Dict[str, int] = {}

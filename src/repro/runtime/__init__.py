@@ -1,0 +1,38 @@
+"""Execution runtime: process-pool fan-out, trace caching, run metrics.
+
+The runtime layer sits between the SherLock pipeline and the simulator:
+
+* :class:`ExecutionRuntime` — executes Observer rounds serially or across
+  a process pool, consulting a trace cache first;
+* :class:`TraceCache` — content-addressed memoization of observed rounds
+  (in-memory LRU + optional on-disk JSON store under ``.repro_cache/``);
+* :class:`RunMetrics` — per-phase timings and cache/LP counters surfaced
+  on round results and reports.
+
+Parallel and cached runs are guaranteed to serialize byte-identically to
+serial cold runs; see DESIGN.md § "Runtime".
+"""
+
+from .cache import (
+    CACHE_FORMAT_VERSION,
+    DEFAULT_CACHE_DIR,
+    TraceCache,
+    freeze_delay_plan,
+    round_key,
+    thaw_delay_plan,
+)
+from .engine import ExecutionRuntime, ObserveOutcome, execute_test_payload
+from .metrics import RunMetrics
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ExecutionRuntime",
+    "ObserveOutcome",
+    "RunMetrics",
+    "TraceCache",
+    "execute_test_payload",
+    "freeze_delay_plan",
+    "round_key",
+    "thaw_delay_plan",
+]

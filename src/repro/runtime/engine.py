@@ -1,0 +1,217 @@
+"""Parallel, cache-aware execution engine for Observer rounds.
+
+The engine owns *how* an application's unit tests get executed for one
+observed round: serially in-process (``workers=1``), fanned out across a
+:class:`concurrent.futures.ProcessPoolExecutor`, or replayed from a
+:class:`~repro.runtime.cache.TraceCache` without executing anything.
+
+Determinism is the contract.  Every unit test runs on a fresh kernel
+seeded by ``(config.seed, test qname, round index)`` alone, and per-test
+context objects are built fresh per execution, so a worker process
+reproduces exactly the trace the serial path would produce — parallel,
+cached, and serial runs yield byte-identical serialized reports (absolute
+heap addresses differ across processes, but SherLock only ever compares
+addresses *within* one test's trace and never serializes them).
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..apps.registry import get_application
+from ..core.config import SherlockConfig
+from ..core.observer import Observer
+from ..sim.program import Application
+from ..sim.runner import RunOptions, TestExecution, run_unit_test
+from .cache import (
+    DelayPlan,
+    FrozenPlan,
+    TraceCache,
+    freeze_delay_plan,
+    round_key,
+    thaw_delay_plan,
+)
+
+#: (app_id, config fields, round index, frozen plan, test qname)
+WorkerPayload = Tuple[str, Dict[str, Any], int, FrozenPlan, str]
+
+
+@dataclass
+class ObserveOutcome:
+    """One observed round plus where its traces came from."""
+
+    executions: List[TestExecution] = field(default_factory=list)
+    cache_hit: bool = False
+    #: Worker count that actually executed the round (1 on cache hits and
+    #: serial/fallback paths).
+    workers_used: int = 1
+
+    @property
+    def events_observed(self) -> int:
+        return sum(len(e.log) for e in self.executions)
+
+
+def execute_test_payload(payload: WorkerPayload) -> TestExecution:
+    """Run one unit test from plain data (the worker-process entry point).
+
+    Rebuilds the application, config, and delay plan from picklable
+    primitives so nothing process-specific crosses the pool boundary.
+    """
+    app_id, config_kwargs, round_index, frozen_plan, test_qname = payload
+    config = SherlockConfig(**config_kwargs)
+    app = get_application(app_id)
+    for test in app.tests:
+        if test.qname == test_qname:
+            break
+    else:
+        raise KeyError(f"{app_id} has no unit test {test_qname!r}")
+    observer = Observer(config)
+    options = RunOptions(
+        seed=config.seed,
+        run_id=round_index,
+        op_cost=config.op_cost,
+        delay_plan=thaw_delay_plan(frozen_plan),
+        event_filter=observer.event_filter,
+        max_steps=config.max_steps,
+    )
+    return run_unit_test(app, test, options)
+
+
+class ExecutionRuntime:
+    """Shared execution engine: process pool + trace cache.
+
+    One runtime can serve many :class:`~repro.core.pipeline.Sherlock`
+    instances (the experiment regenerators share one across all 8 apps),
+    amortizing pool start-up and letting every caller reuse cached rounds.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[TraceCache] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache = cache
+        self._pool: Optional[Executor] = None
+        self._pool_broken = False
+
+    # -- core API ------------------------------------------------------------
+
+    def observe_round(
+        self,
+        app: Application,
+        config: SherlockConfig,
+        round_index: int,
+        delay_plan: Optional[DelayPlan] = None,
+    ) -> ObserveOutcome:
+        """Traces for one round: cached if seen before, else executed."""
+        plan = dict(delay_plan or {})
+        key = self.round_key(app.app_id, config, round_index, plan)
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return ObserveOutcome(cached, cache_hit=True)
+        executions, workers_used = self._execute_round(
+            app, config, round_index, plan
+        )
+        if self.cache is not None:
+            self.cache.put(key, executions)
+        return ObserveOutcome(executions, workers_used=workers_used)
+
+    @staticmethod
+    def round_key(
+        app_id: str,
+        config: SherlockConfig,
+        round_index: int,
+        delay_plan: Optional[DelayPlan],
+    ) -> str:
+        """Cache key of one round (only trace-determining fields)."""
+        return round_key(
+            app_id=app_id,
+            seed=config.seed,
+            op_cost=config.op_cost,
+            max_steps=config.max_steps,
+            delay_plan=delay_plan,
+            round_index=round_index,
+        )
+
+    # -- execution paths -----------------------------------------------------
+
+    def _execute_round(
+        self,
+        app: Application,
+        config: SherlockConfig,
+        round_index: int,
+        plan: DelayPlan,
+    ) -> Tuple[List[TestExecution], int]:
+        if self.workers > 1 and len(app.tests) > 1 and not self._pool_broken:
+            parallel = self._execute_parallel(app, config, round_index, plan)
+            if parallel is not None:
+                return parallel, self.workers
+        observer = Observer(config)
+        return observer.observe_round(app, round_index, dict(plan)), 1
+
+    def _execute_parallel(
+        self,
+        app: Application,
+        config: SherlockConfig,
+        round_index: int,
+        plan: DelayPlan,
+    ) -> Optional[List[TestExecution]]:
+        frozen = freeze_delay_plan(plan)
+        config_kwargs = asdict(config)
+        payloads: List[WorkerPayload] = [
+            (app.app_id, config_kwargs, round_index, frozen, test.qname)
+            for test in app.tests
+        ]
+        try:
+            pool = self._ensure_pool()
+            # map() preserves submission order, so results line up with
+            # app.tests exactly as the serial path's do.
+            return list(pool.map(execute_test_payload, payloads))
+        except Exception as exc:  # pool unavailable (sandbox, OOM, …)
+            self._pool_broken = True
+            self._shutdown_pool()
+            warnings.warn(
+                f"process pool unavailable ({type(exc).__name__}: {exc}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (the cache stays usable)."""
+        self._shutdown_pool()
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ExecutionRuntime":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionRuntime(workers={self.workers}, "
+            f"cache={self.cache!r})"
+        )
+
+
+__all__ = ["ExecutionRuntime", "ObserveOutcome", "execute_test_payload"]

@@ -1,0 +1,103 @@
+"""Per-phase timing and counter metrics for pipeline runs.
+
+Every round the execution engine and the pipeline record how long each
+phase took (observe, extract, solve, perturb), whether the round's traces
+came from the cache, and how large the LP was.  A :class:`RunMetrics`
+instance rides on each :class:`~repro.core.pipeline.RoundResult`;
+aggregates over a whole run are exposed as
+:attr:`~repro.core.pipeline.SherlockReport.metrics` and printed by
+``python -m repro ... --stats``.
+
+Metrics are observability data only: they are intentionally excluded from
+:func:`repro.core.serialize.report_to_dict`, so serialized reports stay
+byte-identical across serial, parallel, and cached runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Iterable
+
+
+@dataclass
+class RunMetrics:
+    """Timings and counters for one round (or an aggregate over rounds)."""
+
+    #: Wall-clock seconds spent executing the app's tests (or loading the
+    #: round's traces from the cache).
+    observe_s: float = 0.0
+    #: Seconds spent extracting windows and ingesting into the store.
+    extract_s: float = 0.0
+    #: Seconds spent encoding and solving the LP.
+    solve_s: float = 0.0
+    #: Seconds spent building the next round's delay plan.
+    perturb_s: float = 0.0
+    #: Rounds whose traces were served from the trace cache.
+    cache_hits: int = 0
+    #: Rounds whose traces had to be executed.
+    cache_misses: int = 0
+    #: Unit-test executions represented (executed or replayed from cache).
+    tests_executed: int = 0
+    #: Trace events observed across those executions.
+    events_observed: int = 0
+    #: LP size of the (final, when aggregated) solve.
+    lp_variables: int = 0
+    lp_constraints: int = 0
+    #: Worker-process count of the runtime that produced the traces.
+    workers: int = 1
+
+    @property
+    def total_s(self) -> float:
+        """Total wall-clock seconds across all phases."""
+        return self.observe_s + self.extract_s + self.solve_s + self.perturb_s
+
+    def merge(self, other: "RunMetrics") -> None:
+        """Fold another round's metrics into this aggregate (in place)."""
+        self.observe_s += other.observe_s
+        self.extract_s += other.extract_s
+        self.solve_s += other.solve_s
+        self.perturb_s += other.perturb_s
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.tests_executed += other.tests_executed
+        self.events_observed += other.events_observed
+        # LP sizes are per-solve, not additive; keep the largest (the final
+        # round's, under accumulation).
+        self.lp_variables = max(self.lp_variables, other.lp_variables)
+        self.lp_constraints = max(self.lp_constraints, other.lp_constraints)
+        self.workers = max(self.workers, other.workers)
+
+    @classmethod
+    def aggregate(cls, rounds: Iterable["RunMetrics"]) -> "RunMetrics":
+        """Sum a sequence of per-round metrics into one aggregate."""
+        total = cls()
+        for metrics in rounds:
+            if metrics is not None:
+                total.merge(metrics)
+        return total
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (used by ``--stats``)."""
+        return "\n".join(
+            [
+                f"phases: observe {self.observe_s:.3f}s, "
+                f"extract {self.extract_s:.3f}s, "
+                f"solve {self.solve_s:.3f}s, "
+                f"perturb {self.perturb_s:.3f}s "
+                f"(total {self.total_s:.3f}s)",
+                f"cache: {self.cache_hits} hits, "
+                f"{self.cache_misses} misses",
+                f"executions: {self.tests_executed} tests, "
+                f"{self.events_observed} events, "
+                f"workers={self.workers}",
+                f"lp: {self.lp_variables} variables, "
+                f"{self.lp_constraints} constraints",
+            ]
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (stable field order)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+__all__ = ["RunMetrics"]

@@ -10,7 +10,7 @@ its memory address").
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Optional
 
 _object_ids = itertools.count(1)
 

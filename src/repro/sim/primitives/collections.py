@@ -9,7 +9,7 @@ target them.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from ...trace.optypes import OpType
 from ..objects import SimObject

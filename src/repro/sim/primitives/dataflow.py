@@ -8,7 +8,7 @@ entrance; ``Receive`` is an acquire that happens after the handler's exit.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Deque
 
 from ...trace.optypes import OpType
 from ..methods import Method

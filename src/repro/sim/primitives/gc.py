@@ -10,7 +10,7 @@ instruction" and is outside the Perturber's control.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 from ..methods import Method
 from ..objects import SimObject

@@ -14,7 +14,7 @@ race detector can key on.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, List
 
 from ...trace.optypes import OpType
 from ..methods import Method

@@ -7,7 +7,7 @@ through these helpers, with ``yield from``).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional
+from typing import Any, Optional
 
 from ..trace.optypes import OpType
 from .kernel import Kernel

@@ -9,13 +9,13 @@ virtual clock, and resumes the generator with the result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, TYPE_CHECKING
+from typing import Any, Dict, TYPE_CHECKING
 
 from ..trace.optypes import OpType
 
 if TYPE_CHECKING:  # pragma: no cover
     from .objects import SimObject
-    from .thread import SimThread, WaitSet
+    from .thread import WaitSet
 
 
 class Syscall:

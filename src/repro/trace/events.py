@@ -8,7 +8,7 @@ The Observer records, per §4.1 of the paper: (1) timestamp, (2) thread id,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from .optypes import OpRef, OpType
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
+from typing import Dict, Iterator, List, Optional, TextIO, Tuple
 
 from .events import DelayInterval, TraceEvent
 from .optypes import OpRef, OpType

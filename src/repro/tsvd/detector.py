@@ -15,7 +15,7 @@ synchronized (delay propagates / never overlap) or racy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from ..sim.program import Application
 from ..sim.runner import RunOptions, run_application

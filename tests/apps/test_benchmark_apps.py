@@ -8,7 +8,7 @@ synchronizations at the default configuration.
 
 import pytest
 
-from repro.apps.registry import all_applications, app_ids, get_application
+from repro.apps.registry import app_ids, get_application
 from repro.core import Sherlock, SherlockConfig
 from repro.sim.runner import RunOptions, run_application
 

@@ -1,11 +1,9 @@
 """Unit tests for the LP encoder (Eq. 1–8) and solver interpretation,
 using hand-built observation stores."""
 
-import pytest
 
 from repro.core import ObservationStore, SherlockConfig, infer
 from repro.core.encoder import build_model
-from repro.core.solver import SolverError
 from repro.core.windows import Window
 from repro.trace import (
     OpRef,

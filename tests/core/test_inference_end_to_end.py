@@ -5,7 +5,6 @@ a lock, a flag variable, or a fork edge, the full pipeline must infer the
 right acquire/release operations with no prior knowledge.
 """
 
-import pytest
 
 from repro.core import Sherlock, SherlockConfig
 from repro.sim import (

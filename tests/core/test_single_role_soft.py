@@ -1,6 +1,5 @@
 """Tests for the soft Single-Role extension (paper §5.5 future work)."""
 
-import pytest
 
 from repro.core import ObservationStore, SherlockConfig, infer
 from repro.core.windows import Window

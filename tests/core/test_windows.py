@@ -1,6 +1,5 @@
 """Unit tests for acquire/release window extraction and refinement."""
 
-import pytest
 
 from repro.core.windows import WindowExtractor
 from repro.trace import DelayInterval, OpRef, OpType, TraceEvent, TraceLog

@@ -1,10 +1,9 @@
 """FastTrack race-detector tests on hand-built traces."""
 
-import pytest
 
 from repro.racedet import HappensBeforeSpec, analyze_run
 from repro.racedet.vectorclock import Epoch, VarState, VectorClock
-from repro.trace import OpRef, OpType, TraceEvent, TraceLog, begin_of, end_of
+from repro.trace import OpType, TraceEvent, TraceLog, begin_of, end_of
 
 
 def ev(t, tid, op, name, addr=1, **meta):

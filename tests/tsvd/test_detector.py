@@ -1,9 +1,8 @@
 """TSVD baseline tests."""
 
-import pytest
 
 from repro.apps.registry import get_application
-from repro.trace import OpRef, OpType, TraceEvent, TraceLog
+from repro.trace import OpType, TraceEvent, TraceLog
 from repro.tsvd import TsvdResult, analyze_log, run_tsvd
 
 
