@@ -35,6 +35,7 @@ not to change results: serial, parallel, and warm-cache runs serialize
 byte-identically.
 """
 
+from . import fuzz
 from .api import run
 from .apps import all_applications, app_ids, get_application
 from .core import (
@@ -67,6 +68,7 @@ __all__ = [
     "all_applications",
     "app_ids",
     "detect_races",
+    "fuzz",
     "get_application",
     "manual_spec",
     "run",

@@ -28,17 +28,47 @@ _BUILDERS = {
 }
 
 
+#: Module-style aliases ("app7_statsd", "app7", "app-7") → canonical id.
+_ALIASES = {
+    alias: app_id
+    for app_id, module in (
+        ("App-1", app1_insights),
+        ("App-2", app2_datetime),
+        ("App-3", app3_fluentassertions),
+        ("App-4", app4_k8sclient),
+        ("App-5", app5_radical),
+        ("App-6", app6_restsharp),
+        ("App-7", app7_statsd),
+        ("App-8", app8_linqdynamic),
+    )
+    for alias in (
+        module.__name__.rsplit(".", 1)[-1],  # app7_statsd
+        app_id.lower(),                      # app-7
+        app_id.lower().replace("-", ""),     # app7
+    )
+}
+
+
 def app_ids() -> List[str]:
     return list(_BUILDERS)
 
 
+def resolve_app_id(app_id: str) -> str:
+    """Canonical id for an app id or alias (raises KeyError when unknown)."""
+    if app_id in _BUILDERS:
+        return app_id
+    canonical = _ALIASES.get(app_id.lower())
+    if canonical is None:
+        raise KeyError(
+            f"unknown application {app_id!r}; known: {sorted(_BUILDERS)} "
+            f"(module aliases like 'app7_statsd' also work)"
+        )
+    return canonical
+
+
 def get_application(app_id: str) -> Application:
     """Build a fresh instance of one benchmark application."""
-    if app_id not in _BUILDERS:
-        raise KeyError(
-            f"unknown application {app_id!r}; known: {sorted(_BUILDERS)}"
-        )
-    return _BUILDERS[app_id]()
+    return _BUILDERS[resolve_app_id(app_id)]()
 
 
 def all_applications() -> List[Application]:
@@ -46,4 +76,9 @@ def all_applications() -> List[Application]:
     return [build() for build in _BUILDERS.values()]
 
 
-__all__ = ["all_applications", "app_ids", "get_application"]
+__all__ = [
+    "all_applications",
+    "app_ids",
+    "get_application",
+    "resolve_app_id",
+]

@@ -14,11 +14,17 @@ Commands
     Regenerate every table and figure.
 ``apps``
     List the benchmark applications.
+``fuzz``
+    Schedule-fuzz one or more apps: sweep scheduler seeds, sanitize every
+    trace, run differential inference oracles, write a JSON campaign
+    report.  Exit status is non-zero on sanitizer violations (and, with
+    ``--strict``, on oracle failures).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -37,10 +43,11 @@ from .analysis.experiments import (
     tsvd_enhance,
 )
 from .api import coerce_cache, run
-from .apps.registry import all_applications, get_application
+from .apps.registry import all_applications, app_ids, get_application
 from .core import SherlockConfig
 from .racedet import detect_races, manual_spec, sherlock_spec
 from .runtime import DEFAULT_CACHE_DIR, ExecutionRuntime
+from .sim.schedule import policy_names
 
 _TABLES = {
     "table1": lambda a: table1.run(a),
@@ -128,6 +135,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "all", help="regenerate every table and figure", parents=[shared]
     )
     sub.add_parser("apps", help="list the benchmark applications")
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="schedule-fuzz apps with trace sanitizing and oracles",
+        parents=[shared],
+    )
+    fuzz_p.add_argument(
+        "--app", action="append", dest="fuzz_apps", metavar="APP",
+        help="app to fuzz (repeatable; ids or module aliases like "
+        "'app7_statsd'; default: all 8)",
+    )
+    fuzz_p.add_argument(
+        "--schedules", type=int, default=25,
+        help="seeds to sweep per app (default 25)",
+    )
+    fuzz_p.add_argument(
+        "--policy", default="random", choices=policy_names(),
+        help="kernel scheduling policy (default random)",
+    )
+    fuzz_p.add_argument(
+        "--out", default="fuzz_report.json", metavar="PATH",
+        help="campaign report path (default fuzz_report.json)",
+    )
+    fuzz_p.add_argument(
+        "--replay-every", type=int, default=5,
+        help="permutation-replay sample stride; 0 disables (default 5)",
+    )
+    fuzz_p.add_argument(
+        "--no-oracles", action="store_true",
+        help="skip differential oracles (sanitize only)",
+    )
+    fuzz_p.add_argument(
+        "--strict", action="store_true",
+        help="also fail on oracle failures, not just sanitizer "
+        "violations",
+    )
     return parser
 
 
@@ -174,6 +217,32 @@ def _cmd_races(args, runtime: ExecutionRuntime) -> int:
     return 0
 
 
+def _cmd_fuzz(args, runtime: ExecutionRuntime) -> int:
+    from .fuzz import CampaignConfig, run_campaign
+
+    apps = args.fuzz_apps or args.apps or app_ids()
+    config = CampaignConfig(
+        app_ids=list(apps),
+        schedules=args.schedules,
+        base_seed=args.seed,
+        rounds=args.rounds,
+        policy=args.policy,
+        workers=args.workers,
+        replay_every=args.replay_every,
+        oracles=not args.no_oracles,
+    )
+    report = run_campaign(config, runtime=runtime)
+    with open(args.out, "w", encoding="utf-8") as fp:
+        json.dump(report.to_dict(), fp, indent=2)
+    print(report.summary())
+    print(f"campaign report written to {args.out}")
+    if report.total_violations or report.permutation_mismatches:
+        return 1
+    if args.strict and report.total_oracle_failures:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if isinstance(args.apps, str):
@@ -202,6 +271,8 @@ def _dispatch(args, runtime: ExecutionRuntime) -> int:
         return _cmd_infer(args, runtime)
     if args.command == "races":
         return _cmd_races(args, runtime)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args, runtime)
     if args.command == "table":
         print(_TABLES[args.name](args.apps).render())
         if args.stats and runtime.cache is not None:

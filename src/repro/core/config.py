@@ -13,6 +13,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict
 
 from ..sim.kernel import DEFAULT_OP_COST
+from ..sim.schedule import build_policy
 
 
 @dataclass
@@ -45,6 +46,9 @@ class SherlockConfig:
     seed: int = 0
     op_cost: float = DEFAULT_OP_COST
     max_steps: int = 2_000_000
+    #: Kernel scheduling-policy spec: "random" (uniform, the default) or
+    #: "pct"/"pct:<change-prob>" (priority-based schedule exploration).
+    schedule_policy: str = "random"
 
     # -- hypothesis & property toggles (Table 5) -----------------------------------
     hyp_mostly_protected: bool = True
@@ -89,6 +93,7 @@ class SherlockConfig:
             raise ValueError("rounds must be >= 1")
         if self.delay < 0:
             raise ValueError("delay must be non-negative")
+        build_policy(self.schedule_policy)  # raises ValueError when unknown
 
 
 #: Ablation settings used by Table 5, keyed by the paper's row labels.

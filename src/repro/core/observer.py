@@ -46,6 +46,7 @@ class Observer:
             delay_plan=dict(delay_plan or {}),
             event_filter=self.event_filter,
             max_steps=self.config.max_steps,
+            schedule_policy=self.config.schedule_policy,
         )
         return run_application(app, options)
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..runtime.engine import ExecutionRuntime
 from ..runtime.metrics import RunMetrics
@@ -97,12 +97,19 @@ class Sherlock:
         app: Application,
         config: Optional[SherlockConfig] = None,
         runtime: Optional[ExecutionRuntime] = None,
+        round_listener: Optional[
+            Callable[[int, List[TestExecution]], None]
+        ] = None,
     ) -> None:
         self.app = app
         self.config = config or SherlockConfig()
         self.config.validate()
         self.runtime = runtime or ExecutionRuntime()
         self.observer = Observer(self.config)
+        #: Called with ``(round_index, executions)`` after each observed
+        #: round — the hook ``repro.fuzz`` uses to sanitize raw traces
+        #: without re-running anything.
+        self.round_listener = round_listener
 
     def run(self, rounds: Optional[int] = None) -> SherlockReport:
         """Run the full multi-round pipeline and return the report.
@@ -124,6 +131,8 @@ class Sherlock:
                 self.app, config, round_index, delay_plan
             )
             executions = outcome.executions
+            if self.round_listener is not None:
+                self.round_listener(round_index, executions)
             t_observed = time.perf_counter()
             if not config.accumulate_across_runs:
                 store = ObservationStore()

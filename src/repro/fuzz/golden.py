@@ -1,0 +1,64 @@
+"""Golden seed-stability hashes.
+
+``tests/sim/golden_hashes.json`` pins the :func:`trace_digest` of every
+app's seed-0, round-0 trace under the default config.  Any change to the
+kernel, scheduler, primitives, or apps that alters default traces —
+intentionally or not — flips a hash and fails the regression test.
+
+Regenerate (after an *intentional* trace-affecting change) with::
+
+    PYTHONPATH=src python -m repro.fuzz.golden tests/sim/golden_hashes.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict
+
+from ..apps.registry import app_ids, get_application
+from ..core.config import SherlockConfig
+from ..core.observer import Observer
+from .sanitizer import trace_digest
+
+#: Default location of the pinned hashes, relative to the repo root.
+GOLDEN_PATH = "tests/sim/golden_hashes.json"
+
+
+def compute_golden_hashes() -> Dict[str, str]:
+    """Seed-0 round-0 trace digest per app (default config, no delays)."""
+    observer = Observer(SherlockConfig())
+    return {
+        app_id: trace_digest(
+            observer.observe_round(get_application(app_id), 0, {})
+        )
+        for app_id in app_ids()
+    }
+
+
+def write_golden_hashes(path: str = GOLDEN_PATH) -> Dict[str, str]:
+    hashes = compute_golden_hashes()
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(hashes, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    return hashes
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    path = args[0] if args else GOLDEN_PATH
+    hashes = write_golden_hashes(path)
+    print(f"pinned {len(hashes)} golden trace hashes to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
+
+
+__all__ = [
+    "GOLDEN_PATH",
+    "compute_golden_hashes",
+    "main",
+    "write_golden_hashes",
+]

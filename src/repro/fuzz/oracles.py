@@ -1,0 +1,115 @@
+"""Differential inference oracles.
+
+Each oracle checks one *stability claim* about a finished pipeline run:
+
+* **ground-truth** — score the final inferred acquire/release set against
+  the app's ground-truth annotations (precision/recall per schedule); the
+  oracle fails when the pipeline observed windows yet inferred *no* true
+  synchronization at all.
+* **lambda-stability** — the paper reports the Solver is insensitive to λ
+  near its default; re-solving the *same* observation store with λ
+  scaled by ±``tolerance`` (default ±1%, the empirically stable band for
+  the 8 apps at rounds=3) must reproduce the identical inferred set.
+* **permutation** (campaign-level, see :mod:`repro.fuzz.campaign`) —
+  re-executing a sample of schedules in a different order must reproduce
+  byte-identical trace digests and serialized reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..analysis.metrics import classify
+from ..core.pipeline import SherlockReport
+from ..core.solver import infer
+from ..sim.program import Application
+
+
+@dataclass
+class OracleResult:
+    """Verdict of one oracle on one schedule."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "detail": self.detail,
+            "data": self.data,
+        }
+
+
+def lambda_stability_range(
+    lam: float, tolerance: float = 0.01
+) -> Tuple[float, float]:
+    """The (low, high) λ probe points around a base value."""
+    return lam * (1.0 - tolerance), lam * (1.0 + tolerance)
+
+
+def ground_truth_oracle(
+    app: Application, report: SherlockReport
+) -> OracleResult:
+    """Score the final inference against the app's annotations."""
+    classified = classify(app, report)
+    inferred = classified.inferred_total
+    true_syncs = len(app.ground_truth.syncs)
+    recall = len(classified.correct) / true_syncs if true_syncs else 1.0
+    precision = len(classified.correct) / inferred if inferred else 0.0
+    observed_windows = len(report.store.windows) > 0
+    passed = bool(classified.correct) or not observed_windows
+    return OracleResult(
+        name="ground-truth",
+        passed=passed,
+        detail=(
+            "no true synchronization inferred despite observed windows"
+            if not passed
+            else f"{len(classified.correct)}/{true_syncs} true syncs "
+            f"recovered"
+        ),
+        data={
+            "correct": len(classified.correct),
+            "false": classified.false_total,
+            "missed": len(classified.missed),
+            "precision": round(precision, 4),
+            "recall": round(recall, 4),
+        },
+    )
+
+
+def lambda_stability_oracle(
+    report: SherlockReport, tolerance: float = 0.01
+) -> OracleResult:
+    """Re-solve the final store with λ nudged ±tolerance."""
+    base = frozenset(s.display() for s in report.final.syncs)
+    unstable: List[str] = []
+    for lam in lambda_stability_range(report.config.lam, tolerance):
+        alt = infer(report.store, report.config.without(lam=lam))
+        alt_set = frozenset(s.display() for s in alt.syncs)
+        if alt_set != base:
+            gained = sorted(alt_set - base)
+            lost = sorted(base - alt_set)
+            unstable.append(
+                f"λ={lam:g}: +{gained or '[]'} -{lost or '[]'}"
+            )
+    return OracleResult(
+        name="lambda-stability",
+        passed=not unstable,
+        detail="; ".join(unstable) if unstable else (
+            f"inferred set unchanged for λ ∈ "
+            f"±{tolerance:.0%} of {report.config.lam:g}"
+        ),
+        data={"unstable": unstable},
+    )
+
+
+__all__ = [
+    "OracleResult",
+    "ground_truth_oracle",
+    "lambda_stability_oracle",
+    "lambda_stability_range",
+]

@@ -28,8 +28,8 @@ from ..trace.events import DelayInterval, TraceEvent
 from ..trace.log import TraceLog
 from ..trace.optypes import OpRef, OpType
 
-#: Bump when the serialized execution format changes.
-CACHE_FORMAT_VERSION = 1
+#: Bump when the serialized execution format or the key recipe changes.
+CACHE_FORMAT_VERSION = 2
 
 #: Default location of the on-disk store.
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -79,6 +79,7 @@ def round_key(
     max_steps: int,
     delay_plan: Optional[DelayPlan],
     round_index: int,
+    schedule_policy: str = "random",
 ) -> str:
     """Content digest of everything that determines one round's traces."""
     payload = json.dumps(
@@ -90,6 +91,7 @@ def round_key(
             "max_steps": max_steps,
             "delay_plan": list(freeze_delay_plan(delay_plan)),
             "round_index": round_index,
+            "schedule_policy": schedule_policy,
         },
         sort_keys=True,
     )

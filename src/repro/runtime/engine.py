@@ -76,6 +76,7 @@ def execute_test_payload(payload: WorkerPayload) -> TestExecution:
         delay_plan=thaw_delay_plan(frozen_plan),
         event_filter=observer.event_filter,
         max_steps=config.max_steps,
+        schedule_policy=config.schedule_policy,
     )
     return run_unit_test(app, test, options)
 
@@ -138,6 +139,7 @@ class ExecutionRuntime:
             max_steps=config.max_steps,
             delay_plan=delay_plan,
             round_index=round_index,
+            schedule_policy=config.schedule_policy,
         )
 
     # -- execution paths -----------------------------------------------------
@@ -184,6 +186,32 @@ class ExecutionRuntime:
                 stacklevel=3,
             )
             return None
+
+    # -- generic fan-out -----------------------------------------------------
+
+    def map_jobs(self, fn: Any, payloads: List[Any]) -> List[Any]:
+        """Run ``fn`` over ``payloads`` on the worker pool, in order.
+
+        The campaign-level counterpart of :meth:`observe_round`'s per-test
+        fan-out: ``fn`` must be a module-level function and every payload
+        picklable.  Falls back to a serial in-process loop when the pool
+        is unavailable (sandbox, OOM) or the runtime is serial, so callers
+        always get one result per payload, in submission order.
+        """
+        if self.workers > 1 and len(payloads) > 1 and not self._pool_broken:
+            try:
+                pool = self._ensure_pool()
+                return list(pool.map(fn, payloads))
+            except Exception as exc:
+                self._pool_broken = True
+                self._shutdown_pool()
+                warnings.warn(
+                    f"process pool unavailable ({type(exc).__name__}: "
+                    f"{exc}); falling back to serial execution",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return [fn(payload) for payload in payloads]
 
     def _ensure_pool(self) -> Executor:
         if self._pool is None:

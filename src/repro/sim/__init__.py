@@ -29,6 +29,13 @@ from .program import (
 )
 from .runner import RunOptions, TestExecution, run_application, run_unit_test
 from .runtime import Runtime
+from .schedule import (
+    PCTPolicy,
+    RandomPolicy,
+    SchedulePolicy,
+    build_policy,
+    policy_names,
+)
 from .thread import SimThread, ThreadState, WaitSet
 
 __all__ = [
@@ -44,8 +51,11 @@ __all__ = [
     "KIND_VARIABLE",
     "Kernel",
     "Method",
+    "PCTPolicy",
+    "RandomPolicy",
     "RunOptions",
     "Runtime",
+    "SchedulePolicy",
     "SimObject",
     "SimThread",
     "SimulationError",
@@ -56,7 +66,9 @@ __all__ = [
     "ThreadState",
     "UnitTest",
     "WaitSet",
+    "build_policy",
     "method",
+    "policy_names",
     "run_application",
     "run_unit_test",
 ]

@@ -19,12 +19,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..trace.events import DelayInterval, TraceEvent
 from ..trace.log import TraceLog
 from ..trace.optypes import OpRef, OpType
 from .errors import DeadlockError, IllegalSyscall, StepLimitExceeded
+from .schedule import SchedulePolicy, build_policy
 from .syscalls import (
     SysEmit,
     SysNow,
@@ -71,8 +72,11 @@ class Kernel:
         delay_plan: Optional[Dict[OpRef, float]] = None,
         event_filter: Optional[Callable[[TraceEvent], bool]] = None,
         max_steps: int = 2_000_000,
+        schedule_policy: Union[str, SchedulePolicy] = "random",
     ) -> None:
         self.rng = random.Random(seed)
+        self.policy = build_policy(schedule_policy)
+        self.policy.reset(self.rng)
         self.op_cost = op_cost
         self.clock = 0.0
         self.log = log
@@ -157,11 +161,7 @@ class Kernel:
                 if blocked:
                     raise DeadlockError([repr(t) for t in blocked])
                 return  # all finished
-            thread = (
-                runnable[0]
-                if len(runnable) == 1
-                else self.rng.choice(runnable)
-            )
+            thread = self.policy.choose(runnable, self.steps)
             self._step(thread)
             self.steps += 1
             if self.steps > self.max_steps:

@@ -44,6 +44,8 @@ class RunOptions:
     delay_plan: Dict[OpRef, float] = field(default_factory=dict)
     event_filter: Optional[Callable[[TraceEvent], bool]] = None
     max_steps: int = 2_000_000
+    #: Scheduling-policy spec ("random", "pct", "pct:0.05").
+    schedule_policy: str = "random"
 
 
 def run_unit_test(
@@ -58,6 +60,7 @@ def run_unit_test(
         delay_plan=options.delay_plan,
         event_filter=options.event_filter,
         max_steps=options.max_steps,
+        schedule_policy=options.schedule_policy,
     )
     rt = Runtime(kernel)
     ctx = app.make_context(rt)

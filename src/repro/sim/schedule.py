@@ -1,0 +1,139 @@
+"""Pluggable scheduling policies for the kernel's choice points.
+
+The kernel asks its :class:`SchedulePolicy` which runnable thread to step
+next.  The default :class:`RandomPolicy` reproduces the kernel's historic
+behavior bit-for-bit (it consumes the kernel RNG only when more than one
+thread is runnable), so seed-0 golden traces are policy-agnostic.  The
+:class:`PCTPolicy` is a PCT-style priority scheduler (Burckhardt et al.,
+"A Randomized Scheduler with Probabilistic Guarantees of Finding Bugs"):
+each thread gets a random priority, the highest-priority runnable thread
+always runs, and at random change points the running thread's priority is
+demoted — surfacing interleavings a uniform-random walk rarely visits.
+
+Policies are addressed by *spec strings* (``"random"``, ``"pct"``,
+``"pct:0.05"``) so they can cross process-pool boundaries and participate
+in trace-cache keys as plain data.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from .thread import SimThread
+
+#: Default probability per scheduling step that PCT demotes the chosen
+#: thread's priority (the online analogue of PCT's d-1 change points).
+DEFAULT_PCT_CHANGE_PROB = 0.02
+
+
+class SchedulePolicy:
+    """Decides which runnable thread the kernel steps next.
+
+    ``reset(rng)`` is called once per kernel with the kernel's seeded RNG;
+    every random decision must come from that RNG so a (seed, policy spec)
+    pair fully determines the schedule.
+    """
+
+    #: Canonical spec string (used by cache keys and reports).
+    spec: str = ""
+
+    def reset(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def choose(
+        self, runnable: Sequence[SimThread], step: int
+    ) -> SimThread:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class RandomPolicy(SchedulePolicy):
+    """Uniform-random scheduling — the kernel's historic behavior.
+
+    Consumes one RNG draw only when there is a real choice, exactly like
+    the pre-policy kernel, so default-config traces are unchanged.
+    """
+
+    spec = "random"
+
+    def choose(self, runnable: Sequence[SimThread], step: int) -> SimThread:
+        if len(runnable) == 1:
+            return runnable[0]
+        return self.rng.choice(runnable)
+
+
+class PCTPolicy(SchedulePolicy):
+    """Priority-based scheduling with random priority change points."""
+
+    def __init__(self, change_prob: float = DEFAULT_PCT_CHANGE_PROB) -> None:
+        if not (0.0 <= change_prob <= 1.0):
+            raise ValueError("pct change probability must be in [0, 1]")
+        self.change_prob = change_prob
+        self.spec = (
+            "pct"
+            if change_prob == DEFAULT_PCT_CHANGE_PROB
+            else f"pct:{change_prob:g}"
+        )
+        self._priorities: Dict[int, float] = {}
+
+    def reset(self, rng: random.Random) -> None:
+        super().reset(rng)
+        self._priorities = {}
+
+    def choose(self, runnable: Sequence[SimThread], step: int) -> SimThread:
+        for thread in runnable:
+            if thread.tid not in self._priorities:
+                self._priorities[thread.tid] = self.rng.random()
+        # Highest priority wins; tid breaks ties deterministically.
+        thread = max(
+            runnable, key=lambda t: (self._priorities[t.tid], -t.tid)
+        )
+        if len(runnable) > 1 and self.rng.random() < self.change_prob:
+            # Change point: demote below every current priority so a
+            # lower-priority thread overtakes at the next choice.
+            floor = min(self._priorities[t.tid] for t in runnable)
+            self._priorities[thread.tid] = floor * self.rng.random()
+        return thread
+
+
+#: Spec-name → factory taking the optional ``:arg`` suffix.
+_POLICIES = {
+    "random": lambda arg: RandomPolicy(),
+    "pct": lambda arg: PCTPolicy(
+        DEFAULT_PCT_CHANGE_PROB if arg is None else float(arg)
+    ),
+}
+
+
+def policy_names() -> List[str]:
+    return sorted(_POLICIES)
+
+
+def build_policy(spec: "str | SchedulePolicy") -> SchedulePolicy:
+    """Instantiate a policy from its spec string (``"pct:0.05"`` style).
+
+    A ready policy instance passes through unchanged, letting tests plug
+    in custom policies without registering a spec.
+    """
+    if isinstance(spec, SchedulePolicy):
+        return spec
+    name, _, arg = spec.partition(":")
+    factory = _POLICIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown schedule policy {spec!r}; known: {policy_names()}"
+        )
+    try:
+        return factory(arg or None)
+    except ValueError as exc:
+        raise ValueError(f"bad schedule policy spec {spec!r}: {exc}") from exc
+
+
+__all__ = [
+    "DEFAULT_PCT_CHANGE_PROB",
+    "PCTPolicy",
+    "RandomPolicy",
+    "SchedulePolicy",
+    "build_policy",
+    "policy_names",
+]

@@ -1,0 +1,86 @@
+"""Determinism audit.
+
+Two layers: (1) a source scan asserting the trace-determining packages
+(``sim``, ``core``, ``trace``) never reach for ambient entropy — the
+module-level ``random`` functions, wall-clock time, or platform hash
+seeds; (2) an end-to-end check that running the full pipeline twice
+in-process yields byte-identical serialized reports for every app.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.apps.registry import app_ids
+from repro.core import SherlockConfig
+from repro.core.serialize import report_to_dict
+
+SRC = Path(repro.__file__).resolve().parent
+
+#: Packages whose code determines trace content (and so report bytes).
+TRACE_DETERMINING = ("sim", "core", "trace")
+
+#: (pattern, why it is banned).  ``random.Random(seed)`` is fine — only
+#: draws from the shared module-level RNG (or ambient clocks) are not.
+FORBIDDEN = [
+    (
+        re.compile(
+            r"\brandom\.(random|randint|randrange|choice|choices|"
+            r"shuffle|sample|uniform|seed|getrandbits)\("
+        ),
+        "module-level random draw (seed-independent)",
+    ),
+    (re.compile(r"\btime\.time\("), "wall-clock read"),
+    (re.compile(r"\bdatetime\.(now|utcnow|today)\("), "wall-clock read"),
+    (re.compile(r"\bos\.urandom\("), "OS entropy"),
+    (re.compile(r"\buuid\.uuid[14]\("), "random/host-derived id"),
+    (
+        re.compile(r"(?<![.\w])hash\("),
+        "builtin hash() is salted per process (PYTHONHASHSEED)",
+    ),
+]
+
+
+def trace_determining_sources():
+    for package in TRACE_DETERMINING:
+        yield from sorted((SRC / package).rglob("*.py"))
+
+
+def test_no_ambient_entropy_in_trace_determining_code():
+    offenders = []
+    for path in trace_determining_sources():
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for pattern, why in FORBIDDEN:
+                if pattern.search(line):
+                    offenders.append(
+                        f"{path.relative_to(SRC.parent)}:{lineno}: "
+                        f"{why}: {line.strip()}"
+                    )
+    assert not offenders, (
+        "trace-determining code reached for ambient entropy — traces "
+        "would differ across runs/processes:\n" + "\n".join(offenders)
+    )
+
+
+def test_audit_actually_scans_files():
+    assert len(list(trace_determining_sources())) >= 10
+
+
+@pytest.mark.parametrize("app_id", app_ids())
+def test_double_run_reports_are_byte_identical(app_id):
+    """Same (app, config) twice in one process -> identical report bytes.
+
+    Catches leaked module state, dict-order nondeterminism, and anything
+    the source scan's pattern list misses.
+    """
+
+    def run_once():
+        report = repro.run(app_id, SherlockConfig(rounds=2, seed=0))
+        return json.dumps(report_to_dict(report), sort_keys=True)
+
+    assert run_once() == run_once()

@@ -4,6 +4,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.windows import WindowExtractor
+from repro.fuzz import TraceSanitizer
+from repro.sim.runner import TestExecution as Execution
 from repro.trace import OpType, TraceEvent, TraceLog
 
 FIELDS = ["C::a", "C::b"]
@@ -69,6 +71,18 @@ def test_occurrence_counts_positive(log):
         a_ref, b_ref = window.pair_key
         assert a_ref in window.release_side
         assert b_ref in window.acquire_side
+
+
+@given(random_logs(), st.floats(0.01, 2.0))
+@settings(max_examples=60, deadline=None)
+def test_sanitizer_cross_validates_extractor(log, near):
+    """The fuzz sanitizer re-derives window endpoints independently of
+    the extractor's pairing logic; on arbitrary well-formed traces the
+    two must agree — every extracted window is a genuine conflict, and
+    no other invariant fires either."""
+    sanitizer = TraceSanitizer(near=near, window_cap=100)
+    execution = Execution("T::prop", log, steps=len(log))
+    assert sanitizer.sanitize(execution) == []
 
 
 @given(random_logs())

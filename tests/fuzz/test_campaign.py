@@ -1,0 +1,149 @@
+"""Campaign-level tests: job determinism, aggregation, validation."""
+
+import json
+
+import pytest
+
+from repro.fuzz import CampaignConfig, run_campaign
+from repro.fuzz.campaign import run_schedule_job
+from repro.runtime import ExecutionRuntime
+
+
+def job(app_id="App-7", seed=0, rounds=2, policy="random",
+        lam_tolerance=0.01, oracles=False):
+    return (app_id, seed, rounds, policy, lam_tolerance, oracles)
+
+
+class TestScheduleJob:
+    def test_same_job_reproduces_digests(self):
+        first = run_schedule_job(job())
+        second = run_schedule_job(job())
+        assert first.trace_digest == second.trace_digest
+        assert first.report_digest == second.report_digest
+        assert first.inferred == second.inferred
+
+    def test_different_seeds_differ(self):
+        a = run_schedule_job(job(seed=0))
+        b = run_schedule_job(job(seed=1))
+        assert a.trace_digest != b.trace_digest
+
+    def test_policy_changes_trace(self):
+        a = run_schedule_job(job(policy="random"))
+        b = run_schedule_job(job(policy="pct"))
+        assert a.trace_digest != b.trace_digest
+
+    def test_oracles_pass_at_paper_defaults(self):
+        result = run_schedule_job(job(rounds=3, oracles=True))
+        assert result.violations == []
+        names = {o["name"] for o in result.oracles}
+        assert names == {"ground-truth", "lambda-stability"}
+        assert result.oracle_failures == []
+
+    def test_result_is_json_serializable(self):
+        result = run_schedule_job(job())
+        restored = json.loads(json.dumps(result.to_dict()))
+        assert restored["app_id"] == "App-7"
+        assert restored["executions"] > 0
+        assert restored["events_observed"] > 0
+
+
+class TestCampaignConfigValidate:
+    def test_resolves_aliases(self):
+        config = CampaignConfig(app_ids=["app7_statsd", "app-2"])
+        config.validate()
+        assert config.app_ids == ["App-7", "App-2"]
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(KeyError, match="app9_nope"):
+            CampaignConfig(app_ids=["app9_nope"]).validate()
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="polic"):
+            CampaignConfig(
+                app_ids=["App-7"], policy="roundrobin"
+            ).validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"schedules": 0},
+            {"rounds": 0},
+            {"workers": 0},
+            {"replay_every": -1},
+            {"app_ids": []},
+        ],
+    )
+    def test_rejects_bad_numbers(self, kwargs):
+        base = {"app_ids": ["App-7"]}
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            CampaignConfig(**base).validate()
+
+
+class TestRunCampaign:
+    def test_small_campaign_end_to_end(self):
+        config = CampaignConfig(
+            app_ids=["app7_statsd"],
+            schedules=3,
+            rounds=2,
+            oracles=False,
+            replay_every=2,
+        )
+        report = run_campaign(config)
+        assert len(report.results) == 3
+        assert [r.seed for r in report.results] == [0, 1, 2]
+        assert all(r.app_id == "App-7" for r in report.results)
+        assert report.total_violations == 0
+        # replay_every=2 over 3 jobs samples jobs 0 and 2.
+        assert report.permutation_sampled == 2
+        assert report.permutation_mismatches == []
+        assert report.ok
+
+        per_app = report.per_app()["App-7"]
+        assert per_app["schedules"] == 3
+        assert per_app["violations"] == 0
+        assert 1 <= per_app["distinct_traces"] <= 3
+
+        blob = json.loads(json.dumps(report.to_dict()))
+        assert blob["totals"]["schedules"] == 3
+        assert blob["totals"]["ok"] is True
+        assert len(blob["schedules"]) == 3
+        assert "fuzz campaign" in report.summary()
+        assert "RESULT: OK" in report.summary()
+
+    def test_replay_disabled(self):
+        config = CampaignConfig(
+            app_ids=["App-7"],
+            schedules=2,
+            rounds=1,
+            oracles=False,
+            replay_every=0,
+        )
+        report = run_campaign(config)
+        assert report.permutation_sampled == 0
+        assert report.permutation_mismatches == []
+
+    def test_campaign_on_shared_runtime(self):
+        config = CampaignConfig(
+            app_ids=["App-7"],
+            schedules=2,
+            rounds=1,
+            oracles=False,
+            replay_every=0,
+        )
+        with ExecutionRuntime(workers=1) as rt:
+            report = run_campaign(config, runtime=rt)
+        assert len(report.results) == 2
+        assert report.ok
+
+    def test_base_seed_offsets_schedules(self):
+        config = CampaignConfig(
+            app_ids=["App-7"],
+            schedules=2,
+            base_seed=10,
+            rounds=1,
+            oracles=False,
+            replay_every=0,
+        )
+        report = run_campaign(config)
+        assert [r.seed for r in report.results] == [10, 11]

@@ -1,6 +1,9 @@
 """Tests for the unified ``repro.run()`` entry point, the ``run_sherlock``
 deprecation, config construction-time validation, and report metrics."""
 
+import json
+import warnings
+
 import pytest
 
 import repro
@@ -56,6 +59,29 @@ class TestRunSherlockDeprecation:
         with pytest.warns(DeprecationWarning, match="repro.run"):
             report = run_sherlock(app, SherlockConfig(rounds=1, seed=0))
         assert report.app_id == "App-5"
+
+    def test_emits_exactly_one_warning(self):
+        app = get_application("App-5")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_sherlock(app, SherlockConfig(rounds=1, seed=0))
+        deprecations = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.run" in str(deprecations[0].message)
+
+    def test_returns_same_report_as_repro_run(self):
+        from repro.core.serialize import report_to_dict
+
+        config = SherlockConfig(rounds=2, seed=0)
+        with pytest.warns(DeprecationWarning):
+            legacy = run_sherlock(get_application("App-5"), config)
+        modern = repro.run("App-5", config)
+        assert json.dumps(
+            report_to_dict(legacy), sort_keys=True
+        ) == json.dumps(report_to_dict(modern), sort_keys=True)
 
 
 class TestConfigConstructionValidation:

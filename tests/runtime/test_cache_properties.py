@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for the trace cache.
+
+Covers the three behaviors the cache's correctness rests on: delay-plan
+freeze/thaw is a faithful round-trip, execution (de)serialization loses
+nothing the analyses read, and the in-memory LRU evicts in true
+least-recently-used order under arbitrary get/put interleavings.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz import trace_digest
+from repro.runtime.cache import (
+    TraceCache,
+    execution_from_dict,
+    execution_to_dict,
+    freeze_delay_plan,
+    round_key,
+    thaw_delay_plan,
+)
+from repro.sim.kernel import DelaySpec
+from repro.sim.runner import TestExecution as Execution
+from repro.trace import OpType, TraceEvent, TraceLog
+from repro.trace.events import DelayInterval
+from repro.trace.optypes import OpRef
+
+NAMES = ["C::a", "C::b", "D::m"]
+OPTYPES = [OpType.READ, OpType.WRITE, OpType.ENTER, OpType.EXIT]
+
+oprefs = st.builds(OpRef, st.sampled_from(NAMES), st.sampled_from(OPTYPES))
+
+delay_specs = st.one_of(
+    st.floats(0.001, 5.0),  # bare-float plans are accepted by the kernel
+    st.builds(DelaySpec, st.floats(0.001, 5.0), oprefs),
+)
+
+delay_plans = st.dictionaries(oprefs, delay_specs, max_size=6)
+
+
+@st.composite
+def executions(draw):
+    log = TraceLog(run_id=draw(st.integers(0, 5)))
+    t = 0.0
+    for _ in range(draw(st.integers(0, 25))):
+        t += draw(st.floats(0.001, 0.05))
+        log.append(
+            TraceEvent(
+                timestamp=t,
+                thread_id=draw(st.integers(1, 3)),
+                optype=draw(st.sampled_from(OPTYPES)),
+                name=draw(st.sampled_from(NAMES)),
+                address=draw(st.integers(1, 4)),
+                local_time=t,
+            )
+        )
+    for _ in range(draw(st.integers(0, 3))):
+        start = draw(st.floats(0.0, 1.0))
+        log.add_delay(
+            DelayInterval(
+                thread_id=draw(st.integers(1, 3)),
+                start=start,
+                end=start + draw(st.floats(0.001, 1.0)),
+                site=draw(oprefs),
+                run_id=log.run_id,
+            )
+        )
+    return Execution(
+        test_name=draw(st.sampled_from(["T::t1", "T::t2"])),
+        log=log,
+        steps=len(log),
+        error=draw(st.one_of(st.none(), st.just("thread t: boom"))),
+    )
+
+
+class TestFreezeThaw:
+    @given(delay_plans)
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_is_identity_on_canonical_form(self, plan):
+        frozen = freeze_delay_plan(plan)
+        assert freeze_delay_plan(thaw_delay_plan(frozen)) == frozen
+
+    @given(delay_plans)
+    @settings(max_examples=80, deadline=None)
+    def test_thaw_preserves_semantics(self, plan):
+        thawed = thaw_delay_plan(freeze_delay_plan(plan))
+        assert set(thawed) == set(plan)
+        for trigger, spec in plan.items():
+            if isinstance(spec, DelaySpec):
+                duration, site = spec.duration, spec.site
+            else:  # bare float: the trigger is its own site
+                duration, site = spec, trigger
+            assert thawed[trigger].duration == duration
+            assert thawed[trigger].site == site
+
+    @given(delay_plans)
+    @settings(max_examples=50, deadline=None)
+    def test_key_independent_of_plan_insertion_order(self, plan):
+        reordered = dict(reversed(list(plan.items())))
+
+        def key(p):
+            return round_key(
+                app_id="App-7", seed=0, op_cost=0.01, max_steps=1000,
+                delay_plan=p, round_index=1, schedule_policy="random",
+            )
+
+        assert key(plan) == key(reordered)
+
+
+class TestExecutionSerialization:
+    @given(executions())
+    @settings(max_examples=80, deadline=None)
+    def test_dict_round_trip_is_stable(self, execution):
+        data = execution_to_dict(execution)
+        assert execution_to_dict(execution_from_dict(data)) == data
+
+    @given(executions())
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_preserves_trace_digest(self, execution):
+        restored = execution_from_dict(execution_to_dict(execution))
+        assert trace_digest([restored]) == trace_digest([execution])
+        assert restored.test_name == execution.test_name
+        assert restored.error == execution.error
+        assert restored.steps == execution.steps
+
+
+class TestLRUOrder:
+    @given(
+        st.integers(1, 4),
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 7)), max_size=60
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_eviction_matches_reference_lru(self, capacity, ops):
+        """Drive the cache and a reference OrderedDict-LRU with the same
+        get/put sequence; resident keys must match after every step."""
+        cache = TraceCache(memory_entries=capacity)
+        model = OrderedDict()
+        for is_put, key_index in ops:
+            key = f"k{key_index}"
+            if is_put:
+                cache.put(key, [])
+                model[key] = True
+                model.move_to_end(key)
+                while len(model) > capacity:
+                    model.popitem(last=False)
+            else:
+                hit = cache.get(key) is not None
+                assert hit == (key in model)
+                if hit:
+                    model.move_to_end(key)
+            assert list(cache._lru) == list(model)
+        assert cache.hits + cache.misses == sum(
+            1 for is_put, _ in ops if not is_put
+        )

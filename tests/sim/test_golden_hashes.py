@@ -1,0 +1,47 @@
+"""Golden seed-stability regression: pinned seed-0 trace hashes.
+
+Every app's seed-0, round-0 trace under the default config must hash to
+the value pinned in ``tests/sim/golden_hashes.json``.  A mismatch means
+kernel/scheduler/primitive/app behavior changed for *default* runs —
+which silently invalidates every cached trace and every paper-table
+expectation downstream.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.apps.registry import app_ids, get_application
+from repro.core.config import SherlockConfig
+from repro.core.observer import Observer
+from repro.fuzz import trace_digest
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_hashes.json")
+
+with open(GOLDEN_PATH, encoding="utf-8") as fp:
+    GOLDEN = json.load(fp)
+
+
+def test_golden_file_covers_all_apps():
+    assert sorted(GOLDEN) == sorted(app_ids())
+
+
+@pytest.mark.parametrize("app_id", sorted(GOLDEN))
+def test_seed0_trace_hash_is_stable(app_id):
+    observer = Observer(SherlockConfig())
+    executions = observer.observe_round(get_application(app_id), 0, {})
+    digest = trace_digest(executions)
+    assert digest == GOLDEN[app_id], (
+        f"{app_id}: seed-0 trace hash changed "
+        f"({digest} != pinned {GOLDEN[app_id]}).\n"
+        "The default-config trace of this app is no longer what it was "
+        "when the hash was pinned. If the change is INTENTIONAL (new "
+        "primitive semantics, scheduler fix, app edit), regenerate the "
+        "pins with:\n"
+        "    PYTHONPATH=src python -m repro.fuzz.golden "
+        "tests/sim/golden_hashes.json\n"
+        "and mention the trace change in the PR description. If it is "
+        "NOT intentional, you broke seed stability — every trace cache "
+        "and pinned expectation downstream is invalidated."
+    )

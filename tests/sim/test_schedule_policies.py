@@ -1,0 +1,155 @@
+"""Scheduling-policy tests: spec parsing, policy semantics, kernel wiring."""
+
+import random
+
+import pytest
+
+from repro.apps.registry import get_application
+from repro.core.config import SherlockConfig
+from repro.fuzz import trace_digest
+from repro.sim.runner import RunOptions, run_unit_test
+from repro.sim.schedule import (
+    DEFAULT_PCT_CHANGE_PROB,
+    PCTPolicy,
+    RandomPolicy,
+    SchedulePolicy,
+    build_policy,
+    policy_names,
+)
+
+
+class FakeThread:
+    def __init__(self, tid):
+        self.tid = tid
+
+
+class ExplodingRandom(random.Random):
+    """RNG that fails on any draw — proves a code path consumes nothing."""
+
+    def random(self):
+        raise AssertionError("RNG consumed")
+
+    def choice(self, seq):
+        raise AssertionError("RNG consumed")
+
+
+class TestBuildPolicy:
+    def test_random_spec(self):
+        policy = build_policy("random")
+        assert isinstance(policy, RandomPolicy)
+        assert policy.spec == "random"
+
+    def test_pct_spec_default_arg(self):
+        policy = build_policy("pct")
+        assert isinstance(policy, PCTPolicy)
+        assert policy.change_prob == DEFAULT_PCT_CHANGE_PROB
+        assert policy.spec == "pct"
+
+    def test_pct_spec_with_arg(self):
+        policy = build_policy("pct:0.05")
+        assert policy.change_prob == 0.05
+        assert policy.spec == "pct:0.05"
+
+    def test_instance_passes_through(self):
+        policy = PCTPolicy()
+        assert build_policy(policy) is policy
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError, match="known"):
+            build_policy("roundrobin")
+
+    def test_bad_pct_arg_rejected(self):
+        with pytest.raises(ValueError, match="pct:2.0"):
+            build_policy("pct:2.0")
+        with pytest.raises(ValueError, match="pct:xyz"):
+            build_policy("pct:xyz")
+
+    def test_policy_names_sorted(self):
+        assert policy_names() == ["pct", "random"]
+
+
+class TestRandomPolicy:
+    def test_single_runnable_consumes_no_rng(self):
+        """The historic kernel drew from the RNG only on real choices;
+        seed-0 golden traces depend on this staying true."""
+        policy = RandomPolicy()
+        policy.reset(ExplodingRandom())
+        only = FakeThread(1)
+        assert policy.choose([only], step=0) is only
+
+    def test_choice_matches_raw_rng(self):
+        threads = [FakeThread(t) for t in (1, 2, 3)]
+        policy = RandomPolicy()
+        policy.reset(random.Random(7))
+        picked = [policy.choose(threads, step=i) for i in range(20)]
+        reference = random.Random(7)
+        assert picked == [reference.choice(threads) for _ in range(20)]
+
+
+class TestPCTPolicy:
+    def test_highest_priority_always_runs_without_change_points(self):
+        policy = PCTPolicy(change_prob=0.0)
+        policy.reset(random.Random(3))
+        threads = [FakeThread(t) for t in (1, 2, 3)]
+        picks = {policy.choose(threads, step=i).tid for i in range(10)}
+        assert len(picks) == 1  # no demotion -> one thread monopolizes
+
+    def test_demotion_lets_other_threads_overtake(self):
+        policy = PCTPolicy(change_prob=1.0)
+        policy.reset(random.Random(3))
+        threads = [FakeThread(t) for t in (1, 2, 3)]
+        picks = {policy.choose(threads, step=i).tid for i in range(30)}
+        assert len(picks) > 1
+
+    def test_reset_restores_determinism(self):
+        threads = [FakeThread(t) for t in (1, 2, 3)]
+
+        def schedule():
+            policy = PCTPolicy()
+            policy.reset(random.Random(11))
+            return [policy.choose(threads, step=i).tid for i in range(50)]
+
+        assert schedule() == schedule()
+
+    def test_change_prob_validated(self):
+        with pytest.raises(ValueError):
+            PCTPolicy(change_prob=-0.1)
+        with pytest.raises(ValueError):
+            PCTPolicy(change_prob=1.5)
+
+
+class TestKernelWiring:
+    def run_first_test(self, policy):
+        app = get_application("App-7")
+        options = RunOptions(seed=0, schedule_policy=policy)
+        return run_unit_test(app, app.tests[0], options)
+
+    def test_policy_spec_reaches_kernel_and_is_deterministic(self):
+        a = trace_digest([self.run_first_test("pct")])
+        b = trace_digest([self.run_first_test("pct")])
+        assert a == b
+
+    def test_pct_differs_from_random(self):
+        a = trace_digest([self.run_first_test("random")])
+        b = trace_digest([self.run_first_test("pct")])
+        assert a != b
+
+    def test_config_validates_policy_spec(self):
+        with pytest.raises(ValueError, match="schedule policy"):
+            SherlockConfig(schedule_policy="bogus")
+
+    def test_custom_policy_instance_accepted_by_kernel(self):
+        """build_policy passes instances through, so tests can inject
+        bespoke schedulers without registering a spec string."""
+
+        class FirstRunnable(SchedulePolicy):
+            spec = "first"
+
+            def choose(self, runnable, step):
+                return runnable[0]
+
+        app = get_application("App-7")
+        options = RunOptions(seed=0, schedule_policy=FirstRunnable())
+        first = run_unit_test(app, app.tests[0], options)
+        second = run_unit_test(app, app.tests[0], options)
+        assert trace_digest([first]) == trace_digest([second])

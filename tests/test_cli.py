@@ -1,5 +1,7 @@
 """CLI smoke tests."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -28,6 +30,30 @@ def test_table_command(capsys):
     assert main(["--apps", "App-2,App-7", "table", "table1"]) == 0
     out = capsys.readouterr().out
     assert "Table 1" in out
+
+
+def test_fuzz_command(tmp_path, capsys):
+    out_path = tmp_path / "fuzz_report.json"
+    assert main([
+        "--rounds", "1", "fuzz",
+        "--app", "app7_statsd",
+        "--schedules", "2",
+        "--replay-every", "2",
+        "--no-oracles",
+        "--out", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fuzz campaign" in out and "RESULT: OK" in out
+    blob = json.loads(out_path.read_text(encoding="utf-8"))
+    assert blob["totals"]["schedules"] == 2
+    assert blob["totals"]["violations"] == 0
+    assert blob["totals"]["ok"] is True
+    assert "App-7" in blob["apps"]
+
+
+def test_fuzz_unknown_policy_rejected():
+    with pytest.raises(SystemExit):
+        main(["fuzz", "--policy", "roundrobin"])
 
 
 def test_unknown_table_rejected():
