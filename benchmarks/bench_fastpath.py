@@ -1,0 +1,195 @@
+"""Analysis fast-path benchmarks: indexed extraction + incremental re-solve.
+
+Measures, per application, the two fast paths this repo's analysis layer
+ships against their reference implementations:
+
+* **window extraction** — the indexed conflict-group scan
+  (``WindowExtractor(indexed=True)``, the default) vs the historical
+  all-pairs scan, over every trace a full multi-round run produces;
+* **round-N re-solve** — the final round's ``infer`` with an
+  :class:`~repro.core.encoder.IncrementalEncoder` (append + cached
+  lowering) vs the rebuild-from-scratch path.
+
+Both pairs are *equivalence-checked first* (identical windows, identical
+solver outputs), so the timings compare implementations of the same
+function.  ``tools/bench_report.py`` drives :func:`run_suite` and writes
+the results to ``BENCH_PR3.json``.
+
+Run directly for a quick look::
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py App-2 App-8
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.apps.registry import all_applications, get_application
+from repro.core import SherlockConfig
+from repro.core.encoder import IncrementalEncoder
+from repro.core.pipeline import Sherlock
+from repro.core.solver import infer
+from repro.core.stats import ObservationStore
+from repro.core.windows import WindowExtractor
+
+DEFAULT_ROUNDS = 3
+DEFAULT_REPEATS = 5
+
+
+def collect_round_logs(
+    app_id: str, rounds: int = DEFAULT_ROUNDS, seed: int = 0
+) -> List[List]:
+    """Run the full pipeline once and capture each round's trace logs."""
+    logs_by_round: Dict[int, List] = {}
+    config = SherlockConfig(rounds=rounds, seed=seed)
+    Sherlock(
+        get_application(app_id),
+        config,
+        round_listener=lambda i, execs: logs_by_round.setdefault(
+            i, [e.log for e in execs]
+        ),
+    ).run()
+    return [logs_by_round[i] for i in sorted(logs_by_round)]
+
+
+def bench_extraction(
+    logs: List, config: SherlockConfig, repeats: int = DEFAULT_REPEATS
+) -> Dict[str, float]:
+    """Best-of-N extraction wall-clock, indexed vs all-pairs, plus an
+    equivalence check over every log."""
+    timings: Dict[str, float] = {}
+    window_counts = {}
+    for label, indexed in (("indexed", True), ("allpairs", False)):
+        extractor = WindowExtractor(
+            near=config.near, window_cap=config.window_cap, indexed=indexed
+        )
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            count = 0
+            for log in logs:
+                count += len(extractor.extract(log))
+            best = min(best, time.perf_counter() - t0)
+        timings[f"extract_{label}_s"] = best
+        window_counts[label] = count
+    if window_counts["indexed"] != window_counts["allpairs"]:
+        raise AssertionError(
+            "indexed and all-pairs extraction disagree: "
+            f"{window_counts['indexed']} != {window_counts['allpairs']}"
+        )
+    events = sum(len(log) for log in logs)
+    timings["events"] = events
+    timings["windows"] = window_counts["indexed"]
+    if timings["extract_indexed_s"] > 0:
+        timings["extract_events_per_s"] = (
+            events / timings["extract_indexed_s"]
+        )
+    timings["extract_speedup"] = (
+        timings["extract_allpairs_s"] / timings["extract_indexed_s"]
+        if timings["extract_indexed_s"] > 0
+        else float("inf")
+    )
+    return timings
+
+
+def bench_resolve(
+    logs_by_round: List[List],
+    config: SherlockConfig,
+    repeats: int = DEFAULT_REPEATS,
+) -> Dict[str, float]:
+    """Best-of-N wall-clock of the *final* round's ``infer``:
+    incremental (append + cached lowering) vs rebuild-from-scratch."""
+    extractor = WindowExtractor(
+        near=config.near, window_cap=config.window_cap
+    )
+    windows_by_round = [
+        [(log, extractor.extract(log)) for log in round_logs]
+        for round_logs in logs_by_round
+    ]
+
+    def final_round_time(encoder: Optional[IncrementalEncoder]) -> float:
+        store = ObservationStore()
+        last = 0.0
+        for round_windows in windows_by_round:
+            for log, windows in round_windows:
+                store.ingest_run(log, windows)
+            t0 = time.perf_counter()
+            infer(store, config, encoder=encoder)
+            last = time.perf_counter() - t0
+        return last
+
+    incremental = min(
+        final_round_time(IncrementalEncoder(config))
+        for _ in range(repeats)
+    )
+    rebuild = min(final_round_time(None) for _ in range(repeats))
+    return {
+        "resolve_incremental_s": incremental,
+        "resolve_rebuild_s": rebuild,
+        "resolve_speedup": (
+            rebuild / incremental if incremental > 0 else float("inf")
+        ),
+    }
+
+
+def bench_app(
+    app_id: str,
+    rounds: int = DEFAULT_ROUNDS,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """All fast-path measurements for one application."""
+    config = SherlockConfig(rounds=rounds, seed=seed)
+    logs_by_round = collect_round_logs(app_id, rounds=rounds, seed=seed)
+    flat = [log for round_logs in logs_by_round for log in round_logs]
+    result: Dict[str, float] = {"app_id": app_id, "rounds": rounds}
+    result.update(bench_extraction(flat, config, repeats))
+    result.update(bench_resolve(logs_by_round, config, repeats))
+    return result
+
+
+def run_suite(
+    app_ids: Optional[List[str]] = None,
+    rounds: int = DEFAULT_ROUNDS,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = 0,
+) -> Dict:
+    """Benchmark every requested app (default: all registered apps)."""
+    if app_ids is None:
+        app_ids = [app.app_id for app in all_applications()]
+    apps = [
+        bench_app(app_id, rounds=rounds, repeats=repeats, seed=seed)
+        for app_id in app_ids
+    ]
+    return {
+        "benchmark": "fastpath",
+        "rounds": rounds,
+        "repeats": repeats,
+        "seed": seed,
+        "apps": apps,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("apps", nargs="*", help="app ids (default: all)")
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    args = parser.parse_args(argv)
+    suite = run_suite(args.apps or None, args.rounds, args.repeats)
+    for entry in suite["apps"]:
+        print(
+            f"{entry['app_id']}: extract {entry['extract_indexed_s']*1e3:.2f}ms "
+            f"({entry['extract_speedup']:.1f}x vs all-pairs, "
+            f"{entry['extract_events_per_s']:.0f} events/s), "
+            f"round-{suite['rounds']} re-solve "
+            f"{entry['resolve_incremental_s']*1e3:.2f}ms "
+            f"({entry['resolve_speedup']:.1f}x vs rebuild)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,11 @@ class SherlockConfig:
     threshold: float = 0.9
     #: LP backend: "auto" | "scipy" | "simplex".
     backend: str = "auto"
+    #: Use the analysis fast path: indexed window extraction plus the
+    #: incremental round-over-round encoder/solver.  ``False`` keeps the
+    #: historical all-pairs + rebuild-from-scratch path alive for
+    #: differential testing; both produce byte-identical reports.
+    incremental: bool = True
 
     # -- Perturber (§3, §4.3) --------------------------------------------------
     #: Injected delay before each inferred-release instance, seconds.

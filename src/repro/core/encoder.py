@@ -27,28 +27,32 @@ trade-off (λ up ⇒ fewer inferred synchronizations, Table 6).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from ..lp import LinExpr, Model
+from ..lp import LinExpr, Model, StandardForm, StandardFormCache
+from ..lp import solve as lp_solve
+from ..lp.solution import Solution
 from ..trace.optypes import OpRef, OpType, Role
 from .candidates import CandidateRegistry
 from .config import SherlockConfig
 from .stats import ObservationStore
+from .windows import Window
+
+#: (release-side averages, acquire-side averages) — Eq. (4) input.
+Occurrence = Tuple[Dict[OpRef, float], Dict[OpRef, float]]
 
 
-def build_model(
-    store: ObservationStore, config: SherlockConfig
-) -> Tuple[Model, CandidateRegistry]:
-    """Encode the store's observations into an LP model."""
-    model = Model("sherlock")
-    registry = CandidateRegistry(
-        model, enforce_capability=config.prop_read_acq_write_rel
-    )
-    lam = config.lam
-
-    windows = store.coverage_windows(config.enable_race_removal)
-
-    # -- Mostly Protected (Eq. 2) -------------------------------------------
+def _append_protected(
+    model: Model,
+    registry: CandidateRegistry,
+    windows: List[Window],
+    config: SherlockConfig,
+) -> None:
+    """Mostly-Protected terms (Eq. 2) plus the variable-ensure pass for
+    the given coverage windows.  Appending is order-preserving, so
+    calling this once with all windows (rebuild) or repeatedly with each
+    round's new windows (incremental) creates identical variables,
+    auxiliaries and constraints in identical order."""
     if config.hyp_mostly_protected:
         for window in windows:
             rel_vars = registry.release_vars(window.release_side)
@@ -65,6 +69,21 @@ def build_model(
         registry.release_vars(window.release_side)
         registry.acquire_vars(window.acquire_side)
 
+
+def _append_sections(
+    model: Model,
+    registry: CandidateRegistry,
+    store: ObservationStore,
+    config: SherlockConfig,
+    occurrence: Optional[Occurrence],
+) -> None:
+    """The store-global objective sections (Eqs. 3–7 and Single Role).
+
+    These depend on whole-store statistics, so the incremental encoder
+    re-appends them after every round (on top of a rolled-back
+    checkpoint) rather than patching them in place."""
+    lam = config.lam
+
     # -- Synchronizations are Rare (Eqs. 3 and 4) ------------------------------
     # λ trades Mostly-Protected off against all other hypotheses; the
     # sparsity terms are normalized so the default λ = 0.2 yields a unit
@@ -72,13 +91,16 @@ def build_model(
     # itself), and larger λ shrinks the inferred set as in Table 6.
     sparsity = lam / 0.2
     if config.hyp_rare:
-        rel_avg, acq_avg = store.average_occurrence()
+        rel_avg, acq_avg = occurrence
+        rare_coef = config.rare_coef
         for sync, variable in registry.items():
-            model.add_objective_term(variable, sparsity)  # Eq. 3
             side_avg = rel_avg if sync.role is Role.RELEASE else acq_avg
-            occurrence = side_avg.get(sync.op, 1.0)
+            occ = side_avg.get(sync.op, 1.0)
+            # Eq. 3 regularizer plus the Eq. 4 occurrence weight in one
+            # exact add: both start from a zero entry, so
+            # ``0 + (a + b) == (0 + a) + b`` bit-for-bit.
             model.add_objective_term(
-                variable, sparsity * config.rare_coef * occurrence
+                variable, sparsity + sparsity * rare_coef * occ
             )
 
     # -- Acquisition-Time Mostly Varies (Eq. 5) ----------------------------------
@@ -107,7 +129,134 @@ def build_model(
             soft_weight=lam if config.single_role_soft else None,
         )
 
+
+def build_model(
+    store: ObservationStore, config: SherlockConfig
+) -> Tuple[Model, CandidateRegistry]:
+    """Encode the store's observations into an LP model from scratch.
+
+    This is the historical rebuild path — the reference the incremental
+    encoder is differentially tested (and benchmarked) against.
+    """
+    model = Model("sherlock")
+    registry = CandidateRegistry(
+        model, enforce_capability=config.prop_read_acq_write_rel
+    )
+    windows = store.coverage_windows(config.enable_race_removal)
+    _append_protected(model, registry, windows, config)
+    occurrence = store.average_occurrence() if config.hyp_rare else None
+    _append_sections(model, registry, store, config, occurrence)
     return model, registry
+
+
+class IncrementalEncoder:
+    """Round-over-round LP encoding that appends instead of rebuilding.
+
+    The Mostly-Protected terms are the only per-window (and therefore
+    monotonically growing) part of the encoding; everything else — Rare,
+    CV, Paired, Single-Role — is a store-global section.  The encoder
+    keeps one persistent model whose prefix holds the MP terms of every
+    window encoded so far, takes a :meth:`~repro.lp.Model.checkpoint`
+    after the prefix, and on each round:
+
+    1. rolls the model back to the checkpoint (dropping last round's
+       sections),
+    2. appends MP terms for the round's *new* coverage windows and moves
+       the checkpoint,
+    3. re-appends the sections from the store's running statistics.
+
+    Because appends replay the exact operation sequence of a fresh
+    :func:`build_model` over the full store (same variable/constraint
+    creation order, same auxiliary numbering, same objective
+    arithmetic), the encoded model is float-identical to a rebuild and
+    serialized reports stay byte-identical.  Two events force a full
+    rebuild: a store swap (``accumulate_across_runs=False``) and new
+    racy pairs (race removal reaches back into already-encoded windows).
+
+    Solving goes through a :class:`~repro.lp.StandardFormCache` (the
+    stable prefix of the constraint matrix is lowered once) and, for the
+    simplex backend, a warm start from the previous round's basis.  A
+    warm-started simplex still returns an optimal vertex but not
+    necessarily the same one as a cold start; the default scipy backend
+    is unaffected.
+    """
+
+    def __init__(self, config: SherlockConfig) -> None:
+        self.config = config
+        self.model: Optional[Model] = None
+        self.registry: Optional[CandidateRegistry] = None
+        self._cp = None
+        self._store: Optional[ObservationStore] = None
+        self._n_windows_seen = 0
+        self._racy_pairs: frozenset = frozenset()
+        self._form_cache = StandardFormCache()
+        self._warm_basis = None
+        #: Observability: whether the last encode() was a full rebuild,
+        #: and how many variables/constraints it appended.
+        self.last_rebuild = False
+        self.last_delta_variables = 0
+        self.last_delta_constraints = 0
+
+    def encode(
+        self, store: ObservationStore
+    ) -> Tuple[Model, CandidateRegistry]:
+        """Bring the persistent model up to date with ``store``."""
+        config = self.config
+        racy = frozenset(store.racy_pairs)
+        rebuild = (
+            self.model is None
+            or store is not self._store
+            or (config.enable_race_removal and racy != self._racy_pairs)
+        )
+        if rebuild:
+            self.model = Model("sherlock")
+            self.registry = CandidateRegistry(
+                self.model,
+                enforce_capability=config.prop_read_acq_write_rel,
+            )
+            self._form_cache.reset()
+            self._warm_basis = None
+            base_vars = base_cons = 0
+            windows = store.coverage_windows(config.enable_race_removal)
+        else:
+            self.model.rollback(self._cp)
+            base_vars = len(self.model.variables)
+            base_cons = len(self.model.constraints)
+            windows = [
+                w
+                for w in store.windows[self._n_windows_seen:]
+                if not w.racy
+                and (
+                    not config.enable_race_removal
+                    or w.pair_key not in store.racy_pairs
+                )
+            ]
+        _append_protected(self.model, self.registry, windows, config)
+        self._cp = self.model.checkpoint()
+        self._store = store
+        self._n_windows_seen = len(store.windows)
+        self._racy_pairs = racy
+        occurrence = (
+            store.average_occurrence_running() if config.hyp_rare else None
+        )
+        _append_sections(self.model, self.registry, store, config, occurrence)
+        self.last_rebuild = rebuild
+        self.last_delta_variables = len(self.model.variables) - base_vars
+        self.last_delta_constraints = len(self.model.constraints) - base_cons
+        return self.model, self.registry
+
+    def solve(self, backend: Optional[str] = None) -> Solution:
+        """Solve the current model, reusing the cached prefix lowering
+        and (simplex only) last round's basis."""
+        backend = backend if backend is not None else self.config.backend
+        form: StandardForm = self.model.to_standard_form_cached(
+            self._form_cache, self._cp.n_constraints
+        )
+        solution = lp_solve(
+            self.model, backend, form=form, warm_basis=self._warm_basis
+        )
+        self._warm_basis = solution.basis
+        return solution
 
 
 def _encode_paired(
@@ -172,4 +321,4 @@ def _encode_single_role(
             )
 
 
-__all__ = ["build_model"]
+__all__ = ["IncrementalEncoder", "build_model"]

@@ -1,0 +1,232 @@
+"""Per-log indexes for the window-extraction fast path.
+
+The all-pairs extraction loop in :mod:`repro.core.windows` re-scans the
+whole trace for every window it builds: ``log.between`` walks the log
+from event 0, ``_innermost_open_call`` replays every thread's call stack
+from the start, and the conflicting-pair scan considers every later
+access for every endpoint.  :class:`TraceIndex` precomputes, once per
+log:
+
+* **conflict groups** — accesses bucketed by the static identity that
+  can ever conflict (``(is_memory, address, field)`` for heap accesses,
+  ``(is_memory, address)`` for thread-unsafe API calls), so the pair
+  scan only visits accesses that share a group;
+* **timestamp array** — a bisect-able view of the event list so window
+  bodies are slices instead of scans;
+* **open-call interval index** — per-thread change points of the
+  innermost open ENTER, so "which call was thread T inside at time t?"
+  is one bisect;
+* **per-thread delay lists** — the Perturber's injected delays sorted
+  by start per thread, so refinement stops filtering the global list;
+* **ENTER↔EXIT matching** — the same per-thread call-stack pairing the
+  extractor always needed, computed in the same pass.
+
+Every query is defined to return *exactly* what the corresponding
+linear-scan code in :class:`~repro.core.windows.WindowExtractor` returns
+— the indexed and all-pairs extraction paths are differentially tested
+for equality.  Logs whose events are not in non-decreasing timestamp
+order (which the kernel never produces, but arbitrary hand-built logs
+may be) are flagged ``sorted=False`` and the extractor falls back to
+the linear scans for them.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..trace.events import DelayInterval, TraceEvent
+from ..trace.log import TraceLog
+from ..trace.optypes import OpRef, OpType
+
+#: Static conflict-group identity of one access event.
+GroupKey = Tuple[bool, int, Optional[str]]
+
+
+def group_key(event: TraceEvent) -> GroupKey:
+    """The bucket within which ``_accesses_conflict`` can ever hold.
+
+    Two accesses in different buckets always fail the address /
+    memory-vs-API / field checks; thread and write-capability checks
+    remain per-pair.
+    """
+    if event.is_memory:
+        return (True, event.address, event.name)
+    return (False, event.address, None)
+
+
+class TraceIndex:
+    """Precomputed queries over one run's :class:`TraceLog`."""
+
+    def __init__(self, log: TraceLog) -> None:
+        self.log = log
+        events = log.events
+        self.timestamps: List[float] = [e.timestamp for e in events]
+        self.sorted: bool = all(
+            self.timestamps[i] <= self.timestamps[i + 1]
+            for i in range(len(self.timestamps) - 1)
+        )
+        #: ``seq`` stamps are the positional indexes ``TraceLog.append``
+        #: assigns; hand-built logs that bypassed ``append`` fall back to
+        #: the linear-scan path (their ``seq`` cannot key the ref table).
+        seq_ok = all(e.seq == i for i, e in enumerate(events))
+        #: Whether the fast extraction path may use this index at all.
+        self.indexable: bool = self.sorted and seq_ok
+        # -- interned static refs (one OpRef per distinct (name, optype)) --
+        #: ``ref_ids[event.seq]`` is a dense small-int id of the event's
+        #: static op; ``ref_objs[rid]`` the shared OpRef instance.  Lets
+        #: the extractor count per-side occurrences with int keys and only
+        #: touch OpRef hashing once per distinct op per window.
+        self.ref_ids: List[int] = []
+        self.ref_objs: List[OpRef] = []
+        intern: Dict[Tuple[str, OpType], int] = {}
+        # -- per-thread event slices (window bodies bisect these) ---------
+        self._thread_times: Dict[int, List[float]] = {}
+        self._thread_events: Dict[int, List[TraceEvent]] = {}
+        # -- ENTER↔EXIT matching and open-call change points (one pass) --
+        stacks: Dict[Tuple[int, str], List[TraceEvent]] = {}
+        open_stacks: Dict[int, List[TraceEvent]] = {}
+        self.exit_to_enter: Dict[int, TraceEvent] = {}
+        #: Per thread: parallel (times, innermost-ENTER-after-event) lists.
+        self._open_times: Dict[int, List[float]] = {}
+        self._open_states: Dict[int, List[Optional[TraceEvent]]] = {}
+        for e in events:
+            rid = intern.get((e.name, e.optype))
+            if rid is None:
+                rid = len(self.ref_objs)
+                intern[(e.name, e.optype)] = rid
+                self.ref_objs.append(OpRef(e.name, e.optype))
+            self.ref_ids.append(rid)
+            tt = self._thread_times.get(e.thread_id)
+            if tt is None:
+                tt = self._thread_times[e.thread_id] = []
+                self._thread_events[e.thread_id] = []
+            tt.append(e.timestamp)
+            self._thread_events[e.thread_id].append(e)
+            if e.optype is OpType.ENTER:
+                stacks.setdefault((e.thread_id, e.name), []).append(e)
+                stack = open_stacks.setdefault(e.thread_id, [])
+                stack.append(e)
+            elif e.optype is OpType.EXIT:
+                matched = stacks.get((e.thread_id, e.name))
+                if matched:
+                    self.exit_to_enter[e.seq] = matched.pop()
+                stack = open_stacks.setdefault(e.thread_id, [])
+                # Innermost matching ENTER and everything above it close,
+                # mirroring WindowExtractor._innermost_open_call exactly.
+                for i in range(len(stack) - 1, -1, -1):
+                    if stack[i].name == e.name:
+                        del stack[i:]
+                        break
+            else:
+                continue
+            self._open_times.setdefault(e.thread_id, []).append(e.timestamp)
+            self._open_states.setdefault(e.thread_id, []).append(
+                stack[-1] if stack else None
+            )
+        # -- per-thread delay intervals, ordered by start --------------------
+        self._delays_by_thread: Dict[int, List[DelayInterval]] = {}
+        for d in log.delays:
+            self._delays_by_thread.setdefault(d.thread_id, []).append(d)
+        for delays in self._delays_by_thread.values():
+            delays.sort(key=lambda d: d.start)  # stable: ties keep log order
+
+    # -- queries ---------------------------------------------------------------
+
+    def between(self, t_start: float, t_end: float) -> Sequence[TraceEvent]:
+        """Events with ``t_start < t < t_end``, like ``TraceLog.between``."""
+        if not self.sorted:
+            return self.log.between(t_start, t_end)
+        lo = bisect_right(self.timestamps, t_start)
+        hi = bisect_left(self.timestamps, t_end, lo)
+        return self.log.events[lo:hi]
+
+    def thread_between(
+        self, thread_id: int, t_start: float, t_end: float
+    ) -> Sequence[TraceEvent]:
+        """``thread_id``'s events with ``t_start < t < t_end``, in log
+        order (the thread's events are a subsequence of the log)."""
+        times = self._thread_times.get(thread_id)
+        if not times:
+            return ()
+        lo = bisect_right(times, t_start)
+        hi = bisect_left(times, t_end, lo)
+        return self._thread_events[thread_id][lo:hi]
+
+    def innermost_open_call(
+        self, thread_id: int, at_time: float
+    ) -> Optional[TraceEvent]:
+        """ENTER of the innermost call ``thread_id`` is inside at
+        ``at_time`` (events strictly before ``at_time`` considered)."""
+        times = self._open_times.get(thread_id)
+        if not times:
+            return None
+        idx = bisect_left(times, at_time)
+        if idx == 0:
+            return None
+        return self._open_states[thread_id][idx - 1]
+
+    def relevant_delay(
+        self, thread_id: int, earliest_end: float, before: float
+    ) -> Optional[DelayInterval]:
+        """Earliest-starting delay of ``thread_id`` with
+        ``start < before`` and ``end > earliest_end``."""
+        for d in self._delays_by_thread.get(thread_id, ()):
+            if d.start >= before:
+                break
+            if d.end > earliest_end:
+                return d
+        return None
+
+
+class ConflictGroup:
+    """Events of one conflict group plus parallel scan arrays, so the
+    pair scan reads plain floats/ints/bools instead of event attributes."""
+
+    __slots__ = ("events", "times", "threads", "writes")
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self.times: List[float] = []
+        self.threads: List[int] = []
+        self.writes: List[bool] = []
+
+    def add(self, event: TraceEvent, is_write: bool) -> None:
+        self.events.append(event)
+        self.times.append(event.timestamp)
+        self.threads.append(event.thread_id)
+        self.writes.append(is_write)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _is_write_access(event: TraceEvent) -> bool:
+    if event.is_memory:
+        return event.is_write
+    return event.meta.get("unsafe_api") == "write"
+
+
+class ConflictGroups:
+    """Access events bucketed by conflict group, preserving log order."""
+
+    def __init__(self, accesses: Sequence[TraceEvent]) -> None:
+        self._groups: Dict[GroupKey, ConflictGroup] = {}
+        #: For each access (in input order): its group and position in it.
+        self.membership: List[Tuple[ConflictGroup, int]] = []
+        for event in accesses:
+            members = self._groups.setdefault(group_key(event), ConflictGroup())
+            self.membership.append((members, len(members)))
+            members.add(event, _is_write_access(event))
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+
+__all__ = [
+    "ConflictGroup",
+    "ConflictGroups",
+    "GroupKey",
+    "TraceIndex",
+    "group_key",
+]

@@ -26,6 +26,7 @@ from ..sim.program import Application
 from ..sim.runner import TestExecution
 from ..trace.optypes import OpRef
 from .config import SherlockConfig
+from .encoder import IncrementalEncoder
 from .observer import Observer
 from .perturber import build_delay_plan
 from .solver import InferenceResult, infer
@@ -124,6 +125,7 @@ class Sherlock:
         store = ObservationStore()
         delay_plan: Dict[OpRef, float] = {}
         round_results: List[RoundResult] = []
+        encoder = IncrementalEncoder(config) if config.incremental else None
 
         for round_index in range(config.rounds):
             t_start = time.perf_counter()
@@ -139,7 +141,7 @@ class Sherlock:
             self._ingest(store, executions, config)
             t_extracted = time.perf_counter()
 
-            inference = infer(store, config)
+            inference = infer(store, config, encoder=encoder)
             t_solved = time.perf_counter()
             delay_plan = build_delay_plan(inference, config)
             t_perturbed = time.perf_counter()
@@ -147,7 +149,8 @@ class Sherlock:
             metrics = RunMetrics(
                 observe_s=t_observed - t_start,
                 extract_s=t_extracted - t_observed,
-                solve_s=t_solved - t_extracted,
+                encode_s=inference.encode_s,
+                solve_s=(t_solved - t_extracted) - inference.encode_s,
                 perturb_s=t_perturbed - t_solved,
                 cache_hits=1 if outcome.cache_hit else 0,
                 cache_misses=0 if outcome.cache_hit else 1,
@@ -155,6 +158,9 @@ class Sherlock:
                 events_observed=outcome.events_observed,
                 lp_variables=inference.n_variables,
                 lp_constraints=inference.n_constraints,
+                lp_pivots=inference.lp_pivots,
+                lp_delta_variables=inference.lp_delta_variables,
+                lp_delta_constraints=inference.lp_delta_constraints,
                 workers=outcome.workers_used,
             )
             round_results.append(
@@ -192,6 +198,7 @@ class Sherlock:
             near=config.near,
             window_cap=config.window_cap,
             refine=config.enable_window_refinement,
+            indexed=config.incremental,
         )
         for execution in executions:
             windows = extractor.extract(execution.log)

@@ -9,13 +9,14 @@ observed windows.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 from ..lp import Solution, SolveStatus
 from ..trace.optypes import Role, SyncOp
 from .config import SherlockConfig
-from .encoder import build_model
+from .encoder import IncrementalEncoder, build_model
 from .stats import ObservationStore
 
 
@@ -35,6 +36,16 @@ class InferenceResult:
     n_variables: int = 0
     n_constraints: int = 0
     backend: str = ""
+    #: Performance observability (never serialized — reports must stay
+    #: byte-identical between the incremental and rebuild paths).
+    encode_s: float = 0.0
+    solve_lp_s: float = 0.0
+    lp_pivots: int = 0
+    #: Variables/constraints actually appended this round (equals the
+    #: full model size on a rebuild).
+    lp_delta_variables: int = 0
+    lp_delta_constraints: int = 0
+    incremental: bool = False
 
     @property
     def syncs(self) -> Set[SyncOp]:
@@ -53,13 +64,34 @@ class InferenceResult:
         )
 
 
-def infer(store: ObservationStore, config: SherlockConfig) -> InferenceResult:
-    """Encode the store, solve, and threshold the probabilities."""
-    model, registry = build_model(store, config)
+def infer(
+    store: ObservationStore,
+    config: SherlockConfig,
+    encoder: Optional[IncrementalEncoder] = None,
+) -> InferenceResult:
+    """Encode the store, solve, and threshold the probabilities.
+
+    With an ``encoder`` (see :class:`~repro.core.encoder.IncrementalEncoder`),
+    encoding appends this round's delta onto the encoder's persistent
+    model and the solve reuses the cached constraint-prefix lowering;
+    without one, the model is rebuilt from the whole store (historical
+    path, kept via ``SherlockConfig(incremental=False)``).  Both produce
+    byte-identical results.
+    """
+    t_start = time.perf_counter()
+    if encoder is not None:
+        model, registry = encoder.encode(store)
+    else:
+        model, registry = build_model(store, config)
+    t_encoded = time.perf_counter()
     if len(registry) == 0:
         return InferenceResult(backend="empty")
 
-    solution: Solution = model.solve(config.backend)
+    if encoder is not None:
+        solution: Solution = encoder.solve(config.backend)
+    else:
+        solution = model.solve(config.backend)
+    t_solved = time.perf_counter()
     if solution.status is not SolveStatus.OPTIMAL:
         raise SolverError(
             f"LP solve failed with status {solution.status.value} "
@@ -71,6 +103,20 @@ def infer(store: ObservationStore, config: SherlockConfig) -> InferenceResult:
         n_variables=len(model.variables),
         n_constraints=len(model.constraints),
         backend=solution.backend,
+        encode_s=t_encoded - t_start,
+        solve_lp_s=t_solved - t_encoded,
+        lp_pivots=solution.iterations,
+        lp_delta_variables=(
+            encoder.last_delta_variables
+            if encoder is not None
+            else len(model.variables)
+        ),
+        lp_delta_constraints=(
+            encoder.last_delta_constraints
+            if encoder is not None
+            else len(model.constraints)
+        ),
+        incremental=encoder is not None,
     )
     for sync, variable in registry.items():
         probability = solution.values.get(variable, 0.0)

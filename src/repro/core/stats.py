@@ -44,6 +44,21 @@ class MethodStats:
         return sqrt(variance) / mean
 
 
+@dataclass
+class IngestDelta:
+    """What one :meth:`ObservationStore.ingest_run` call added.
+
+    The incremental encoder consumes this to append only the new
+    observations; ``new_racy_pairs`` non-empty means previously encoded
+    Mostly-Protected terms are now invalid (race removal reaches back
+    into earlier rounds) and the encoder must rebuild.
+    """
+
+    windows: List[Window] = field(default_factory=list)
+    new_racy_pairs: Set[PairKey] = field(default_factory=set)
+    events: int = 0
+
+
 class ObservationStore:
     """All observations SherLock has accumulated so far."""
 
@@ -56,15 +71,45 @@ class ObservationStore:
         #: Op refs ever observed anywhere (for reporting).
         self.observed_ops: Set[OpRef] = set()
         self.runs_ingested: int = 0
+        # Running per-op occurrence totals over *all* windows, exactly the
+        # integer sums `average_occurrence` recomputes by scanning.  Kept
+        # online so the incremental encoder's Eq. (4) lookups are O(1) per
+        # round; `average_occurrence()` itself deliberately stays a full
+        # rescan (it is the rebuild-from-scratch reference the fast path
+        # is differentially tested and benchmarked against).
+        self._rel_occ_total: Dict[OpRef, int] = {}
+        self._rel_occ_windows: Dict[OpRef, int] = {}
+        self._acq_occ_total: Dict[OpRef, int] = {}
+        self._acq_occ_windows: Dict[OpRef, int] = {}
 
     # -- ingestion -----------------------------------------------------------
 
-    def ingest_run(self, log: TraceLog, windows: Iterable[Window]) -> None:
-        """Add one run's windows and trace-derived statistics."""
+    def ingest_run(self, log: TraceLog, windows: Iterable[Window]) -> IngestDelta:
+        """Add one run's windows and trace-derived statistics.
+
+        Returns the delta this run contributed, for incremental encoding.
+        """
+        delta = IngestDelta()
         for window in windows:
             self.windows.append(window)
-            if window.racy:
+            delta.windows.append(window)
+            if window.racy and window.pair_key not in self.racy_pairs:
                 self.racy_pairs.add(window.pair_key)
+                delta.new_racy_pairs.add(window.pair_key)
+            for ref, count in window.release_side.items():
+                self._rel_occ_total[ref] = (
+                    self._rel_occ_total.get(ref, 0) + count
+                )
+                self._rel_occ_windows[ref] = (
+                    self._rel_occ_windows.get(ref, 0) + 1
+                )
+            for ref, count in window.acquire_side.items():
+                self._acq_occ_total[ref] = (
+                    self._acq_occ_total.get(ref, 0) + count
+                )
+                self._acq_occ_windows[ref] = (
+                    self._acq_occ_windows.get(ref, 0) + 1
+                )
         for name, samples in log.method_durations().items():
             stats = self.method_stats.setdefault(name, MethodStats())
             for value in samples:
@@ -73,7 +118,9 @@ class ObservationStore:
             self.observed_ops.add(event.ref)
             if event.meta.get("library"):
                 self.library_names.add(event.name)
+        delta.events = len(log)
         self.runs_ingested += 1
+        return delta
 
     # -- queries ----------------------------------------------------------------
 
@@ -119,6 +166,22 @@ class ObservationStore:
         acq_avg = {r: acq_total[r] / acq_windows[r] for r in acq_total}
         return rel_avg, acq_avg
 
+    def average_occurrence_running(
+        self,
+    ) -> Tuple[Dict[OpRef, float], Dict[OpRef, float]]:
+        """Same values as :meth:`average_occurrence` from the running
+        totals — exact, because both sides sum the same integers before
+        the one division."""
+        rel_avg = {
+            r: self._rel_occ_total[r] / self._rel_occ_windows[r]
+            for r in self._rel_occ_total
+        }
+        acq_avg = {
+            r: self._acq_occ_total[r] / self._acq_occ_windows[r]
+            for r in self._acq_occ_total
+        }
+        return rel_avg, acq_avg
+
     def cv_percentiles(self) -> Dict[str, float]:
         """Percentile rank of each method's duration CV among all methods.
 
@@ -157,4 +220,4 @@ class ObservationStore:
         )
 
 
-__all__ = ["MethodStats", "ObservationStore"]
+__all__ = ["IngestDelta", "MethodStats", "ObservationStore"]

@@ -28,11 +28,12 @@ refinement applies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..trace.events import DelayInterval, TraceEvent
 from ..trace.log import TraceLog
 from ..trace.optypes import OpRef, OpType
+from .index import ConflictGroups, TraceIndex
 
 #: Static identity of a conflicting-access pair: ordered (earlier, later).
 PairKey = Tuple[OpRef, OpRef]
@@ -97,7 +98,16 @@ _ACQUIRE_CAPABLE = (OpType.READ, OpType.ENTER)
 
 
 class WindowExtractor:
-    """Extracts windows from one run's log."""
+    """Extracts windows from one run's log.
+
+    Two equivalent extraction paths exist: the indexed fast path
+    (default) buckets accesses into conflict groups and answers all
+    trace queries through a per-log :class:`~repro.core.index.TraceIndex`,
+    while the historical all-pairs path (``indexed=False``) rescans the
+    log per window.  Both return the same windows in the same order;
+    the all-pairs path is kept as the reference for differential tests
+    and via ``SherlockConfig(incremental=False)``.
+    """
 
     def __init__(
         self,
@@ -106,6 +116,7 @@ class WindowExtractor:
         use_unsafe_api_list: bool = True,
         refine: bool = True,
         pre_gap: float = 0.02,
+        indexed: bool = True,
     ) -> None:
         self.near = near
         self.window_cap = window_cap
@@ -115,11 +126,24 @@ class WindowExtractor:
         #: the window — a delay ending just before ``a`` postponed ``a``
         #: itself, so the window's timing was manufactured by the Perturber.
         self.pre_gap = pre_gap
+        self.indexed = indexed
 
     def extract(self, log: TraceLog) -> List[Window]:
         accesses = [e for e in log if _is_access(e)]
         if not self.use_unsafe_api_list:
             accesses = [e for e in accesses if e.is_memory]
+        if self.indexed:
+            index = TraceIndex(log)
+            if index.indexable:
+                return self._extract_indexed(log, accesses, index)
+            # Unsorted logs (never produced by the kernel) keep the
+            # linear-scan semantics of the historical path.
+        return self._extract_allpairs(log, accesses)
+
+    def _extract_allpairs(
+        self, log: TraceLog, accesses: List[TraceEvent]
+    ) -> List[Window]:
+        """Historical O(n²) reference path."""
         exit_to_enter = self._match_calls(log)
         windows: List[Window] = []
         counts: Dict[PairKey, int] = {}
@@ -136,6 +160,51 @@ class WindowExtractor:
                 windows.append(
                     self._build_window(log, a, b, exit_to_enter)
                 )
+        return windows
+
+    def _extract_indexed(
+        self,
+        log: TraceLog,
+        accesses: List[TraceEvent],
+        index: TraceIndex,
+    ) -> List[Window]:
+        """Conflict-group scan: same pairs, same order, no all-pairs pass.
+
+        Iterating accesses in log order and, per endpoint, only that
+        endpoint's conflict group reproduces the all-pairs enumeration
+        order exactly: group members are a subsequence of the access
+        list, and any member past the ``Near`` cutoff would also have
+        broken the historical scan (timestamps are non-decreasing).
+        """
+        groups = ConflictGroups(accesses)
+        windows: List[Window] = []
+        counts: Dict[Tuple[int, int], int] = {}
+        near = self.near
+        cap = self.window_cap
+        ref_ids = index.ref_ids
+        for a, (group, position) in zip(accesses, groups.membership):
+            a_time = a.timestamp
+            a_thread = a.thread_id
+            a_write = group.writes[position]
+            a_rid = ref_ids[a.seq]
+            times = group.times
+            threads = group.threads
+            writes = group.writes
+            members = group.events
+            for j in range(position + 1, len(members)):
+                if times[j] - a_time > near:
+                    break
+                if threads[j] == a_thread:
+                    continue
+                if not (a_write or writes[j]):
+                    continue
+                b = members[j]
+                key = (a_rid, ref_ids[b.seq])
+                seen = counts.get(key, 0)
+                if seen >= cap:
+                    continue
+                counts[key] = seen + 1
+                windows.append(self._build_window_indexed(log, a, b, index))
         return windows
 
     @staticmethod
@@ -161,6 +230,7 @@ class WindowExtractor:
         a: TraceEvent,
         b: TraceEvent,
         exit_to_enter: Dict[int, TraceEvent],
+        index: Optional[TraceIndex] = None,
     ) -> Window:
         window = Window(
             pair_key=(a.ref, b.ref),
@@ -168,9 +238,14 @@ class WindowExtractor:
             a_time=a.timestamp,
             b_time=b.timestamp,
         )
+        body: Sequence[TraceEvent] = (
+            index.between(a.timestamp, b.timestamp)
+            if index is not None
+            else log.between(a.timestamp, b.timestamp)
+        )
         release_events: List[TraceEvent] = [a]
         acquire_events: List[TraceEvent] = [b]
-        for e in log.between(a.timestamp, b.timestamp):
+        for e in body:
             if e.thread_id == a.thread_id:
                 release_events.append(e)
             elif e.thread_id == b.thread_id:
@@ -178,7 +253,7 @@ class WindowExtractor:
 
         if self.refine:
             release_events, acquire_events = self._apply_delays(
-                log, a, b, release_events, acquire_events, window
+                log, a, b, release_events, acquire_events, window, index
             )
 
         # A blocking call that was already in progress at Ta (or across an
@@ -204,6 +279,71 @@ class WindowExtractor:
         window.racy = self._is_provably_racy(window)
         return window
 
+    def _build_window_indexed(
+        self,
+        log: TraceLog,
+        a: TraceEvent,
+        b: TraceEvent,
+        index: TraceIndex,
+    ) -> Window:
+        """Index-backed twin of :meth:`_build_window`: the body is two
+        per-thread bisected slices (other threads' events never joined a
+        side anyway) and per-side occurrence counting runs on interned
+        small-int ref ids, converting to :class:`OpRef` keys once per
+        distinct op.  First-occurrence key order — which downstream
+        encoding order (and hence float identity) depends on — is
+        preserved."""
+        ref_ids = index.ref_ids
+        ref_objs = index.ref_objs
+        window = Window(
+            pair_key=(ref_objs[ref_ids[a.seq]], ref_objs[ref_ids[b.seq]]),
+            run_id=log.run_id,
+            a_time=a.timestamp,
+            b_time=b.timestamp,
+        )
+        release_events: List[TraceEvent] = [a]
+        release_events.extend(
+            index.thread_between(a.thread_id, a.timestamp, b.timestamp)
+        )
+        acquire_events: List[TraceEvent] = [b]
+        acquire_events.extend(
+            index.thread_between(b.thread_id, a.timestamp, b.timestamp)
+        )
+
+        if self.refine:
+            release_events, acquire_events = self._apply_delays(
+                log, a, b, release_events, acquire_events, window, index
+            )
+
+        # Spanning-call rule, as in _build_window.
+        present = {e.seq for e in acquire_events}
+        spanning: List[TraceEvent] = []
+        for e in acquire_events:
+            if e.optype is OpType.EXIT:
+                enter = index.exit_to_enter.get(e.seq)
+                if enter is not None and enter.seq not in present:
+                    spanning.append(enter)
+                    present.add(enter.seq)
+        acquire_events.extend(spanning)
+
+        rel_counts: Dict[int, int] = {}
+        for e in release_events:
+            rid = ref_ids[e.seq]
+            rel_counts[rid] = rel_counts.get(rid, 0) + 1
+        acq_counts: Dict[int, int] = {}
+        for e in acquire_events:
+            rid = ref_ids[e.seq]
+            acq_counts[rid] = acq_counts.get(rid, 0) + 1
+        window.release_side = {
+            ref_objs[rid]: count for rid, count in rel_counts.items()
+        }
+        window.acquire_side = {
+            ref_objs[rid]: count for rid, count in acq_counts.items()
+        }
+
+        window.racy = self._is_provably_racy(window)
+        return window
+
     # -- Figure 2 (b)/(c) refinement ------------------------------------------------
 
     def _apply_delays(
@@ -214,8 +354,14 @@ class WindowExtractor:
         release_events: List[TraceEvent],
         acquire_events: List[TraceEvent],
         window: Window,
+        index: Optional[TraceIndex] = None,
     ) -> Tuple[List[TraceEvent], List[TraceEvent]]:
-        delay = self._relevant_delay(log, a, b)
+        if index is not None:
+            delay = index.relevant_delay(
+                a.thread_id, a.timestamp - self.pre_gap, b.timestamp
+            )
+        else:
+            delay = self._relevant_delay(log, a, b)
         if delay is None:
             return release_events, acquire_events
         window.refined = True
@@ -228,7 +374,11 @@ class WindowExtractor:
             refined = [
                 e for e in acquire_events if e.timestamp >= delay.end - 1e-12
             ]
-            blocked = self._innermost_open_call(log, b.thread_id, delay.end)
+            blocked = (
+                index.innermost_open_call(b.thread_id, delay.end)
+                if index is not None
+                else self._innermost_open_call(log, b.thread_id, delay.end)
+            )
             if blocked is not None and all(
                 e.seq != blocked.seq for e in refined
             ):

@@ -10,7 +10,7 @@ used by the SherLock artifact.
 
 from .backends import available_backends, solve
 from .expr import EQ, GE, LE, Constraint, LinExpr, as_expr
-from .model import Model, StandardForm
+from .model import Model, ModelCheckpoint, StandardForm, StandardFormCache
 from .simplex import solve_simplex
 from .scipy_backend import solve_scipy
 from .solution import Solution, SolveStatus
@@ -23,9 +23,11 @@ __all__ = [
     "LE",
     "LinExpr",
     "Model",
+    "ModelCheckpoint",
     "Solution",
     "SolveStatus",
     "StandardForm",
+    "StandardFormCache",
     "Variable",
     "as_expr",
     "available_backends",

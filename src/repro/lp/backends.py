@@ -2,33 +2,46 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
-from .model import Model
+from .model import Model, StandardForm
 from .solution import Solution
 
 
-def _solve_auto(model: Model) -> Solution:
+def _solve_auto(
+    model: Model,
+    form: Optional[StandardForm] = None,
+    warm_basis=None,
+) -> Solution:
     """Prefer scipy/HiGHS, fall back to the built-in simplex."""
     from .scipy_backend import solve_scipy
     from .simplex import solve_simplex
     from .solution import SolveStatus
 
-    solution = solve_scipy(model)
+    solution = solve_scipy(model, form=form)
     if solution.status is SolveStatus.ERROR:
-        solution = solve_simplex(model)
+        solution = solve_simplex(model, form=form, warm_basis=warm_basis)
     return solution
 
 
-def _registry() -> Dict[str, Callable[[Model], Solution]]:
+def _solve_scipy(model, form=None, warm_basis=None):
     from .scipy_backend import solve_scipy
+
+    return solve_scipy(model, form=form)
+
+
+def _solve_simplex(model, form=None, warm_basis=None):
     from .simplex import solve_simplex
 
+    return solve_simplex(model, form=form, warm_basis=warm_basis)
+
+
+def _registry() -> Dict[str, Callable[..., Solution]]:
     return {
         "auto": _solve_auto,
-        "scipy": solve_scipy,
-        "highs": solve_scipy,
-        "simplex": solve_simplex,
+        "scipy": _solve_scipy,
+        "highs": _solve_scipy,
+        "simplex": _solve_simplex,
     }
 
 
@@ -36,14 +49,24 @@ def available_backends() -> tuple:
     return tuple(_registry())
 
 
-def solve(model: Model, backend: str = "auto") -> Solution:
-    """Solve ``model`` with the named backend (``auto`` by default)."""
+def solve(
+    model: Model,
+    backend: str = "auto",
+    form: Optional[StandardForm] = None,
+    warm_basis=None,
+) -> Solution:
+    """Solve ``model`` with the named backend (``auto`` by default).
+
+    ``form`` (a pre-lowered :class:`StandardForm`) and ``warm_basis`` (a
+    previous :attr:`Solution.basis`) are optional fast-path inputs; a
+    backend that cannot use one simply ignores it.
+    """
     registry = _registry()
     if backend not in registry:
         raise ValueError(
             f"unknown LP backend {backend!r}; choose from {sorted(registry)}"
         )
-    return registry[backend](model)
+    return registry[backend](model, form=form, warm_basis=warm_basis)
 
 
 __all__ = ["solve", "available_backends"]

@@ -26,8 +26,12 @@ from .variable import Variable
 
 @dataclass
 class StandardForm:
-    """Dense standard form: minimize ``c @ x`` subject to
-    ``a_ub @ x <= b_ub``, ``a_eq @ x == b_eq`` and per-variable bounds."""
+    """Standard form: minimize ``c @ x`` subject to
+    ``a_ub @ x <= b_ub``, ``a_eq @ x == b_eq`` and per-variable bounds.
+
+    ``a_ub``/``a_eq`` are dense from :meth:`Model.to_standard_form` and
+    ``scipy.sparse.csr_matrix`` from :meth:`Model.to_standard_form_cached`;
+    backends accept either."""
 
     c: np.ndarray
     a_ub: np.ndarray
@@ -37,6 +41,49 @@ class StandardForm:
     bounds: List[Tuple[float, Optional[float]]]
     variables: List[Variable]
     objective_offset: float
+
+
+@dataclass
+class ModelCheckpoint:
+    """A point a :class:`Model` can roll back to (see :meth:`Model.rollback`).
+
+    Holds the prefix sizes plus a snapshot of the objective, so terms and
+    constraints appended after the checkpoint can be discarded and the
+    auxiliary-variable numbering replayed identically.
+    """
+
+    n_variables: int
+    n_constraints: int
+    aux_counter: int
+    objective_terms: Dict["Variable", float]
+    objective_constant: float
+
+
+class StandardFormCache:
+    """Sparse lowering of a model's stable constraint prefix.
+
+    The incremental encoder only ever *appends* constraints past a
+    checkpoint and truncates back to it, so the prefix rows of ``a_ub`` /
+    ``a_eq`` are reusable verbatim across solves; only the suffix is
+    re-lowered.  Rows are kept as sorted (column-index, value) arrays —
+    column indices are global variable indexes, so cached rows stay valid
+    as the model grows (prefix constraints only reference prefix
+    variables, which the encoder's checkpoint discipline guarantees).
+    """
+
+    def __init__(self) -> None:
+        self.prefix_len = 0
+        self.ub_cols: List[int] = []
+        self.ub_vals: List[float] = []
+        self.ub_lens: List[int] = []
+        self.ub_rhs: List[float] = []
+        self.eq_cols: List[int] = []
+        self.eq_vals: List[float] = []
+        self.eq_lens: List[int] = []
+        self.eq_rhs: List[float] = []
+
+    def reset(self) -> None:
+        self.__init__()
 
 
 class Model:
@@ -86,8 +133,31 @@ class Model:
         return constraint
 
     def add_objective_term(self, expr: ExprLike, weight: float = 1.0) -> None:
-        """Add ``weight * expr`` to the (minimized) objective."""
-        self.objective = self.objective + as_expr(expr) * weight
+        """Add ``weight * expr`` to the (minimized) objective.
+
+        Accumulates in place (the historical rebind-via-``+`` copied the
+        whole objective per term, making encoding quadratic in terms),
+        replicating ``LinExpr.__add__`` exactly: same per-coefficient
+        arithmetic, same drop-on-exact-zero, same key insertion order.
+        """
+        terms_ = self.objective.terms
+        if type(expr) is Variable:
+            # Scalar fast path; exact: ``as_expr`` would contribute
+            # ``1.0 * weight == weight`` and a ``0.0 * weight`` constant.
+            new = terms_.get(expr, 0.0) + weight
+            if new == 0.0:
+                terms_.pop(expr, None)
+            else:
+                terms_[expr] = new
+            return
+        other = as_expr(expr) * weight
+        for var, coef in other.terms.items():
+            new = terms_.get(var, 0.0) + coef
+            if new == 0.0:
+                terms_.pop(var, None)
+            else:
+                terms_[var] = new
+        self.objective.constant += other.constant
 
     # -- lowering helpers -------------------------------------------------------
 
@@ -110,6 +180,29 @@ class Model:
         self.add_constraint(aux >= -e, name=f"{aux.name}_neg")
         self.add_objective_term(aux, weight)
         return aux
+
+    # -- checkpoint / rollback ----------------------------------------------------
+
+    def checkpoint(self) -> ModelCheckpoint:
+        """Snapshot the current prefix for a later :meth:`rollback`."""
+        return ModelCheckpoint(
+            n_variables=len(self.variables),
+            n_constraints=len(self.constraints),
+            aux_counter=self._aux_counter,
+            objective_terms=dict(self.objective.terms),
+            objective_constant=self.objective.constant,
+        )
+
+    def rollback(self, cp: ModelCheckpoint) -> None:
+        """Discard every variable, constraint and objective term added
+        after ``cp``; auxiliary numbering resumes from the checkpoint so
+        re-appended sections get identical names."""
+        for var in self.variables[cp.n_variables:]:
+            del self._names[var.name]
+        del self.variables[cp.n_variables:]
+        del self.constraints[cp.n_constraints:]
+        self._aux_counter = cp.aux_counter
+        self.objective = LinExpr(cp.objective_terms, cp.objective_constant)
 
     # -- lowering to matrices -----------------------------------------------------
 
@@ -147,6 +240,103 @@ class Model:
             b_ub=np.array(ub_rhs),
             a_eq=a_eq,
             b_eq=np.array(eq_rhs),
+            bounds=bounds,
+            variables=list(self.variables),
+            objective_offset=self.objective.constant,
+        )
+
+    @staticmethod
+    def _lower_sparse(constraints, sink: StandardFormCache) -> None:
+        """Lower constraints into ``sink``'s flat CSR component lists.
+
+        Rows carry sorted global column indexes, matching the canonical
+        CSR a dense :meth:`to_standard_form` matrix converts to — so the
+        cached assembly is value-identical to the dense path."""
+        for con in constraints:
+            items = sorted(
+                (var.index, coef)
+                for var, coef in con.expr.terms.items()
+                if coef != 0.0
+            )
+            if con.sense == LE:
+                sink.ub_cols.extend(i for i, _ in items)
+                sink.ub_vals.extend(v for _, v in items)
+                sink.ub_lens.append(len(items))
+                sink.ub_rhs.append(con.rhs)
+            elif con.sense == GE:
+                sink.ub_cols.extend(i for i, _ in items)
+                sink.ub_vals.extend(-v for _, v in items)
+                sink.ub_lens.append(len(items))
+                sink.ub_rhs.append(-con.rhs)
+            elif con.sense == EQ:
+                sink.eq_cols.extend(i for i, _ in items)
+                sink.eq_vals.extend(v for _, v in items)
+                sink.eq_lens.append(len(items))
+                sink.eq_rhs.append(con.rhs)
+
+    def to_standard_form_cached(
+        self, cache: StandardFormCache, prefix_len: int
+    ) -> StandardForm:
+        """:meth:`to_standard_form`, reusing ``cache`` for the lowering of
+        ``constraints[:prefix_len]`` (which may only have grown since the
+        cache was last used).  ``a_ub``/``a_eq`` come back as
+        ``scipy.sparse.csr_matrix`` with exactly the values the dense
+        lowering would produce (sense grouping preserves constraint order,
+        so prefix rows stay a prefix of each matrix); backends densify on
+        demand."""
+        from scipy.sparse import csr_matrix
+
+        if cache.prefix_len > prefix_len:
+            cache.reset()
+        if cache.prefix_len < prefix_len:
+            self._lower_sparse(
+                self.constraints[cache.prefix_len : prefix_len], cache
+            )
+            cache.prefix_len = prefix_len
+
+        n = len(self.variables)
+        c = np.zeros(n)
+        terms = self.objective.terms
+        if terms:
+            # Keys are unique variables, so plain assignment matches the
+            # dense path's ``+=`` accumulation.
+            c[np.fromiter((v.index for v in terms), np.intp, len(terms))] = (
+                np.fromiter(terms.values(), np.float64, len(terms))
+            )
+
+        suffix = StandardFormCache()
+        self._lower_sparse(self.constraints[prefix_len:], suffix)
+
+        def assemble(cols, vals, lens):
+            indptr = np.zeros(len(lens) + 1, dtype=np.int64)
+            if lens:
+                np.cumsum(lens, out=indptr[1:])
+            return csr_matrix(
+                (
+                    np.array(vals, dtype=np.float64),
+                    np.array(cols, dtype=np.int32),
+                    indptr,
+                ),
+                shape=(len(lens), n),
+            )
+
+        a_ub = assemble(
+            cache.ub_cols + suffix.ub_cols,
+            cache.ub_vals + suffix.ub_vals,
+            cache.ub_lens + suffix.ub_lens,
+        )
+        a_eq = assemble(
+            cache.eq_cols + suffix.eq_cols,
+            cache.eq_vals + suffix.eq_vals,
+            cache.eq_lens + suffix.eq_lens,
+        )
+        bounds = [(v.lower, v.upper) for v in self.variables]
+        return StandardForm(
+            c=c,
+            a_ub=a_ub,
+            b_ub=np.array(cache.ub_rhs + suffix.ub_rhs),
+            a_eq=a_eq,
+            b_eq=np.array(cache.eq_rhs + suffix.eq_rhs),
             bounds=bounds,
             variables=list(self.variables),
             objective_offset=self.objective.constant,

@@ -7,38 +7,54 @@ The from-scratch :mod:`repro.lp.simplex` backend cross-checks it in tests.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-from .model import Model
+from .model import Model, StandardForm
 from .solution import Solution, SolveStatus
 
 
-def solve_scipy(model: Model) -> Solution:
-    """Solve a :class:`Model` using :func:`scipy.optimize.linprog` (HiGHS)."""
+def solve_scipy(
+    model: Model, form: Optional[StandardForm] = None
+) -> Solution:
+    """Solve a :class:`Model` using :func:`scipy.optimize.linprog` (HiGHS).
+
+    ``form`` lets callers pass an already-lowered standard form (the
+    incremental encoder reuses its cached prefix lowering this way).
+    """
     try:
         from scipy.optimize import linprog
-        from scipy.sparse import csr_matrix
+        from scipy.sparse import csr_matrix, issparse
     except ImportError:  # pragma: no cover - scipy is a hard dependency
         return Solution(SolveStatus.ERROR, backend="scipy")
 
-    form = model.to_standard_form()
+    if form is None:
+        form = model.to_standard_form()
     n = len(form.variables)
     if n == 0:
         return Solution(
             SolveStatus.OPTIMAL, form.objective_offset, {}, "scipy"
         )
 
-    a_ub = csr_matrix(form.a_ub) if form.a_ub.size else None
-    a_eq = csr_matrix(form.a_eq) if form.a_eq.size else None
+    def to_csr(a):
+        # The cached lowering hands us csr directly; the dense path
+        # converts here.  Either way, absent when there are no rows.
+        if issparse(a):
+            return a if a.shape[0] else None
+        return csr_matrix(a) if a.size else None
+
+    a_ub = to_csr(form.a_ub)
+    a_eq = to_csr(form.a_eq)
     bounds = [
         (lo, hi if hi is not None else np.inf) for lo, hi in form.bounds
     ]
     result = linprog(
         c=form.c,
         A_ub=a_ub,
-        b_ub=form.b_ub if form.a_ub.size else None,
+        b_ub=form.b_ub if a_ub is not None else None,
         A_eq=a_eq,
-        b_eq=form.b_eq if form.a_eq.size else None,
+        b_eq=form.b_eq if a_eq is not None else None,
         bounds=bounds,
         # Dual simplex returns vertex solutions, which keeps SherLock's
         # probability variables integral instead of interior-point mixes.
@@ -52,7 +68,7 @@ def solve_scipy(model: Model) -> Solution:
     if status is not SolveStatus.OPTIMAL:
         return Solution(status, backend="scipy")
 
-    values = {var: float(result.x[i]) for i, var in enumerate(form.variables)}
+    values = dict(zip(form.variables, result.x.tolist()))
     sol = Solution(
         SolveStatus.OPTIMAL,
         float(result.fun) + form.objective_offset,

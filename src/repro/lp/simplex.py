@@ -17,12 +17,15 @@ cross-checks the two backends on randomly generated models.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .model import Model, StandardForm
 from .solution import Solution, SolveStatus
+
+#: A basis as backend-independent labels; see :attr:`Solution.basis`.
+BasisLabels = Tuple[Tuple[str, object], ...]
 
 _EPS = 1e-9
 _MAX_ITER_FACTOR = 50
@@ -97,9 +100,13 @@ def _prepare(form: StandardForm):
     """
     n = len(form.variables)
     shift = np.zeros(n)
-    a_ub = form.a_ub.copy() if form.a_ub.size else np.zeros((0, n))
+    # The cached lowering may hand us sparse matrices; the tableau is
+    # dense, so densify up front.
+    raw_ub = form.a_ub.toarray() if hasattr(form.a_ub, "toarray") else form.a_ub
+    raw_eq = form.a_eq.toarray() if hasattr(form.a_eq, "toarray") else form.a_eq
+    a_ub = raw_ub.copy() if raw_ub.size else np.zeros((0, n))
     b_ub = form.b_ub.copy() if form.b_ub.size else np.zeros(0)
-    a_eq = form.a_eq.copy() if form.a_eq.size else np.zeros((0, n))
+    a_eq = raw_eq.copy() if raw_eq.size else np.zeros((0, n))
     b_eq = form.b_eq.copy() if form.b_eq.size else np.zeros(0)
     c = form.c.copy()
 
@@ -125,9 +132,21 @@ def _prepare(form: StandardForm):
     return a_ub, b_ub, a_eq, b_eq, c, shift, n
 
 
-def solve_simplex(model: Model) -> Solution:
-    """Solve a :class:`Model` with the built-in two-phase simplex."""
-    form = model.to_standard_form()
+def solve_simplex(
+    model: Model,
+    form: Optional[StandardForm] = None,
+    warm_basis: Optional[BasisLabels] = None,
+) -> Solution:
+    """Solve a :class:`Model` with the built-in two-phase simplex.
+
+    ``form`` lets callers reuse an already-lowered standard form.  With
+    ``warm_basis`` (a previous :attr:`Solution.basis`), the solver tries
+    to start phase 2 directly from that basis — falling back to the
+    ordinary two-phase cold start whenever the labels no longer resolve
+    to a feasible basis of the current model.
+    """
+    if form is None:
+        form = model.to_standard_form()
     try:
         a_ub, b_ub, a_eq, b_eq, c, shift, n = _prepare(form)
     except ValueError:
@@ -136,21 +155,29 @@ def solve_simplex(model: Model) -> Solution:
     m_ub, m_eq = a_ub.shape[0], a_eq.shape[0]
     m = m_ub + m_eq
     if m == 0:
-        # Unconstrained: optimum at lower bounds for positive costs.
+        # Unconstrained: each variable sits at whichever finite bound its
+        # cost prefers.  The unboundedness test and the value rule use the
+        # same epsilon and the same np.isfinite finiteness check, so a
+        # cost within (-eps, 0) against an infinite upper bound stays at
+        # its lower bound instead of leaking ``inf`` (or ``None``) into
+        # the assignment.
         values = {}
         for i, var in enumerate(form.variables):
-            if c[i] < -_EPS and (
-                form.bounds[i][1] is None or not np.isfinite(form.bounds[i][1])
-            ):
-                return Solution(SolveStatus.UNBOUNDED, backend="simplex")
-            values[var] = (
-                form.bounds[i][1]
-                if c[i] < 0 and form.bounds[i][1] is not None
-                else form.bounds[i][0]
-            )
+            hi = form.bounds[i][1]
+            hi_finite = hi is not None and np.isfinite(hi)
+            if c[i] < -_EPS:
+                if not hi_finite:
+                    return Solution(SolveStatus.UNBOUNDED, backend="simplex")
+                values[var] = float(hi)
+            else:
+                values[var] = float(form.bounds[i][0])
         obj = float(sum(c[v.index] * values[v] for v in form.variables))
         return Solution(
-            SolveStatus.OPTIMAL, obj + form.objective_offset, values, "simplex"
+            SolveStatus.OPTIMAL,
+            obj + form.objective_offset,
+            values,
+            "simplex",
+            basis=(),
         )
 
     # Build the combined constraint matrix with slacks for <= rows and
@@ -171,6 +198,34 @@ def solve_simplex(model: Model) -> Solution:
         if rhs[i] < 0:
             rows[i, :] *= -1.0
             rhs[i] *= -1.0
+
+    # Slack-column semantics for basis labels: ub rows are the model's
+    # constraint rows followed by one upper-bound row per finite-bounded
+    # variable (in variable order), see _prepare.
+    m_ub_con = form.a_ub.shape[0]
+    bound_row_vars = [
+        var.name
+        for i, var in enumerate(form.variables)
+        if form.bounds[i][1] is not None and np.isfinite(form.bounds[i][1])
+    ]
+    max_iter = _MAX_ITER_FACTOR * (m + n + n_slack + m)
+
+    if warm_basis is not None:
+        warm = _attempt_warm(
+            warm_basis,
+            rows,
+            rhs,
+            c,
+            shift,
+            form,
+            n,
+            n_slack,
+            m_ub_con,
+            bound_row_vars,
+            max_iter,
+        )
+        if warm is not None:
+            return warm
 
     # Identify rows whose slack can serve as the initial basis (slack
     # coefficient +1 after normalization); others get artificials.
@@ -247,17 +302,116 @@ def solve_simplex(model: Model) -> Solution:
         return Solution(SolveStatus.UNBOUNDED, backend="simplex")
     if status != "optimal":
         return Solution(SolveStatus.ERROR, backend="simplex")
+    return _extract(
+        tab2, c, shift, form, n, m_ub_con, bound_row_vars, iterations1
+    )
 
-    x = np.zeros(n + n_slack)
-    for row, col in enumerate(tab2.basis):
-        x[col] = tab2.table[row, tab2.n]
+
+def _basis_labels(
+    basis_cols: List[int],
+    n: int,
+    form: StandardForm,
+    m_ub_con: int,
+    bound_row_vars: List[str],
+) -> BasisLabels:
+    labels: List[Tuple[str, object]] = []
+    for col in basis_cols:
+        if col < n:
+            labels.append(("v", form.variables[col].name))
+        elif col - n < m_ub_con:
+            labels.append(("s", col - n))
+        else:
+            labels.append(("b", bound_row_vars[col - n - m_ub_con]))
+    return tuple(labels)
+
+
+def _extract(
+    tab: _Tableau,
+    c: np.ndarray,
+    shift: np.ndarray,
+    form: StandardForm,
+    n: int,
+    m_ub_con: int,
+    bound_row_vars: List[str],
+    prior_iterations: int,
+) -> Solution:
+    x = np.zeros(tab.n)
+    for row, col in enumerate(tab.basis):
+        x[col] = tab.table[row, tab.n]
     values = {
         var: float(x[i] + shift[i]) for i, var in enumerate(form.variables)
     }
     objective = float(c @ x[:n]) + float(c @ shift) + form.objective_offset
     sol = Solution(SolveStatus.OPTIMAL, objective, values, "simplex")
-    sol.iterations = iterations1 + tab2.iterations
+    sol.iterations = prior_iterations + tab.iterations
+    sol.basis = _basis_labels(tab.basis, n, form, m_ub_con, bound_row_vars)
     return sol
+
+
+def _attempt_warm(
+    warm_basis: BasisLabels,
+    rows: np.ndarray,
+    rhs: np.ndarray,
+    c: np.ndarray,
+    shift: np.ndarray,
+    form: StandardForm,
+    n: int,
+    n_slack: int,
+    m_ub_con: int,
+    bound_row_vars: List[str],
+    max_iter: int,
+) -> Optional[Solution]:
+    """Try to start phase 2 directly from a previous solve's basis.
+
+    Resolves the labels against the current column layout, crashes the
+    tableau with one dense solve, and runs phase 2.  Returns ``None``
+    (caller falls back to the two-phase cold start) when any label no
+    longer resolves, the basis matrix is singular, or the basic point is
+    infeasible for the current constraints.
+    """
+    m = rows.shape[0]
+    if len(warm_basis) != m:
+        return None
+    name_to_col: Dict[str, int] = {
+        var.name: i for i, var in enumerate(form.variables)
+    }
+    bound_col: Dict[str, int] = {
+        name: n + m_ub_con + k for k, name in enumerate(bound_row_vars)
+    }
+    cols: List[int] = []
+    for kind, key in warm_basis:
+        if kind == "v":
+            col = name_to_col.get(key)
+        elif kind == "s":
+            col = n + key if isinstance(key, int) and 0 <= key < m_ub_con else None
+        elif kind == "b":
+            col = bound_col.get(key)
+        else:
+            return None
+        if col is None:
+            return None
+        cols.append(col)
+    if len(set(cols)) != m:
+        return None
+    basis_matrix = rows[:, cols]
+    try:
+        xb = np.linalg.solve(basis_matrix, rhs)
+        reduced = np.linalg.solve(basis_matrix, rows)
+    except np.linalg.LinAlgError:
+        return None
+    if not np.all(np.isfinite(xb)) or np.any(xb < 0):
+        return None
+    c2 = np.zeros(n + n_slack)
+    c2[:n] = c
+    tab = _Tableau(reduced, xb, c2)
+    tab.basis = list(cols)
+    tab.price_out()
+    status = tab.run(max_iter)
+    if status == "unbounded":
+        return Solution(SolveStatus.UNBOUNDED, backend="simplex")
+    if status != "optimal":
+        return None
+    return _extract(tab, c, shift, form, n, m_ub_con, bound_row_vars, 0)
 
 
 __all__ = ["solve_simplex"]

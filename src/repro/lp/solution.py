@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional, Tuple
 
 from .expr import ExprLike, as_expr
 from .variable import Variable
@@ -28,6 +28,12 @@ class Solution:
     values: Dict[Variable, float] = field(default_factory=dict)
     backend: str = ""
     iterations: int = 0
+    #: Final basis of the simplex backend, as backend-independent labels:
+    #: ``("v", variable_name)`` for structural columns, ``("s", ub_row)``
+    #: for constraint-row slacks and ``("b", variable_name)`` for
+    #: upper-bound-row slacks.  ``None`` for backends that don't expose
+    #: one.  Feed it back via ``warm_basis=`` to warm-start a re-solve.
+    basis: Optional[Tuple[Tuple[str, object], ...]] = None
 
     @property
     def is_optimal(self) -> bool:

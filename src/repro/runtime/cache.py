@@ -147,6 +147,14 @@ def execution_from_dict(data: dict) -> TestExecution:
     )
 
 
+def _clone_executions(
+    executions: List[TestExecution],
+) -> List[TestExecution]:
+    """Deep copy via the serialization round-trip (the one deep-copy
+    recipe the cache already trusts for disk entries)."""
+    return [execution_from_dict(execution_to_dict(e)) for e in executions]
+
+
 class TraceCache:
     """In-memory LRU of observed rounds, optionally backed by a JSON dir.
 
@@ -172,22 +180,33 @@ class TraceCache:
     # -- lookup --------------------------------------------------------------
 
     def get(self, key: str) -> Optional[List[TestExecution]]:
-        """The cached round for ``key``, or None (counts a hit or miss)."""
+        """The cached round for ``key``, or None (counts a hit or miss).
+
+        Returns a deep copy: callers may freely mutate the executions
+        (the trace sanitizer rewrites event lists in place) without
+        corrupting the cached round for later hits.
+        """
         if key in self._lru:
             self._lru.move_to_end(key)
             self.hits += 1
-            return list(self._lru[key])
+            return _clone_executions(self._lru[key])
         executions = self._read_disk(key)
         if executions is not None:
-            self._remember(key, executions)
+            # Freshly deserialized objects are private already; hand them
+            # out and remember a separate copy.
+            self._remember(key, _clone_executions(executions))
             self.hits += 1
-            return list(executions)
+            return executions
         self.misses += 1
         return None
 
     def put(self, key: str, executions: List[TestExecution]) -> None:
-        """Store one observed round under its content key."""
-        self._remember(key, executions)
+        """Store one observed round under its content key.
+
+        Deep-copies the executions so later caller-side mutation cannot
+        alias into the cache.
+        """
+        self._remember(key, _clone_executions(executions))
         self._write_disk(key, executions)
 
     def stats(self) -> Dict[str, int]:

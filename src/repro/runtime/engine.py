@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -176,7 +177,10 @@ class ExecutionRuntime:
             # map() preserves submission order, so results line up with
             # app.tests exactly as the serial path's do.
             return list(pool.map(execute_test_payload, payloads))
-        except Exception as exc:  # pool unavailable (sandbox, OOM, …)
+        except (BrokenProcessPool, OSError) as exc:
+            # Pool-level failure (sandbox, OOM, dead workers): fall back
+            # to serial.  Task-level exceptions propagate unchanged — a
+            # failing test must not poison the pool for later rounds.
             self._pool_broken = True
             self._shutdown_pool()
             warnings.warn(
@@ -202,7 +206,10 @@ class ExecutionRuntime:
             try:
                 pool = self._ensure_pool()
                 return list(pool.map(fn, payloads))
-            except Exception as exc:
+            except (BrokenProcessPool, OSError) as exc:
+                # Same contract as _execute_parallel: only pool-level
+                # failures trigger the serial fallback; a payload that
+                # raises propagates to the caller.
                 self._pool_broken = True
                 self._shutdown_pool()
                 warnings.warn(

@@ -28,7 +28,9 @@ class RunMetrics:
     observe_s: float = 0.0
     #: Seconds spent extracting windows and ingesting into the store.
     extract_s: float = 0.0
-    #: Seconds spent encoding and solving the LP.
+    #: Seconds spent encoding the LP (building/patching the model).
+    encode_s: float = 0.0
+    #: Seconds spent solving the LP (lowering + backend).
     solve_s: float = 0.0
     #: Seconds spent building the next round's delay plan.
     perturb_s: float = 0.0
@@ -43,18 +45,33 @@ class RunMetrics:
     #: LP size of the (final, when aggregated) solve.
     lp_variables: int = 0
     lp_constraints: int = 0
+    #: Simplex pivots / HiGHS iterations of the round's solve (summed
+    #: when aggregated).
+    lp_pivots: int = 0
+    #: Variables/constraints the encoder actually appended this round —
+    #: equals the full LP size on a rebuild, and only the round's delta
+    #: on the incremental path (summed when aggregated).
+    lp_delta_variables: int = 0
+    lp_delta_constraints: int = 0
     #: Worker-process count of the runtime that produced the traces.
     workers: int = 1
 
     @property
     def total_s(self) -> float:
         """Total wall-clock seconds across all phases."""
-        return self.observe_s + self.extract_s + self.solve_s + self.perturb_s
+        return (
+            self.observe_s
+            + self.extract_s
+            + self.encode_s
+            + self.solve_s
+            + self.perturb_s
+        )
 
     def merge(self, other: "RunMetrics") -> None:
         """Fold another round's metrics into this aggregate (in place)."""
         self.observe_s += other.observe_s
         self.extract_s += other.extract_s
+        self.encode_s += other.encode_s
         self.solve_s += other.solve_s
         self.perturb_s += other.perturb_s
         self.cache_hits += other.cache_hits
@@ -62,9 +79,13 @@ class RunMetrics:
         self.tests_executed += other.tests_executed
         self.events_observed += other.events_observed
         # LP sizes are per-solve, not additive; keep the largest (the final
-        # round's, under accumulation).
+        # round's, under accumulation).  Pivots and deltas are per-round
+        # work actually done, so they add up.
         self.lp_variables = max(self.lp_variables, other.lp_variables)
         self.lp_constraints = max(self.lp_constraints, other.lp_constraints)
+        self.lp_pivots += other.lp_pivots
+        self.lp_delta_variables += other.lp_delta_variables
+        self.lp_delta_constraints += other.lp_delta_constraints
         self.workers = max(self.workers, other.workers)
 
     @classmethod
@@ -82,6 +103,7 @@ class RunMetrics:
             [
                 f"phases: observe {self.observe_s:.3f}s, "
                 f"extract {self.extract_s:.3f}s, "
+                f"encode {self.encode_s:.3f}s, "
                 f"solve {self.solve_s:.3f}s, "
                 f"perturb {self.perturb_s:.3f}s "
                 f"(total {self.total_s:.3f}s)",
@@ -91,7 +113,10 @@ class RunMetrics:
                 f"{self.events_observed} events, "
                 f"workers={self.workers}",
                 f"lp: {self.lp_variables} variables, "
-                f"{self.lp_constraints} constraints",
+                f"{self.lp_constraints} constraints, "
+                f"{self.lp_pivots} pivots "
+                f"(delta {self.lp_delta_variables}v/"
+                f"{self.lp_delta_constraints}c)",
             ]
         )
 

@@ -132,6 +132,49 @@ class TestTraceCache:
             TraceCache(memory_entries=0)
 
 
+class TestAliasing:
+    """Regression: get/put used to share TestExecution/TraceLog objects
+    with callers, so mutating a returned round (the trace sanitizer does)
+    corrupted the cached copy for every later hit."""
+
+    def _one_round(self, app_id="App-5"):
+        app = get_application(app_id)
+        config = SherlockConfig(rounds=1, seed=0)
+        return Observer(config).observe_round(app, 0, {})
+
+    def test_mutating_get_result_does_not_corrupt_cache(self):
+        cache = TraceCache()
+        cache.put("k", self._one_round())
+        first = cache.get("k")
+        baseline = [execution_to_dict(e) for e in first]
+        # Mutate everything a consumer could touch (events are frozen,
+        # but the lists holding them are not).
+        first[0].log.events.pop()
+        first[0].log.events.reverse()
+        del first[1:]
+        second = cache.get("k")
+        assert [execution_to_dict(e) for e in second] == baseline
+
+    def test_mutating_put_input_does_not_corrupt_cache(self):
+        cache = TraceCache()
+        executions = self._one_round()
+        baseline = [execution_to_dict(e) for e in executions]
+        cache.put("k", executions)
+        executions[0].log.events.clear()
+        executions[0].error = "mutated"
+        got = cache.get("k")
+        assert [execution_to_dict(e) for e in got] == baseline
+
+    def test_distinct_objects_per_hit(self):
+        cache = TraceCache()
+        cache.put("k", self._one_round())
+        a = cache.get("k")
+        b = cache.get("k")
+        assert a[0] is not b[0]
+        assert a[0].log is not b[0].log
+        assert a[0].log.events[0] is not b[0].log.events[0]
+
+
 class TestRuntimeCacheIntegration:
     def test_changed_seed_misses_warm_cache(self):
         cache = TraceCache()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Run the fast-path benchmark suite and write ``BENCH_PR3.json``.
+
+The report is the repo's first perf-trajectory data point: per-app window
+extraction and final-round re-solve wall-clock (fast path vs reference),
+events/sec, plus enough environment metadata to compare runs.  CI runs
+this on a two-app subset and uploads the JSON as an artifact; run it
+locally over all apps with::
+
+    PYTHONPATH=src python tools/bench_report.py --output BENCH_PR3.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, REPO_ROOT)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from benchmarks.bench_fastpath import (  # noqa: E402
+    DEFAULT_REPEATS,
+    DEFAULT_ROUNDS,
+    run_suite,
+)
+
+
+def _git_commit() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--apps",
+        nargs="*",
+        default=None,
+        help="app ids to benchmark (default: all registered apps)",
+    )
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_PR3.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    suite = run_suite(args.apps, rounds=args.rounds, repeats=args.repeats)
+    suite["meta"] = {
+        "generated_unix": round(started, 3),
+        "wall_clock_s": round(time.time() - started, 3),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "commit": _git_commit(),
+    }
+    with open(args.output, "w", encoding="utf-8") as fp:
+        json.dump(suite, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+
+    for entry in suite["apps"]:
+        print(
+            f"{entry['app_id']}: extract {entry['extract_speedup']:.1f}x, "
+            f"re-solve {entry['resolve_speedup']:.1f}x"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
