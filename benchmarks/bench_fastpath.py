@@ -8,7 +8,10 @@ ships against their reference implementations:
   all-pairs scan, over every trace a full multi-round run produces;
 * **round-N re-solve** — the final round's ``infer`` with an
   :class:`~repro.core.encoder.IncrementalEncoder` (append + cached
-  lowering) vs the rebuild-from-scratch path.
+  lowering) vs the rebuild-from-scratch path;
+* **backend solve** — the final-round LP solved once per backend
+  (scipy, the sparse revised simplex, the dense tableau reference), a
+  like-for-like comparison on the identical model.
 
 Both pairs are *equivalence-checked first* (identical windows, identical
 solver outputs), so the timings compare implementations of the same
@@ -27,7 +30,7 @@ from typing import Dict, List, Optional
 
 from repro.apps.registry import all_applications, get_application
 from repro.core import SherlockConfig
-from repro.core.encoder import IncrementalEncoder
+from repro.core.encoder import IncrementalEncoder, build_model
 from repro.core.pipeline import Sherlock
 from repro.core.solver import infer
 from repro.core.stats import ObservationStore
@@ -133,6 +136,49 @@ def bench_resolve(
     }
 
 
+#: Backends timed by :func:`bench_backends`, keyed by the suffix used in
+#: the result dict (``solve_<key>_s``).
+BACKENDS = {
+    "scipy": "scipy",
+    "revised": "revised-simplex",
+    "dense_tableau": "dense-tableau",
+}
+
+
+def bench_backends(
+    logs_by_round: List[List],
+    config: SherlockConfig,
+    repeats: int = DEFAULT_REPEATS,
+) -> Dict[str, float]:
+    """Best-of-N wall-clock of one cold solve of the *final* round's LP,
+    per backend, on the identical model built once up front."""
+    extractor = WindowExtractor(
+        near=config.near, window_cap=config.window_cap
+    )
+    store = ObservationStore()
+    for round_logs in logs_by_round:
+        for log in round_logs:
+            store.ingest_run(log, extractor.extract(log))
+    model, _registry = build_model(store, config)
+
+    timings: Dict[str, float] = {}
+    objectives = {}
+    for key, backend in BACKENDS.items():
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            solution = model.solve(backend=backend)
+            best = min(best, time.perf_counter() - t0)
+        timings[f"solve_{key}_s"] = best
+        objectives[key] = solution.objective
+    spread = max(objectives.values()) - min(objectives.values())
+    if spread > 1e-6:
+        raise AssertionError(
+            f"backends disagree on the final-round objective: {objectives}"
+        )
+    return timings
+
+
 def bench_app(
     app_id: str,
     rounds: int = DEFAULT_ROUNDS,
@@ -146,6 +192,7 @@ def bench_app(
     result: Dict[str, float] = {"app_id": app_id, "rounds": rounds}
     result.update(bench_extraction(flat, config, repeats))
     result.update(bench_resolve(logs_by_round, config, repeats))
+    result.update(bench_backends(logs_by_round, config, repeats))
     return result
 
 
@@ -187,7 +234,10 @@ def main(argv: Optional[List[str]] = None) -> None:
             f"{entry['extract_events_per_s']:.0f} events/s), "
             f"round-{suite['rounds']} re-solve "
             f"{entry['resolve_incremental_s']*1e3:.2f}ms "
-            f"({entry['resolve_speedup']:.1f}x vs rebuild)"
+            f"({entry['resolve_speedup']:.1f}x vs rebuild), "
+            f"cold solve scipy {entry['solve_scipy_s']*1e3:.2f}ms / "
+            f"revised {entry['solve_revised_s']*1e3:.2f}ms / "
+            f"dense {entry['solve_dense_tableau_s']*1e3:.2f}ms"
         )
 
 

@@ -23,8 +23,20 @@ class SherlockConfig:
     # -- Observer (§4.1) -----------------------------------------------------
     #: Physical-time filter for conflicting-access pairs, seconds.
     near: float = 1.0
-    #: Max windows one static location pair may contribute per run.
+    #: Max windows one static location pair may contribute **per trace
+    #: log** (one test execution's trace).  The counter resets for every
+    #: log; a pair observed in k logs of a round may contribute up to
+    #: ``k * window_cap`` windows to the round.  This per-log scoping is
+    #: load-bearing for the incremental encoder: its append-only window
+    #: stream relies on a log's window set being independent of any
+    #: other log, so already-encoded windows never retroactively fall
+    #: out of the cap.
     window_cap: int = 15
+    #: Scope of ``window_cap``.  Only ``"per-log"`` is supported; the
+    #: field exists so cross-round/cross-run cap semantics are an
+    #: explicit, validated choice rather than an ambiguity (requesting
+    #: an unimplemented scope fails at construction).
+    window_cap_scope: str = "per-log"
 
     # -- Solver (§4.2) -------------------------------------------------------
     #: Trade-off between Mostly-Protected and all other hypotheses (Eq. 8).
@@ -33,7 +45,10 @@ class SherlockConfig:
     rare_coef: float = 0.1
     #: Probability at/above which a variable counts as "assigned 1".
     threshold: float = 0.9
-    #: LP backend: "auto" | "scipy" | "simplex".
+    #: LP backend: "auto" (scipy, falling back to the built-in revised
+    #: simplex) | "scipy"/"highs" | "simplex"/"revised-simplex" (sparse
+    #: revised simplex, the built-in default) | "dense-tableau" (the
+    #: historical dense reference implementation).
     backend: str = "auto"
     #: Use the analysis fast path: indexed window extraction plus the
     #: incremental round-over-round encoder/solver.  ``False`` keeps the
@@ -86,10 +101,24 @@ class SherlockConfig:
 
     def validate(self) -> None:
         """Re-check field invariants (kept public for back-compat)."""
+        from ..lp.backends import available_backends
+
         if self.near <= 0:
             raise ValueError("near must be positive")
         if self.window_cap < 1:
             raise ValueError("window_cap must be >= 1")
+        if self.window_cap_scope != "per-log":
+            raise ValueError(
+                f"window_cap_scope {self.window_cap_scope!r} is not "
+                "supported: the cap is applied per trace log (see the "
+                "window_cap field docs); cross-round or cross-run caps "
+                "would retroactively invalidate already-encoded windows"
+            )
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"unknown LP backend {self.backend!r}; choose from "
+                f"{sorted(available_backends())}"
+            )
         if self.lam < 0:
             raise ValueError("lambda must be non-negative")
         if not (0.0 < self.threshold <= 1.0):

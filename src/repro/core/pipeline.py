@@ -159,6 +159,8 @@ class Sherlock:
                 lp_variables=inference.n_variables,
                 lp_constraints=inference.n_constraints,
                 lp_pivots=inference.lp_pivots,
+                lp_factorizations=inference.lp_factorizations,
+                lp_refactorizations=inference.lp_refactorizations,
                 lp_delta_variables=inference.lp_delta_variables,
                 lp_delta_constraints=inference.lp_delta_constraints,
                 workers=outcome.workers_used,

@@ -30,11 +30,15 @@ def sync_from_dict(data: Dict[str, Any]) -> SyncOp:
 
 
 def inference_to_dict(result: InferenceResult) -> Dict[str, Any]:
+    # Which backend solved the LP is observability (it lives on
+    # InferenceResult and RunMetrics) and is deliberately *not*
+    # serialized: reports are backend-independent artifacts, and the
+    # differential suite asserts the built-in backends produce
+    # byte-identical report JSON.
     return {
         "objective": result.objective,
         "n_variables": result.n_variables,
         "n_constraints": result.n_constraints,
-        "backend": result.backend,
         "syncs": [
             _sync_to_dict(s, result.probabilities.get(s, 1.0))
             for s in sorted(result.syncs, key=lambda s: s.display())

@@ -41,6 +41,9 @@ class InferenceResult:
     encode_s: float = 0.0
     solve_lp_s: float = 0.0
     lp_pivots: int = 0
+    #: Basis LU (re)factorizations of the revised simplex backend.
+    lp_factorizations: int = 0
+    lp_refactorizations: int = 0
     #: Variables/constraints actually appended this round (equals the
     #: full model size on a rebuild).
     lp_delta_variables: int = 0
@@ -106,6 +109,8 @@ def infer(
         encode_s=t_encoded - t_start,
         solve_lp_s=t_solved - t_encoded,
         lp_pivots=solution.iterations,
+        lp_factorizations=solution.factorizations,
+        lp_refactorizations=solution.refactorizations,
         lp_delta_variables=(
             encoder.last_delta_variables
             if encoder is not None

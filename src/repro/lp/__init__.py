@@ -1,8 +1,10 @@
 """Linear-programming substrate.
 
 A small modelling layer (variables, linear expressions, constraints,
-``max(0, .)`` / ``|.|`` objective lowering) with two interchangeable solver
-backends: a from-scratch two-phase simplex and scipy's HiGHS.
+``max(0, .)`` / ``|.|`` objective lowering) with interchangeable solver
+backends: a sparse revised simplex over an LU-factorized basis (the
+built-in default), the historical dense tableau (the reference
+implementation), and scipy's HiGHS.
 
 This package stands in for the ``Flipy`` library plus external LP solver
 used by the SherLock artifact.
@@ -11,6 +13,7 @@ used by the SherLock artifact.
 from .backends import available_backends, solve
 from .expr import EQ, GE, LE, Constraint, LinExpr, as_expr
 from .model import Model, ModelCheckpoint, StandardForm, StandardFormCache
+from .revised import solve_revised
 from .simplex import solve_simplex
 from .scipy_backend import solve_scipy
 from .solution import Solution, SolveStatus
@@ -32,6 +35,7 @@ __all__ = [
     "as_expr",
     "available_backends",
     "solve",
+    "solve_revised",
     "solve_scipy",
     "solve_simplex",
 ]

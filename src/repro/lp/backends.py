@@ -1,4 +1,23 @@
-"""Backend registry and dispatch for LP solving."""
+"""Backend registry and dispatch for LP solving.
+
+Four interchangeable solvers sit behind one ``solve()`` call:
+
+* ``"scipy"`` / ``"highs"`` — :func:`~repro.lp.scipy_backend.solve_scipy`
+  (HiGHS dual simplex), the production default via ``"auto"``;
+* ``"simplex"`` / ``"revised-simplex"`` — the built-in sparse revised
+  simplex with an LU-factorized basis
+  (:func:`~repro.lp.revised.solve_revised`);
+* ``"dense-tableau"`` — the historical dense tableau
+  (:func:`~repro.lp.simplex.solve_simplex`), kept as the reference
+  implementation the other backends are differentially tested against;
+* ``"auto"`` — scipy, falling back to the built-in revised simplex when
+  scipy is unavailable.
+
+All backends consume the same :class:`~repro.lp.model.StandardForm`
+(dense or ``csr_matrix``) and the simplex family shares one
+backend-independent basis-label format, so ``warm_basis`` emitted by one
+is accepted by the other.
+"""
 
 from __future__ import annotations
 
@@ -13,14 +32,14 @@ def _solve_auto(
     form: Optional[StandardForm] = None,
     warm_basis=None,
 ) -> Solution:
-    """Prefer scipy/HiGHS, fall back to the built-in simplex."""
+    """Prefer scipy/HiGHS, fall back to the built-in revised simplex."""
+    from .revised import solve_revised
     from .scipy_backend import solve_scipy
-    from .simplex import solve_simplex
     from .solution import SolveStatus
 
     solution = solve_scipy(model, form=form)
     if solution.status is SolveStatus.ERROR:
-        solution = solve_simplex(model, form=form, warm_basis=warm_basis)
+        solution = solve_revised(model, form=form, warm_basis=warm_basis)
     return solution
 
 
@@ -30,7 +49,13 @@ def _solve_scipy(model, form=None, warm_basis=None):
     return solve_scipy(model, form=form)
 
 
-def _solve_simplex(model, form=None, warm_basis=None):
+def _solve_revised(model, form=None, warm_basis=None):
+    from .revised import solve_revised
+
+    return solve_revised(model, form=form, warm_basis=warm_basis)
+
+
+def _solve_dense_tableau(model, form=None, warm_basis=None):
     from .simplex import solve_simplex
 
     return solve_simplex(model, form=form, warm_basis=warm_basis)
@@ -41,7 +66,9 @@ def _registry() -> Dict[str, Callable[..., Solution]]:
         "auto": _solve_auto,
         "scipy": _solve_scipy,
         "highs": _solve_scipy,
-        "simplex": _solve_simplex,
+        "simplex": _solve_revised,
+        "revised-simplex": _solve_revised,
+        "dense-tableau": _solve_dense_tableau,
     }
 
 

@@ -1,0 +1,166 @@
+"""Sparse LU factorization of a simplex basis, with eta-file updates.
+
+The revised simplex (:mod:`repro.lp.revised`) never forms ``B^-1``.  It
+keeps the current basis matrix ``B`` factorized as
+
+    B = B0 · E1 · E2 · ... · Ek
+
+where ``B0`` is a sparse LU factorization (SuperLU via
+``scipy.sparse.linalg.splu``) of the basis at the last refactorization
+and each ``Ei`` is an *eta matrix*: the identity with one column replaced
+by the pivot column of a subsequent basis change (the product form of
+the inverse; Forrest–Tomlin keeps the update inside the U factor, the
+eta file keeps it outside — same asymptotics for the short update
+chains we bound below).
+
+Solves against ``B`` and ``B^T`` are then::
+
+    ftran:  x = Ek^-1 ... E1^-1 (B0^-1 b)       (entering column, x_B)
+    btran:  y = B0^-T (E1^-T ... Ek^-T c)       (pricing duals)
+
+Every update appends one eta vector, so solve cost grows linearly with
+the chain; :attr:`LUFactor.should_refactor` tells the driver to
+refactorize from scratch once the chain reaches ``refactor_interval``
+(or immediately when an update pivot is numerically tiny, which is how
+degeneracy-induced drift is flushed).
+
+The basis columns are handed over in sparse (indices, values) form
+taken straight from the CSC constraint matrix — nothing here ever
+materializes a dense ``m × m`` basis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: A sparse column: (row indices, values) aligned arrays.
+SparseColumn = Tuple[np.ndarray, np.ndarray]
+
+#: Updates accumulated before :attr:`LUFactor.should_refactor` trips.
+DEFAULT_REFACTOR_INTERVAL = 64
+
+#: Pivots smaller than this make an eta update numerically unsafe; the
+#: driver refactorizes instead.
+PIVOT_TOL = 1e-8
+
+
+class SingularBasisError(ValueError):
+    """The candidate basis matrix is (numerically) singular."""
+
+
+class LUFactor:
+    """LU-factorized simplex basis with product-form eta updates.
+
+    Parameters
+    ----------
+    columns:
+        The ``m`` basis columns as sparse ``(indices, values)`` pairs.
+    refactor_interval:
+        Eta-chain length at which :attr:`should_refactor` turns true.
+
+    Raises :class:`SingularBasisError` when the basis cannot be
+    factorized (structurally or numerically singular).
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[SparseColumn],
+        refactor_interval: int = DEFAULT_REFACTOR_INTERVAL,
+    ) -> None:
+        from scipy.sparse import csc_matrix
+        from scipy.sparse.linalg import splu
+
+        m = len(columns)
+        self.m = m
+        self.refactor_interval = refactor_interval
+        #: (pivot row, eta vector) pairs, oldest first.
+        self._etas: List[Tuple[int, np.ndarray]] = []
+        self.eta_updates = 0
+
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        nnz = 0
+        for j, (idx, _) in enumerate(columns):
+            nnz += len(idx)
+            indptr[j + 1] = nnz
+        indices = np.empty(nnz, dtype=np.int64)
+        data = np.empty(nnz, dtype=np.float64)
+        pos = 0
+        for idx, vals in columns:
+            k = len(idx)
+            indices[pos : pos + k] = idx
+            data[pos : pos + k] = vals
+            pos += k
+        matrix = csc_matrix((data, indices, indptr), shape=(m, m))
+        try:
+            self._lu = splu(matrix.tocsc())
+        except (RuntimeError, ValueError) as exc:
+            raise SingularBasisError(str(exc)) from exc
+
+    # -- solves -----------------------------------------------------------------
+
+    def ftran(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``B x = b`` through the factorization and the eta file."""
+        x = self._lu.solve(np.asarray(b, dtype=np.float64))
+        for r, eta in self._etas:
+            xr = x[r] / eta[r]
+            # x -= xr * eta, except the pivot slot which becomes xr.
+            x -= xr * eta
+            x[r] = xr
+        return x
+
+    def btran(self, c: np.ndarray) -> np.ndarray:
+        """Solve ``B^T y = c`` (eta file applied newest-first)."""
+        y = np.asarray(c, dtype=np.float64).copy()
+        for r, eta in reversed(self._etas):
+            yr = y[r]
+            # Row r of E^T carries the whole eta vector: solve it last.
+            y[r] = 0.0
+            y[r] = (yr - eta @ y) / eta[r]
+        return self._lu.solve(y, trans="T")
+
+    # -- updates ----------------------------------------------------------------
+
+    def can_update(self, w: np.ndarray, r: int) -> bool:
+        """Whether replacing basis column ``r`` by a column whose ftran
+        image is ``w`` is numerically safe as an eta update."""
+        return abs(w[r]) > PIVOT_TOL
+
+    def update(self, w: np.ndarray, r: int) -> None:
+        """Record the basis change ``column r := entering`` where
+        ``w = ftran(entering column)`` (already through the eta file)."""
+        if not self.can_update(w, r):
+            raise SingularBasisError(
+                f"eta pivot {w[r]!r} below tolerance at row {r}"
+            )
+        self._etas.append((r, np.array(w, dtype=np.float64)))
+        self.eta_updates += 1
+
+    @property
+    def should_refactor(self) -> bool:
+        return len(self._etas) >= self.refactor_interval
+
+    @property
+    def eta_count(self) -> int:
+        return len(self._etas)
+
+
+def factor_basis(
+    columns: Sequence[SparseColumn],
+    refactor_interval: int = DEFAULT_REFACTOR_INTERVAL,
+) -> Optional[LUFactor]:
+    """:class:`LUFactor` for ``columns``, or ``None`` when singular."""
+    try:
+        return LUFactor(columns, refactor_interval=refactor_interval)
+    except SingularBasisError:
+        return None
+
+
+__all__ = [
+    "DEFAULT_REFACTOR_INTERVAL",
+    "LUFactor",
+    "PIVOT_TOL",
+    "SingularBasisError",
+    "factor_basis",
+]

@@ -282,8 +282,9 @@ class Model:
         cache was last used).  ``a_ub``/``a_eq`` come back as
         ``scipy.sparse.csr_matrix`` with exactly the values the dense
         lowering would produce (sense grouping preserves constraint order,
-        so prefix rows stay a prefix of each matrix); backends densify on
-        demand."""
+        so prefix rows stay a prefix of each matrix).  The revised simplex
+        and scipy backends consume the sparse matrices directly; only the
+        dense-tableau reference backend densifies."""
         from scipy.sparse import csr_matrix
 
         if cache.prefix_len > prefix_len:
@@ -347,8 +348,16 @@ class Model:
     def solve(self, backend: str = "auto") -> Solution:
         """Solve the model with the requested backend.
 
-        ``auto`` prefers the scipy/HiGHS backend and falls back to the
-        built-in simplex when scipy is unavailable.
+        Backends (see :mod:`repro.lp.backends`):
+
+        * ``"auto"`` — scipy/HiGHS when available, else the built-in
+          revised simplex;
+        * ``"scipy"`` / ``"highs"`` — :func:`scipy.optimize.linprog`;
+        * ``"simplex"`` / ``"revised-simplex"`` — the built-in sparse
+          revised simplex with an LU-factorized basis (default built-in);
+        * ``"dense-tableau"`` — the dense tableau reference
+          implementation (escape hatch, byte-identical reports to the
+          revised simplex).
         """
         from . import backends
 

@@ -1,0 +1,569 @@
+"""Sparse revised simplex over an LU-factorized basis.
+
+The built-in default backend.  Where the dense tableau
+(:mod:`repro.lp.simplex`) densifies the standard form and carries the
+whole ``[A | b]`` tableau through every pivot, this solver:
+
+* assembles the phase-1/phase-2 constraint matrix directly from the
+  ``csr_matrix`` standard form (``scipy.sparse`` block operations; the
+  constraint matrix is **never** densified — a source-scan test guards
+  the hot path);
+* keeps only the *basis* factorized (:class:`~repro.lp.factor.LUFactor`:
+  sparse LU plus an eta file, refactorized periodically), and per
+  iteration does one btran (pricing duals), one sparse
+  ``A^T y`` product (reduced costs), and one ftran (entering column);
+* prices with Bland's rule (first improving column), the same rule the
+  dense reference uses.  Bland's rule is both the anti-cycling guarantee
+  *and* the byte-identity guarantee: entering-column selection depends
+  only on the sign of each reduced cost, so the LU-based arithmetic here
+  and the tableau arithmetic of the reference make the same pivot
+  decisions and visit the same vertices.  (Dantzig pricing was measured
+  to break that: its argmin is decided by ulp-level comparisons between
+  reduced costs computed by different arithmetic, and on the degenerate
+  SherLock LPs the two backends then settle on different — equally
+  optimal — vertices, which the differential suite must rule out);
+* runs the textbook phase-1 (artificial variables for rows without a
+  usable slack) / phase-2 driver.  Artificial columns are virtual unit
+  columns — never materialized; in phase 2 a still-basic artificial is
+  pinned at zero by the ratio test (any pivot that would move it forces
+  ``theta = 0`` and drives it out of the basis).
+
+Column layout, row layout and :data:`~repro.lp.simplex.BasisLabels`
+semantics are identical to the dense tableau, so a basis emitted by one
+built-in backend warm-starts the other and
+:class:`~repro.core.encoder.IncrementalEncoder`'s round-over-round
+warm-start path works unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .factor import DEFAULT_REFACTOR_INTERVAL, LUFactor, SingularBasisError
+from .model import Model, StandardForm
+from .simplex import (
+    BasisLabels,
+    finalize_basic_solution,
+    solve_unconstrained,
+)
+from .solution import Solution, SolveStatus
+
+#: Backend name this module reports on its solutions.
+BACKEND_NAME = "revised-simplex"
+
+_EPS = 1e-9
+_MAX_ITER_FACTOR = 50
+
+
+@dataclass
+class _Problem:
+    """The assembled phase-1/2 problem in ``x >= 0`` form.
+
+    ``matrix`` is the sign-normalized ``m × (n + n_slack)`` constraint
+    matrix in CSC (structural columns, then one slack per ub row);
+    artificial columns are virtual (``col >= n_real`` maps to the unit
+    vector of row ``art_rows[col - n_real]``).
+    """
+
+    matrix: object  # scipy.sparse.csc_matrix
+    matrix_t: object  # CSR transpose for pricing products
+    rhs: np.ndarray
+    c: np.ndarray  # original objective over structural columns
+    shift: np.ndarray
+    n: int  # structural columns
+    n_slack: int
+    m_ub: int  # ub rows (constraint rows + bound rows)
+    m_ub_con: int  # ub rows that come from model constraints
+    bound_row_vars: List[str]
+    form: StandardForm
+    art_rows: List[int] = field(default_factory=list)
+
+    @property
+    def m(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_real(self) -> int:
+        return self.n + self.n_slack
+
+    def column(self, col: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Sparse (indices, values) of any column, artificials included."""
+        if col < self.n_real:
+            a = self.matrix
+            lo, hi = a.indptr[col], a.indptr[col + 1]
+            return a.indices[lo:hi], a.data[lo:hi]
+        row = self.art_rows[col - self.n_real]
+        return (
+            np.array([row], dtype=np.int64),
+            np.array([1.0], dtype=np.float64),
+        )
+
+    def column_dense(self, col: int) -> np.ndarray:
+        idx, vals = self.column(col)
+        out = np.zeros(self.m)
+        out[idx] = vals
+        return out
+
+
+@dataclass
+class _Counters:
+    """Factorization observability, surfaced on :class:`Solution`."""
+
+    factorizations: int = 0
+    refactorizations: int = 0
+    eta_updates: int = 0
+
+
+def _as_csr(a, n: int):
+    """The standard form's constraint block as CSR without densifying:
+    cached lowerings already arrive sparse, the dense
+    :meth:`~repro.lp.model.Model.to_standard_form` path is *sparsified*
+    (the reverse of what the tableau does)."""
+    from scipy.sparse import csr_matrix, issparse
+
+    if issparse(a):
+        return a.tocsr()
+    if getattr(a, "size", 0):
+        return csr_matrix(a)
+    return csr_matrix((0, n))
+
+
+def _prepare_sparse(form: StandardForm) -> _Problem:
+    """Sparse analogue of the tableau's ``_prepare`` + row assembly.
+
+    Produces the same rows in the same order (model ub rows, one bound
+    row per finite upper bound in variable order, eq rows), the same
+    slack columns, and the same sign normalization of negative-rhs rows,
+    so basis labels mean the same thing in both built-in backends.
+    """
+    from scipy import sparse
+
+    n = len(form.variables)
+    shift = np.zeros(n)
+    bound_cols: List[int] = []
+    bound_rhs: List[float] = []
+    for i, (lo, hi) in enumerate(form.bounds):
+        if lo is None or not np.isfinite(lo):
+            raise ValueError("simplex backend requires finite lower bounds")
+        shift[i] = lo
+        if hi is not None and np.isfinite(hi):
+            bound_cols.append(i)
+            bound_rhs.append(hi - lo)
+
+    a_ub = _as_csr(form.a_ub, n)
+    a_eq = _as_csr(form.a_eq, n)
+    m_ub_con = a_ub.shape[0]
+    m_eq = a_eq.shape[0]
+    n_bound = len(bound_cols)
+    m_ub = m_ub_con + n_bound
+    m = m_ub + m_eq
+
+    b_ub = (
+        np.asarray(form.b_ub, dtype=np.float64) - a_ub @ shift
+        if m_ub_con
+        else np.zeros(0)
+    )
+    b_eq = (
+        np.asarray(form.b_eq, dtype=np.float64) - a_eq @ shift
+        if m_eq
+        else np.zeros(0)
+    )
+    rhs = np.concatenate([b_ub, np.asarray(bound_rhs), b_eq])
+
+    bound_block = sparse.csr_matrix(
+        (
+            np.ones(n_bound),
+            (np.arange(n_bound), np.asarray(bound_cols, dtype=np.int64)),
+        ),
+        shape=(n_bound, n),
+    )
+    struct = sparse.vstack(
+        [a_ub, bound_block, a_eq], format="csr"
+    )
+    slack = sparse.csr_matrix(
+        (np.ones(m_ub), (np.arange(m_ub), np.arange(m_ub))),
+        shape=(m, m_ub),
+    )
+    matrix = sparse.hstack([struct, slack], format="csr")
+
+    # Normalize negative rhs (same flip the tableau applies row-wise).
+    signs = np.where(rhs < 0, -1.0, 1.0)
+    if m and np.any(signs < 0):
+        matrix = sparse.diags(signs) @ matrix
+    rhs = rhs * signs
+
+    bound_row_vars = [form.variables[i].name for i in bound_cols]
+    matrix = matrix.tocsc()
+    return _Problem(
+        matrix=matrix,
+        matrix_t=matrix.T.tocsr(),
+        rhs=rhs,
+        c=np.asarray(form.c, dtype=np.float64).copy(),
+        shift=shift,
+        n=n,
+        n_slack=m_ub,
+        m_ub=m_ub,
+        m_ub_con=m_ub_con,
+        bound_row_vars=bound_row_vars,
+        form=form,
+    )
+
+
+def _factor(
+    problem: _Problem, basis: List[int], counters: _Counters
+) -> Optional[LUFactor]:
+    try:
+        lu = LUFactor(
+            [problem.column(col) for col in basis],
+            refactor_interval=DEFAULT_REFACTOR_INTERVAL,
+        )
+    except SingularBasisError:
+        return None
+    counters.factorizations += 1
+    return lu
+
+
+class _IterationState:
+    """One phase's basis, factorization and basic solution."""
+
+    def __init__(
+        self,
+        problem: _Problem,
+        basis: List[int],
+        lu: LUFactor,
+        counters: _Counters,
+    ) -> None:
+        self.problem = problem
+        self.basis = basis
+        self.lu = lu
+        self.counters = counters
+        self.xb = self._basic_solution()
+        self.iterations = 0
+
+    def _basic_solution(self) -> np.ndarray:
+        xb = self.lu.ftran(self.problem.rhs)
+        # Flush roundoff-scale negativity so the ratio test stays sane.
+        np.copyto(xb, 0.0, where=(xb < 0) & (xb > -1e-9))
+        return xb
+
+    def refactor(self) -> bool:
+        lu = _factor(self.problem, self.basis, self.counters)
+        if lu is None:
+            return False
+        self.counters.refactorizations += 1
+        self.lu = lu
+        self.xb = self._basic_solution()
+        return True
+
+
+def _iterate(
+    state: _IterationState,
+    costs_real: np.ndarray,
+    art_cost: float,
+    max_iter: int,
+    pin_artificials: bool,
+) -> str:
+    """Run revised-simplex pivots until optimal/unbounded/limit.
+
+    ``costs_real`` covers the real (structural + slack) columns;
+    every artificial column costs ``art_cost``.  With
+    ``pin_artificials`` (phase 2), a basic artificial sits at zero and
+    any pivot touching its row is forced degenerate, which ejects it.
+
+    Pivot selection is Bland's rule on both ends (first column with a
+    negative reduced cost; leaving-row ties broken by the smallest basic
+    column), matching the dense tableau pivot-for-pivot — see the module
+    docstring for why this is load-bearing.
+    """
+    problem = state.problem
+    m = problem.m
+    n_real = problem.n_real
+
+    while state.iterations < max_iter:
+        if state.lu.should_refactor and not state.refactor():
+            return "singular"
+
+        basis = state.basis
+        cb = np.fromiter(
+            (
+                costs_real[col] if col < n_real else art_cost
+                for col in basis
+            ),
+            np.float64,
+            m,
+        )
+        y = state.lu.btran(cb)
+        reduced = costs_real - problem.matrix_t @ y
+        # Basic columns price to ~0; mask them out so roundoff never
+        # re-selects one.
+        basic_real = [col for col in basis if col < n_real]
+        if basic_real:
+            reduced[np.asarray(basic_real, dtype=np.int64)] = 0.0
+
+        negative = np.nonzero(reduced < -_EPS)[0]
+        if negative.size == 0:
+            return "optimal"
+        entering = int(negative[0])
+
+        w = state.lu.ftran(problem.column_dense(entering))
+
+        best_row, best_ratio = -1, np.inf
+        for i in range(m):
+            wi = w[i]
+            if pin_artificials and basis[i] >= n_real:
+                # Basic artificial, pinned at zero: any movement of this
+                # row caps theta at 0 and swaps the artificial out.
+                if abs(wi) > _EPS:
+                    ratio = 0.0
+                else:
+                    continue
+            elif wi > _EPS:
+                ratio = state.xb[i] / wi
+            else:
+                continue
+            if ratio < best_ratio - _EPS or (
+                abs(ratio - best_ratio) <= _EPS
+                and (best_row < 0 or basis[i] < basis[best_row])
+            ):
+                best_ratio = ratio
+                best_row = i
+        if best_row < 0:
+            return "unbounded"
+
+        theta = max(best_ratio, 0.0)
+        state.xb -= theta * w
+        state.xb[best_row] = theta
+        np.copyto(
+            state.xb, 0.0, where=(state.xb < 0) & (state.xb > -1e-9)
+        )
+        basis[best_row] = entering
+        state.iterations += 1
+
+        if state.lu.can_update(w, best_row):
+            state.lu.update(w, best_row)
+            state.counters.eta_updates += 1
+        elif not state.refactor():
+            return "singular"
+    return "iteration_limit"
+
+
+def _basis_labels(problem: _Problem, basis: List[int]) -> BasisLabels:
+    """Backend-independent labels; identical scheme to the tableau's,
+    with ``("a", row)`` for an artificial stuck on a redundant row (the
+    other backends reject such a basis and fall back to a cold start)."""
+    labels: List[Tuple[str, object]] = []
+    for col in basis:
+        if col < problem.n:
+            labels.append(("v", problem.form.variables[col].name))
+        elif col < problem.n + problem.m_ub_con:
+            labels.append(("s", col - problem.n))
+        elif col < problem.n_real:
+            labels.append(
+                ("b", problem.bound_row_vars[col - problem.n - problem.m_ub_con])
+            )
+        else:
+            labels.append(("a", problem.art_rows[col - problem.n_real]))
+    return tuple(labels)
+
+
+def _extract(
+    problem: _Problem,
+    state: _IterationState,
+    counters: _Counters,
+    prior_iterations: int,
+) -> Solution:
+    n = problem.n
+    x = np.zeros(problem.n_real)
+    # Re-solve the final basis from the untouched column data (shared
+    # with the dense tableau) so both built-ins report bit-identical
+    # values whenever they agree on the basis; fall back to the LU
+    # iterate if the one-off dense basis solve fails.
+    basis_matrix = np.column_stack(
+        [problem.column_dense(col) for col in state.basis]
+    )
+    xb = finalize_basic_solution(basis_matrix, problem.rhs)
+    if xb is None:
+        xb = state.xb
+    for row, col in enumerate(state.basis):
+        if col < problem.n_real:
+            x[col] = xb[row]
+    c = problem.c
+    values = {
+        var: float(x[i] + problem.shift[i])
+        for i, var in enumerate(problem.form.variables)
+    }
+    objective = (
+        float(c @ x[:n])
+        + float(c @ problem.shift)
+        + problem.form.objective_offset
+    )
+    sol = Solution(SolveStatus.OPTIMAL, objective, values, BACKEND_NAME)
+    sol.iterations = prior_iterations + state.iterations
+    sol.basis = _basis_labels(problem, state.basis)
+    sol.factorizations = counters.factorizations
+    sol.refactorizations = counters.refactorizations
+    return sol
+
+
+def _resolve_labels(
+    problem: _Problem, warm_basis: BasisLabels
+) -> Optional[List[int]]:
+    """Map basis labels onto the current column layout, or ``None``."""
+    if len(warm_basis) != problem.m:
+        return None
+    name_to_col: Dict[str, int] = {
+        var.name: i for i, var in enumerate(problem.form.variables)
+    }
+    bound_col: Dict[str, int] = {
+        name: problem.n + problem.m_ub_con + k
+        for k, name in enumerate(problem.bound_row_vars)
+    }
+    cols: List[int] = []
+    for kind, key in warm_basis:
+        if kind == "v":
+            col = name_to_col.get(key)
+        elif kind == "s":
+            col = (
+                problem.n + key
+                if isinstance(key, int) and 0 <= key < problem.m_ub_con
+                else None
+            )
+        elif kind == "b":
+            col = bound_col.get(key)
+        else:
+            return None
+        if col is None:
+            return None
+        cols.append(col)
+    if len(set(cols)) != problem.m:
+        return None
+    return cols
+
+
+def _attempt_warm(
+    problem: _Problem,
+    warm_basis: BasisLabels,
+    counters: _Counters,
+    max_iter: int,
+) -> Optional[Solution]:
+    """Start phase 2 straight from a previous solve's basis; ``None``
+    falls back to the two-phase cold start (label no longer resolves,
+    singular basis, or an infeasible basic point)."""
+    cols = _resolve_labels(problem, warm_basis)
+    if cols is None:
+        return None
+    lu = _factor(problem, cols, counters)
+    if lu is None:
+        return None
+    xb = lu.ftran(problem.rhs)
+    if not np.all(np.isfinite(xb)) or np.any(xb < 0):
+        return None
+    state = _IterationState(problem, list(cols), lu, counters)
+    state.xb = xb
+    costs = np.zeros(problem.n_real)
+    costs[: problem.n] = problem.c
+    status = _iterate(
+        state, costs, art_cost=0.0, max_iter=max_iter, pin_artificials=False
+    )
+    if status == "unbounded":
+        return Solution(SolveStatus.UNBOUNDED, backend=BACKEND_NAME)
+    if status != "optimal":
+        return None
+    return _extract(problem, state, counters, 0)
+
+
+def solve_revised(
+    model: Model,
+    form: Optional[StandardForm] = None,
+    warm_basis: Optional[BasisLabels] = None,
+) -> Solution:
+    """Solve a :class:`Model` with the sparse revised simplex.
+
+    ``form`` lets callers reuse an already-lowered standard form (sparse
+    or dense); ``warm_basis`` (a previous :attr:`Solution.basis`, from
+    either built-in backend) skips phase 1 when it still resolves to a
+    feasible basis, and falls back to the cold start cleanly otherwise.
+    """
+    if form is None:
+        form = model.to_standard_form()
+    try:
+        problem = _prepare_sparse(form)
+    except ValueError:
+        return Solution(SolveStatus.ERROR, backend=BACKEND_NAME)
+
+    if problem.m == 0:
+        return solve_unconstrained(form, problem.c, BACKEND_NAME)
+
+    counters = _Counters()
+    m = problem.m
+    max_iter = _MAX_ITER_FACTOR * (m + problem.n_real + m)
+
+    if warm_basis is not None:
+        warm = _attempt_warm(problem, warm_basis, counters, max_iter)
+        if warm is not None:
+            return warm
+
+    # Initial basis: the slack where it survived sign normalization with
+    # coefficient +1, a (virtual) artificial everywhere else.
+    basis: List[int] = []
+    signs_ok = problem.rhs >= 0  # rhs already normalized; kept for clarity
+    slack_sign = np.ones(m)
+    # A flipped ub row has slack coefficient -1; recover the sign from
+    # the stored matrix instead of re-deriving the flip.
+    for i in range(problem.m_ub):
+        col = problem.n + i
+        idx, vals = problem.column(col)
+        slack_sign[i] = vals[0] if len(vals) else 0.0
+    for i in range(m):
+        if i < problem.m_ub and slack_sign[i] > 0.5 and signs_ok[i]:
+            basis.append(problem.n + i)
+        else:
+            problem.art_rows.append(i)
+            basis.append(problem.n_real + len(problem.art_rows) - 1)
+
+    lu = _factor(problem, basis, counters)
+    if lu is None:
+        return Solution(SolveStatus.ERROR, backend=BACKEND_NAME)
+    state = _IterationState(problem, basis, lu, counters)
+
+    iterations1 = 0
+    if problem.art_rows:
+        # Phase 1: minimize the sum of artificials.
+        costs1 = np.zeros(problem.n_real)
+        status = _iterate(
+            state,
+            costs1,
+            art_cost=1.0,
+            max_iter=max_iter,
+            pin_artificials=False,
+        )
+        if status != "optimal":
+            return Solution(SolveStatus.ERROR, backend=BACKEND_NAME)
+        art_value = sum(
+            state.xb[row]
+            for row, col in enumerate(state.basis)
+            if col >= problem.n_real
+        )
+        if art_value > 1e-6:
+            return Solution(SolveStatus.INFEASIBLE, backend=BACKEND_NAME)
+        iterations1 = state.iterations
+        state.iterations = 0
+
+    # Phase 2: original objective; leftover basic artificials stay
+    # pinned at zero and are ejected by the first pivot touching them.
+    costs2 = np.zeros(problem.n_real)
+    costs2[: problem.n] = problem.c
+    status = _iterate(
+        state, costs2, art_cost=0.0, max_iter=max_iter, pin_artificials=True
+    )
+    if status == "unbounded":
+        return Solution(SolveStatus.UNBOUNDED, backend=BACKEND_NAME)
+    if status != "optimal":
+        return Solution(SolveStatus.ERROR, backend=BACKEND_NAME)
+    return _extract(problem, state, counters, iterations1)
+
+
+__all__ = ["BACKEND_NAME", "solve_revised"]

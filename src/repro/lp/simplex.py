@@ -1,4 +1,4 @@
-"""A from-scratch two-phase simplex solver.
+"""A from-scratch two-phase *dense tableau* simplex solver.
 
 This is the "build the substrate" replacement for the off-the-shelf linear
 solver the paper uses via Flipy.  It implements the classic dense tableau
@@ -10,9 +10,11 @@ simplex with Bland's anti-cycling rule:
   their sum; an infeasible model is detected by a positive phase-1 optimum;
 * phase 2 minimizes the original objective starting from the phase-1 basis.
 
-The implementation favours clarity over speed; the scipy backend is used by
-default for the large models SherLock builds, and the test suite
-cross-checks the two backends on randomly generated models.
+The implementation favours clarity over speed: it densifies the constraint
+matrix and carries the whole ``[A | b]`` tableau through every pivot.  It
+is kept as the *reference* built-in backend (``backend="dense-tableau"``)
+that the sparse revised simplex (:mod:`repro.lp.revised`, the built-in
+default) and the scipy backend are differentially tested against.
 """
 
 from __future__ import annotations
@@ -27,8 +29,66 @@ from .solution import Solution, SolveStatus
 #: A basis as backend-independent labels; see :attr:`Solution.basis`.
 BasisLabels = Tuple[Tuple[str, object], ...]
 
+#: Backend name this module reports on its solutions.
+BACKEND_NAME = "dense-tableau"
+
 _EPS = 1e-9
 _MAX_ITER_FACTOR = 50
+
+
+def solve_unconstrained(form: StandardForm, c: np.ndarray, backend: str):
+    """Solve a model with no rows: every variable sits at whichever finite
+    bound its cost prefers (shared by the dense tableau and the revised
+    simplex so both report float-identical assignments).
+
+    The unboundedness test and the value rule use the same epsilon and
+    the same ``np.isfinite`` finiteness check, so a cost within
+    ``(-eps, 0)`` against an infinite upper bound stays at its lower
+    bound instead of leaking ``inf`` (or ``None``) into the assignment.
+    """
+    values = {}
+    for i, var in enumerate(form.variables):
+        hi = form.bounds[i][1]
+        hi_finite = hi is not None and np.isfinite(hi)
+        if c[i] < -_EPS:
+            if not hi_finite:
+                return Solution(SolveStatus.UNBOUNDED, backend=backend)
+            values[var] = float(hi)
+        else:
+            values[var] = float(form.bounds[i][0])
+    obj = float(sum(c[v.index] * values[v] for v in form.variables))
+    return Solution(
+        SolveStatus.OPTIMAL,
+        obj + form.objective_offset,
+        values,
+        backend,
+        basis=(),
+    )
+
+
+def finalize_basic_solution(
+    basis_matrix: np.ndarray, rhs: np.ndarray
+) -> Optional[np.ndarray]:
+    """Recompute the basic solution ``B xb = rhs`` fresh from the original
+    column data of the final basis.
+
+    Both built-in backends call this right before extracting a solution.
+    Each algorithm reaches the optimal basis carrying its own accumulated
+    roundoff (tableau elimination here, LU ftran + eta updates in the
+    revised simplex); re-solving once from the untouched column data
+    means two backends that agree on the *basis* also agree on every
+    reported value and on the objective bit-for-bit.  Returns ``None``
+    (caller keeps its iterate) when the recomputation fails.
+    """
+    try:
+        xb = np.linalg.solve(basis_matrix, rhs)
+    except np.linalg.LinAlgError:
+        return None
+    if not np.all(np.isfinite(xb)):
+        return None
+    # Flush roundoff-scale negativity exactly as the iterations do.
+    np.copyto(xb, 0.0, where=(xb < 0) & (xb > -1e-9))
+    return xb
 
 
 class _Tableau:
@@ -150,35 +210,12 @@ def solve_simplex(
     try:
         a_ub, b_ub, a_eq, b_eq, c, shift, n = _prepare(form)
     except ValueError:
-        return Solution(SolveStatus.ERROR, backend="simplex")
+        return Solution(SolveStatus.ERROR, backend=BACKEND_NAME)
 
     m_ub, m_eq = a_ub.shape[0], a_eq.shape[0]
     m = m_ub + m_eq
     if m == 0:
-        # Unconstrained: each variable sits at whichever finite bound its
-        # cost prefers.  The unboundedness test and the value rule use the
-        # same epsilon and the same np.isfinite finiteness check, so a
-        # cost within (-eps, 0) against an infinite upper bound stays at
-        # its lower bound instead of leaking ``inf`` (or ``None``) into
-        # the assignment.
-        values = {}
-        for i, var in enumerate(form.variables):
-            hi = form.bounds[i][1]
-            hi_finite = hi is not None and np.isfinite(hi)
-            if c[i] < -_EPS:
-                if not hi_finite:
-                    return Solution(SolveStatus.UNBOUNDED, backend="simplex")
-                values[var] = float(hi)
-            else:
-                values[var] = float(form.bounds[i][0])
-        obj = float(sum(c[v.index] * values[v] for v in form.variables))
-        return Solution(
-            SolveStatus.OPTIMAL,
-            obj + form.objective_offset,
-            values,
-            "simplex",
-            basis=(),
-        )
+        return solve_unconstrained(form, c, BACKEND_NAME)
 
     # Build the combined constraint matrix with slacks for <= rows and
     # artificials for every row (slack column suffices as the initial basic
@@ -257,7 +294,7 @@ def solve_simplex(
         tab.price_out()
         status = tab.run(max_iter)
         if status != "optimal":
-            return Solution(SolveStatus.ERROR, backend="simplex")
+            return Solution(SolveStatus.ERROR, backend=BACKEND_NAME)
         # Feasibility check: every artificial basic variable must be ~ 0.
         art_value = sum(
             tab.table[row, total]
@@ -265,7 +302,7 @@ def solve_simplex(
             if col >= n + n_slack
         )
         if art_value > 1e-6:
-            return Solution(SolveStatus.INFEASIBLE, backend="simplex")
+            return Solution(SolveStatus.INFEASIBLE, backend=BACKEND_NAME)
         # Drive remaining artificial variables out of the basis if possible.
         for row in range(m):
             if tab.basis[row] >= n + n_slack:
@@ -286,10 +323,12 @@ def solve_simplex(
         work_rhs = work_rhs[keep]
         basis = [basis[i] for i in keep]
         iterations1 = tab.iterations
+        source_rows, source_rhs = rows[keep], rhs[keep]
     else:
         work = rows
         work_rhs = rhs
         iterations1 = 0
+        source_rows, source_rhs = rows, rhs
 
     # Phase 2.
     c2 = np.zeros(n + n_slack)
@@ -299,11 +338,20 @@ def solve_simplex(
     tab2.price_out()
     status = tab2.run(max_iter)
     if status == "unbounded":
-        return Solution(SolveStatus.UNBOUNDED, backend="simplex")
+        return Solution(SolveStatus.UNBOUNDED, backend=BACKEND_NAME)
     if status != "optimal":
-        return Solution(SolveStatus.ERROR, backend="simplex")
+        return Solution(SolveStatus.ERROR, backend=BACKEND_NAME)
     return _extract(
-        tab2, c, shift, form, n, m_ub_con, bound_row_vars, iterations1
+        tab2,
+        c,
+        shift,
+        form,
+        n,
+        m_ub_con,
+        bound_row_vars,
+        iterations1,
+        source_rows,
+        source_rhs,
     )
 
 
@@ -334,15 +382,25 @@ def _extract(
     m_ub_con: int,
     bound_row_vars: List[str],
     prior_iterations: int,
+    source_rows: Optional[np.ndarray] = None,
+    source_rhs: Optional[np.ndarray] = None,
 ) -> Solution:
     x = np.zeros(tab.n)
-    for row, col in enumerate(tab.basis):
-        x[col] = tab.table[row, tab.n]
+    xb = (
+        finalize_basic_solution(source_rows[:, tab.basis], source_rhs)
+        if source_rows is not None
+        else None
+    )
+    if xb is not None:
+        x[tab.basis] = xb
+    else:
+        for row, col in enumerate(tab.basis):
+            x[col] = tab.table[row, tab.n]
     values = {
         var: float(x[i] + shift[i]) for i, var in enumerate(form.variables)
     }
     objective = float(c @ x[:n]) + float(c @ shift) + form.objective_offset
-    sol = Solution(SolveStatus.OPTIMAL, objective, values, "simplex")
+    sol = Solution(SolveStatus.OPTIMAL, objective, values, BACKEND_NAME)
     sol.iterations = prior_iterations + tab.iterations
     sol.basis = _basis_labels(tab.basis, n, form, m_ub_con, bound_row_vars)
     return sol
@@ -408,10 +466,12 @@ def _attempt_warm(
     tab.price_out()
     status = tab.run(max_iter)
     if status == "unbounded":
-        return Solution(SolveStatus.UNBOUNDED, backend="simplex")
+        return Solution(SolveStatus.UNBOUNDED, backend=BACKEND_NAME)
     if status != "optimal":
         return None
-    return _extract(tab, c, shift, form, n, m_ub_con, bound_row_vars, 0)
+    return _extract(
+        tab, c, shift, form, n, m_ub_con, bound_row_vars, 0, rows, rhs
+    )
 
 
 __all__ = ["solve_simplex"]

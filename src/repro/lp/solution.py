@@ -28,12 +28,20 @@ class Solution:
     values: Dict[Variable, float] = field(default_factory=dict)
     backend: str = ""
     iterations: int = 0
-    #: Final basis of the simplex backend, as backend-independent labels:
+    #: Final basis of a simplex backend, as backend-independent labels:
     #: ``("v", variable_name)`` for structural columns, ``("s", ub_row)``
     #: for constraint-row slacks and ``("b", variable_name)`` for
-    #: upper-bound-row slacks.  ``None`` for backends that don't expose
-    #: one.  Feed it back via ``warm_basis=`` to warm-start a re-solve.
+    #: upper-bound-row slacks (``("a", row)`` marks an artificial stuck
+    #: on a redundant row; other backends reject it and cold-start).
+    #: ``None`` for backends that don't expose one.  Feed it back via
+    #: ``warm_basis=`` to warm-start a re-solve.
     basis: Optional[Tuple[Tuple[str, object], ...]] = None
+    #: Basis (re)factorization counters of the revised simplex: total LU
+    #: factorizations performed during the solve, and how many of those
+    #: were mid-solve refactorizations (eta chain full or an unsafe
+    #: pivot).  Zero for backends without a factorized basis.
+    factorizations: int = 0
+    refactorizations: int = 0
 
     @property
     def is_optimal(self) -> bool:

@@ -48,6 +48,12 @@ class RunMetrics:
     #: Simplex pivots / HiGHS iterations of the round's solve (summed
     #: when aggregated).
     lp_pivots: int = 0
+    #: Basis LU factorizations of the revised simplex (total, and the
+    #: subset that were mid-solve refactorizations — eta file full or a
+    #: numerically unsafe update pivot).  Zero for backends without a
+    #: factorized basis; summed when aggregated.
+    lp_factorizations: int = 0
+    lp_refactorizations: int = 0
     #: Variables/constraints the encoder actually appended this round —
     #: equals the full LP size on a rebuild, and only the round's delta
     #: on the incremental path (summed when aggregated).
@@ -84,6 +90,8 @@ class RunMetrics:
         self.lp_variables = max(self.lp_variables, other.lp_variables)
         self.lp_constraints = max(self.lp_constraints, other.lp_constraints)
         self.lp_pivots += other.lp_pivots
+        self.lp_factorizations += other.lp_factorizations
+        self.lp_refactorizations += other.lp_refactorizations
         self.lp_delta_variables += other.lp_delta_variables
         self.lp_delta_constraints += other.lp_delta_constraints
         self.workers = max(self.workers, other.workers)
@@ -114,7 +122,9 @@ class RunMetrics:
                 f"workers={self.workers}",
                 f"lp: {self.lp_variables} variables, "
                 f"{self.lp_constraints} constraints, "
-                f"{self.lp_pivots} pivots "
+                f"{self.lp_pivots} pivots, "
+                f"{self.lp_factorizations} factorizations "
+                f"({self.lp_refactorizations} re-) "
                 f"(delta {self.lp_delta_variables}v/"
                 f"{self.lp_delta_constraints}c)",
             ]

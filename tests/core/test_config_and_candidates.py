@@ -59,6 +59,31 @@ class TestConfig:
         assert len(TABLE5_ABLATIONS) == 7
         assert TABLE5_ABLATIONS["SherLock"] == {}
 
+    @pytest.mark.parametrize(
+        "scope", ["per-round", "per-run", "global", "", "PER-LOG"]
+    )
+    def test_ambiguous_window_cap_scope_rejected(self, scope):
+        """Only the documented per-log cap semantics is implementable
+        without retroactively invalidating already-encoded windows; any
+        other requested scope fails at construction, not mid-pipeline."""
+        with pytest.raises(ValueError, match="window_cap_scope"):
+            SherlockConfig(window_cap_scope=scope)
+
+    def test_per_log_window_cap_scope_is_the_default(self):
+        assert SherlockConfig().window_cap_scope == "per-log"
+
+    @pytest.mark.parametrize(
+        "backend",
+        ["auto", "scipy", "highs", "simplex", "revised-simplex",
+         "dense-tableau"],
+    )
+    def test_known_backends_validate(self, backend):
+        assert SherlockConfig(backend=backend).backend == backend
+
+    def test_unknown_backend_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown LP backend"):
+            SherlockConfig(backend="cplex")
+
 
 class TestCandidateRegistry:
     def test_capability_enforced(self):

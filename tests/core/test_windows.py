@@ -233,3 +233,55 @@ def test_refinement_disabled_keeps_raw_windows():
     w = WindowExtractor(1.0, 15, refine=False).extract(log)[0]
     assert not w.refined
     assert site in w.release_side
+
+
+class TestWindowCapIsPerLog:
+    """``window_cap`` scopes to one trace log (one test execution) — the
+    documented, validated semantics (``SherlockConfig.window_cap_scope``).
+    The counter resets for every log, so k logs may contribute up to
+    ``k * cap`` windows for the same static location pair.  The
+    incremental encoder's append-only window stream depends on this: a
+    cross-log (cross-round) cap would retroactively drop windows that
+    earlier rounds already encoded."""
+
+    @staticmethod
+    def _noisy_log(run_id, n_pairs=40):
+        events = []
+        t = 0.0
+        for _ in range(n_pairs):
+            events.append(ev(t, 1, W, "C::x"))
+            events.append(ev(t + 0.001, 2, R, "C::x"))
+            t += 0.01
+        log = build_log(events)
+        log.run_id = run_id
+        return log
+
+    def test_each_log_contributes_up_to_cap(self):
+        extractor = WindowExtractor(near=0.005, window_cap=15)
+        first = extractor.extract(self._noisy_log(0))
+        second = extractor.extract(self._noisy_log(1))
+        # The second log is NOT throttled by the first log's windows.
+        assert len(first) == 15
+        assert len(second) == 15
+
+    def test_store_accumulates_cap_per_log(self):
+        from repro.core.stats import ObservationStore
+
+        extractor = WindowExtractor(near=0.005, window_cap=15)
+        store = ObservationStore()
+        for run_id in range(3):
+            log = self._noisy_log(run_id)
+            store.ingest_run(log, extractor.extract(log))
+        assert len(store.windows) == 3 * 15
+
+    def test_cap_still_binds_within_one_log(self):
+        extractor = WindowExtractor(near=0.005, window_cap=7)
+        assert len(extractor.extract(self._noisy_log(0, n_pairs=40))) == 7
+
+    def test_indexed_and_allpairs_share_the_per_log_scope(self):
+        for indexed in (True, False):
+            extractor = WindowExtractor(
+                near=0.005, window_cap=15, indexed=indexed
+            )
+            assert len(extractor.extract(self._noisy_log(0))) == 15
+            assert len(extractor.extract(self._noisy_log(1))) == 15

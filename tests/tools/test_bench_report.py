@@ -1,0 +1,151 @@
+"""Unit tests for the CI perf gate in ``tools/bench_report.py``.
+
+``evaluate_gate`` is a pure function over two BENCH suite dicts, so the
+gating semantics — the App-8 re-solve speedup floor and the 25% total
+solve-time regression budget against the committed baseline — are tested
+without running any benchmark.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+def _load_bench_report():
+    spec = importlib.util.spec_from_file_location(
+        "bench_report", os.path.join(_REPO_ROOT, "tools", "bench_report.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+bench_report = _load_bench_report()
+
+
+def _suite(entries):
+    return {
+        "benchmark": "fastpath",
+        "apps": [
+            {
+                "app_id": app_id,
+                "extract_speedup": 1.0,
+                "resolve_speedup": speedup,
+                "resolve_incremental_s": solve_s,
+            }
+            for app_id, speedup, solve_s in entries
+        ],
+    }
+
+
+BASELINE = _suite([("App-2", 1.8, 0.010), ("App-8", 3.0, 0.020)])
+
+
+class TestEvaluateGate:
+    def test_passes_when_fast_and_not_regressed(self):
+        suite = _suite([("App-2", 1.9, 0.010), ("App-8", 3.1, 0.019)])
+        ok, lines = bench_report.evaluate_gate(suite, BASELINE)
+        assert ok
+        assert all(line.startswith(("PASS", "SKIP")) for line in lines)
+
+    def test_fails_when_app8_speedup_below_floor(self):
+        suite = _suite([("App-2", 1.9, 0.010), ("App-8", 1.9, 0.019)])
+        ok, lines = bench_report.evaluate_gate(suite, BASELINE)
+        assert not ok
+        assert any("FAIL" in line and "App-8" in line for line in lines)
+
+    def test_passes_at_exactly_the_speedup_floor(self):
+        suite = _suite([("App-8", 2.0, 0.020)])
+        ok, _ = bench_report.evaluate_gate(suite, BASELINE)
+        assert ok
+
+    def test_fails_when_total_solve_time_regresses_past_25_percent(self):
+        # Baseline common total = 30ms; 38ms > 1.25 * 30ms = 37.5ms.
+        suite = _suite([("App-2", 2.5, 0.013), ("App-8", 2.5, 0.025)])
+        ok, lines = bench_report.evaluate_gate(suite, BASELINE)
+        assert not ok
+        assert any("FAIL" in line and "re-solve" in line for line in lines)
+
+    def test_passes_just_inside_the_regression_budget(self):
+        # 37ms <= 37.5ms limit.
+        suite = _suite([("App-2", 2.5, 0.013), ("App-8", 2.5, 0.024)])
+        ok, _ = bench_report.evaluate_gate(suite, BASELINE)
+        assert ok
+
+    def test_total_compares_common_apps_only(self):
+        # App-9 exists only in the new suite: its (huge) solve time must
+        # not count against the baseline-relative budget.
+        suite = _suite(
+            [("App-2", 2.5, 0.010), ("App-8", 2.5, 0.020),
+             ("App-9", 1.0, 9.000)]
+        )
+        ok, _ = bench_report.evaluate_gate(suite, BASELINE)
+        assert ok
+
+    def test_missing_app8_is_skipped_not_failed(self):
+        suite = _suite([("App-2", 1.9, 0.010)])
+        ok, lines = bench_report.evaluate_gate(suite, BASELINE)
+        assert ok
+        assert any(line.startswith("SKIP") for line in lines)
+
+    def test_no_common_apps_fails_loudly(self):
+        suite = _suite([("App-9", 5.0, 0.001)])
+        ok, lines = bench_report.evaluate_gate(suite, BASELINE)
+        assert not ok
+        assert any("no apps in common" in line for line in lines)
+
+
+class TestGateAgainstCommittedBaseline:
+    def test_committed_baseline_is_gateable(self):
+        """The checked-in BENCH_PR3.json must satisfy its own gate (the
+        CI job compares fresh numbers against it, so it has to parse and
+        self-compare cleanly)."""
+        path = os.path.join(_REPO_ROOT, "BENCH_PR3.json")
+        with open(path, "r", encoding="utf-8") as fp:
+            baseline = json.load(fp)
+        ok, lines = bench_report.evaluate_gate(baseline, baseline)
+        assert ok, lines
+        app8 = [e for e in baseline["apps"] if e["app_id"] == "App-8"]
+        assert app8 and app8[0]["resolve_speedup"] >= 2.0
+
+    def test_cli_gate_exit_codes(self, tmp_path, monkeypatch):
+        """--gate returns 1 on regression, 0 otherwise (smoke the CLI
+        wiring without running benchmarks by faking run_suite)."""
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(BASELINE))
+
+        slow = _suite([("App-2", 1.0, 1.000), ("App-8", 1.0, 1.000)])
+        monkeypatch.setattr(
+            bench_report, "run_suite", lambda *a, **k: dict(slow)
+        )
+        rc = bench_report.main(
+            [
+                "--output", str(tmp_path / "out.json"),
+                "--baseline", str(baseline_path),
+                "--gate",
+            ]
+        )
+        assert rc == 1
+
+        fast = _suite([("App-2", 2.5, 0.009), ("App-8", 2.5, 0.018)])
+        monkeypatch.setattr(
+            bench_report, "run_suite", lambda *a, **k: dict(fast)
+        )
+        rc = bench_report.main(
+            [
+                "--output", str(tmp_path / "out.json"),
+                "--baseline", str(baseline_path),
+                "--gate",
+            ]
+        )
+        assert rc == 0
+
+    def test_gate_requires_baseline(self, capsys):
+        with pytest.raises(SystemExit):
+            bench_report.main(["--gate"])

@@ -1,13 +1,26 @@
 #!/usr/bin/env python
-"""Run the fast-path benchmark suite and write ``BENCH_PR3.json``.
+"""Run the fast-path benchmark suite, write a BENCH json, and (optionally)
+gate against a committed baseline.
 
-The report is the repo's first perf-trajectory data point: per-app window
+The report is the repo's perf-trajectory data point: per-app window
 extraction and final-round re-solve wall-clock (fast path vs reference),
-events/sec, plus enough environment metadata to compare runs.  CI runs
-this on a two-app subset and uploads the JSON as an artifact; run it
-locally over all apps with::
+per-backend LP solve times, events/sec, plus enough environment metadata
+to compare runs.  CI runs this on a two-app subset, uploads the JSON as
+an artifact, and *gates* it against the committed ``BENCH_PR3.json``
+baseline::
 
-    PYTHONPATH=src python tools/bench_report.py --output BENCH_PR3.json
+    python tools/bench_report.py --apps App-2 App-8 --repeats 3 \\
+        --output bench_current.json --baseline BENCH_PR3.json --gate
+
+The gate fails (exit 1) when the fast path stops paying for itself:
+
+* App-8's incremental re-solve speedup drops below 2x, or
+* the summed incremental re-solve time over apps present in both suites
+  regresses by more than 25% against the baseline.
+
+Run locally over all apps with::
+
+    PYTHONPATH=src python tools/bench_report.py --output BENCH_PR4.json
 """
 
 from __future__ import annotations
@@ -46,6 +59,56 @@ def _git_commit() -> str:
         return "unknown"
 
 
+#: Gate thresholds (see module docstring).
+MIN_APP8_RESOLVE_SPEEDUP = 2.0
+MAX_SOLVE_TIME_REGRESSION = 1.25
+
+
+def evaluate_gate(suite, baseline):
+    """Compare a fresh benchmark ``suite`` against a ``baseline`` suite.
+
+    Returns ``(ok, lines)``: ``ok`` is False when a gate tripped, and
+    ``lines`` is a human-readable verdict per check.  Pure function so
+    the CI behavior is unit-testable without running benchmarks.
+    """
+    ok = True
+    lines = []
+    new_apps = {entry["app_id"]: entry for entry in suite["apps"]}
+    base_apps = {entry["app_id"]: entry for entry in baseline["apps"]}
+
+    app8 = new_apps.get("App-8")
+    if app8 is not None:
+        speedup = app8["resolve_speedup"]
+        passed = speedup >= MIN_APP8_RESOLVE_SPEEDUP
+        ok = ok and passed
+        lines.append(
+            f"{'PASS' if passed else 'FAIL'}: App-8 re-solve speedup "
+            f"{speedup:.2f}x (floor {MIN_APP8_RESOLVE_SPEEDUP:.1f}x)"
+        )
+    else:
+        lines.append("SKIP: App-8 not benchmarked; speedup floor not checked")
+
+    common = sorted(new_apps.keys() & base_apps.keys())
+    if common:
+        new_total = sum(new_apps[a]["resolve_incremental_s"] for a in common)
+        base_total = sum(
+            base_apps[a]["resolve_incremental_s"] for a in common
+        )
+        limit = MAX_SOLVE_TIME_REGRESSION * base_total
+        passed = new_total <= limit
+        ok = ok and passed
+        lines.append(
+            f"{'PASS' if passed else 'FAIL'}: total incremental re-solve "
+            f"over {len(common)} common app(s) {new_total * 1e3:.2f}ms "
+            f"(baseline {base_total * 1e3:.2f}ms, limit "
+            f"{limit * 1e3:.2f}ms)"
+        )
+    else:
+        ok = False
+        lines.append("FAIL: no apps in common with the baseline suite")
+    return ok, lines
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -61,7 +124,19 @@ def main(argv=None) -> int:
         default=os.path.join(REPO_ROOT, "BENCH_PR3.json"),
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed BENCH json to compare against",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 when the comparison against --baseline regresses",
+    )
     args = parser.parse_args(argv)
+    if args.gate and not args.baseline:
+        parser.error("--gate requires --baseline")
 
     started = time.time()
     suite = run_suite(args.apps, rounds=args.rounds, repeats=args.repeats)
@@ -82,6 +157,16 @@ def main(argv=None) -> int:
             f"re-solve {entry['resolve_speedup']:.1f}x"
         )
     print(f"wrote {args.output}")
+
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as fp:
+            baseline = json.load(fp)
+        ok, lines = evaluate_gate(suite, baseline)
+        print(f"gate vs {args.baseline}:")
+        for line in lines:
+            print(f"  {line}")
+        if args.gate and not ok:
+            return 1
     return 0
 
 
