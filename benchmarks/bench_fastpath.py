@@ -18,6 +18,15 @@ solver outputs), so the timings compare implementations of the same
 function.  ``tools/bench_report.py`` drives :func:`run_suite` and writes
 the results to ``BENCH_PR3.json``.
 
+The **scale tier** (:func:`run_scale_suite`) benchmarks the synthetic
+``App-XL1..XL3`` workloads: each backend's cold solve runs in its own
+subprocess (clean peak-RSS accounting, and a wall-clock budget the dense
+tableau will blow at these sizes — a run that exceeds the budget is
+recorded at the budget with ``capped: true``, an honest lower bound).
+The scale tier skips scipy (its interior-point path is minutes per solve
+here) and skips the extraction/re-solve pairs — it exists to compare the
+two built-in simplex backends where their asymptotics separate.
+
 Run directly for a quick look::
 
     PYTHONPATH=src python benchmarks/bench_fastpath.py App-2 App-8
@@ -25,6 +34,10 @@ Run directly for a quick look::
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
 import time
 from typing import Dict, List, Optional
 
@@ -38,6 +51,19 @@ from repro.core.windows import WindowExtractor
 
 DEFAULT_ROUNDS = 3
 DEFAULT_REPEATS = 5
+
+#: Denominator floor for speedup/rate ratios: a sub-nanosecond timing is
+#: measurement noise, and dividing by it would write ``inf``/``nan``
+#: into the BENCH json (which strict JSON parsers — and the CI gate —
+#: reject).
+MIN_TIMING_DENOMINATOR_S = 1e-9
+
+
+def safe_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with the denominator clamped away
+    from zero, so fast machines can't push ``inf``/``nan`` into the
+    report."""
+    return numerator / max(denominator, MIN_TIMING_DENOMINATOR_S)
 
 
 def collect_round_logs(
@@ -84,14 +110,11 @@ def bench_extraction(
     events = sum(len(log) for log in logs)
     timings["events"] = events
     timings["windows"] = window_counts["indexed"]
-    if timings["extract_indexed_s"] > 0:
-        timings["extract_events_per_s"] = (
-            events / timings["extract_indexed_s"]
-        )
-    timings["extract_speedup"] = (
-        timings["extract_allpairs_s"] / timings["extract_indexed_s"]
-        if timings["extract_indexed_s"] > 0
-        else float("inf")
+    timings["extract_events_per_s"] = safe_ratio(
+        events, timings["extract_indexed_s"]
+    )
+    timings["extract_speedup"] = safe_ratio(
+        timings["extract_allpairs_s"], timings["extract_indexed_s"]
     )
     return timings
 
@@ -130,9 +153,7 @@ def bench_resolve(
     return {
         "resolve_incremental_s": incremental,
         "resolve_rebuild_s": rebuild,
-        "resolve_speedup": (
-            rebuild / incremental if incremental > 0 else float("inf")
-        ),
+        "resolve_speedup": safe_ratio(rebuild, incremental),
     }
 
 
@@ -218,6 +239,223 @@ def run_suite(
     }
 
 
+# -- scale tier -----------------------------------------------------------------
+
+#: Backends timed on the scale tier.  scipy is deliberately absent: its
+#: interior-point solver takes minutes per scale-tier LP, and the tier
+#: exists to compare the two built-in simplex backends.
+SCALE_BACKENDS = {
+    "revised": "revised-simplex",
+    "dense_tableau": "dense-tableau",
+}
+
+#: Wall-clock budget for one scale-tier cold solve.  A backend that
+#: exceeds it is recorded *at* the budget with ``capped: true`` — an
+#: honest lower bound on its solve time (the dense tableau needs days,
+#: not minutes, on the larger configs).
+DEFAULT_SCALE_BUDGET_S = 900.0
+
+#: Extra subprocess wall-clock on top of the solve budget for building
+#: the workload (trace generation + ingest + encode + lowering).
+_SCALE_BUILD_ALLOWANCE_S = 300.0
+
+
+def collect_scale_logs(app_id: str, rounds: int, seed: int) -> List:
+    """Generate a scale app's unperturbed round traces via the program
+    API only (no pipeline: a pipeline run would *solve* every round,
+    tripling the cost of producing a workload we only want to solve
+    once per backend)."""
+    from repro.sim.runner import RunOptions, run_unit_test
+
+    app = get_application(app_id)
+    logs = []
+    for round_id in range(rounds):
+        for test in app.tests:
+            execution = run_unit_test(
+                app, test, RunOptions(seed=seed, run_id=round_id)
+            )
+            if execution.error is not None:
+                raise RuntimeError(
+                    f"{app_id} test failed: {execution.error}"
+                )
+            logs.append(execution.log)
+    return logs
+
+
+def scale_worker(app_id: str, backend: str, rounds: int, seed: int) -> Dict:
+    """Build the scale workload and run one cold solve — the subprocess
+    body behind :func:`bench_scale_app`.  Returns (and ``--scale-worker``
+    prints) a flat result dict including this process's peak RSS."""
+    import resource
+
+    config = SherlockConfig(rounds=rounds, seed=seed)
+    t0 = time.perf_counter()
+    logs = collect_scale_logs(app_id, rounds, seed)
+    extractor = WindowExtractor(
+        near=config.near, window_cap=config.window_cap
+    )
+    store = ObservationStore()
+    for log in logs:
+        store.ingest_run(log, extractor.extract(log))
+    windows = store.stats()["windows"]
+    model, _registry = build_model(store, config)
+    from repro.lp.model import StandardFormCache
+
+    form = model.to_standard_form_cached(StandardFormCache(), 0)
+    build_s = time.perf_counter() - t0
+
+    from repro.lp import backends as lp_backends
+
+    t0 = time.perf_counter()
+    solution = lp_backends.solve(model, backend, form=form)
+    solve_s = time.perf_counter() - t0
+    if not solution.is_optimal:
+        raise RuntimeError(
+            f"{backend} on {app_id} ended {solution.status.value}"
+        )
+    stats = model.stats()
+    return {
+        "app_id": app_id,
+        "backend": backend,
+        "rounds": rounds,
+        "seed": seed,
+        "windows": windows,
+        "lp_variables": stats["variables"],
+        "lp_constraints": stats["constraints"],
+        "build_s": build_s,
+        "solve_s": solve_s,
+        "objective": solution.objective,
+        "iterations": solution.iterations,
+        "factorizations": solution.factorizations,
+        "refactorizations": solution.refactorizations,
+        "factorize_s": solution.factorize_s,
+        "ftran_btran_s": solution.ftran_btran_s,
+        "pricing_s": solution.pricing_s,
+        "eta_len": solution.eta_len,
+        "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        // 1024,
+        "capped": False,
+    }
+
+
+def _run_scale_worker(
+    app_id: str, backend: str, rounds: int, seed: int, budget_s: float
+) -> Dict:
+    """One cold solve in a fresh subprocess: clean per-backend peak-RSS
+    and a kill switch for solves that blow the budget."""
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(repo_root, "src"), repo_root]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    command = [
+        sys.executable,
+        os.path.abspath(__file__),
+        "--scale-worker",
+        app_id,
+        backend,
+        "--rounds",
+        str(rounds),
+        "--seed",
+        str(seed),
+    ]
+    try:
+        proc = subprocess.run(
+            command,
+            capture_output=True,
+            text=True,
+            timeout=budget_s + _SCALE_BUILD_ALLOWANCE_S,
+            env=env,
+        )
+    except subprocess.TimeoutExpired:
+        return {
+            "app_id": app_id,
+            "backend": backend,
+            "rounds": rounds,
+            "seed": seed,
+            "solve_s": float(budget_s),
+            "capped": True,
+        }
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"scale worker {app_id}/{backend} failed:\n{proc.stderr}"
+        )
+    result = json.loads(proc.stdout.splitlines()[-1])
+    if result["solve_s"] > budget_s:
+        # Finished, but past the budget: record the cap so the gate
+        # treats it like the timeout it effectively was.
+        result["capped"] = True
+        result["solve_s"] = float(budget_s)
+    return result
+
+
+def bench_scale_app(
+    app_id: str,
+    rounds: int = DEFAULT_ROUNDS,
+    seed: int = 0,
+    budget_s: float = DEFAULT_SCALE_BUDGET_S,
+    backend_keys: Optional[List[str]] = None,
+) -> Dict:
+    """Scale-tier measurements for one synthetic app: per-backend cold
+    solve (subprocess-isolated, budget-capped), LP shape, peak RSS."""
+    keys = list(backend_keys or SCALE_BACKENDS)
+    entry: Dict = {
+        "app_id": app_id,
+        "tier": "scale",
+        "rounds": rounds,
+        "seed": seed,
+        "backends": {},
+    }
+    objectives = {}
+    for key in keys:
+        result = _run_scale_worker(
+            app_id, SCALE_BACKENDS[key], rounds, seed, budget_s
+        )
+        if not result.get("capped"):
+            for field in ("windows", "lp_variables", "lp_constraints"):
+                entry.setdefault(field, result[field])
+            objectives[key] = result["objective"]
+        entry["backends"][key] = {
+            k: v
+            for k, v in result.items()
+            if k not in ("app_id", "rounds", "seed")
+        }
+    if len(objectives) > 1:
+        spread = max(objectives.values()) - min(objectives.values())
+        if spread > 1e-6:
+            raise AssertionError(
+                f"scale backends disagree on {app_id}: {objectives}"
+            )
+    return entry
+
+
+def run_scale_suite(
+    app_ids: Optional[List[str]] = None,
+    rounds: int = DEFAULT_ROUNDS,
+    seed: int = 0,
+    budget_s: float = DEFAULT_SCALE_BUDGET_S,
+    backend_keys: Optional[List[str]] = None,
+) -> List[Dict]:
+    """Benchmark the scale tier (default: every registered scale app)."""
+    from repro.apps.registry import scale_app_ids
+
+    if app_ids is None:
+        app_ids = scale_app_ids()
+    return [
+        bench_scale_app(
+            app_id,
+            rounds=rounds,
+            seed=seed,
+            budget_s=budget_s,
+            backend_keys=backend_keys,
+        )
+        for app_id in app_ids
+    ]
+
+
 def main(argv: Optional[List[str]] = None) -> None:
     import argparse
 
@@ -225,7 +463,20 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("apps", nargs="*", help="app ids (default: all)")
     parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
     parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scale-worker",
+        nargs=2,
+        metavar=("APP_ID", "BACKEND"),
+        default=None,
+        help="internal: run one scale cold solve and print JSON",
+    )
     args = parser.parse_args(argv)
+    if args.scale_worker is not None:
+        app_id, backend = args.scale_worker
+        result = scale_worker(app_id, backend, args.rounds, args.seed)
+        print(json.dumps(result))
+        return
     suite = run_suite(args.apps or None, args.rounds, args.repeats)
     for entry in suite["apps"]:
         print(

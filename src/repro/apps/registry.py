@@ -1,8 +1,8 @@
-"""Benchmark application registry (Table 1)."""
+"""Benchmark application registry (Table 1 + the synthetic scale tier)."""
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, Dict, List, Optional
 
 from ..sim.program import Application
 from . import (
@@ -14,9 +14,13 @@ from . import (
     app6_restsharp,
     app7_statsd,
     app8_linqdynamic,
+    synth,
 )
 
-_BUILDERS = {
+#: The paper's 8 benchmark apps.  ``app_ids()``/``all_applications()``
+#: cover exactly these — golden hashes, the determinism audit, and the
+#: e2e differential suites all quantify over "the 8 apps".
+_BUILDERS: Dict[str, Callable[[], Application]] = {
     "App-1": app1_insights.build_app,
     "App-2": app2_datetime.build_app,
     "App-3": app3_fluentassertions.build_app,
@@ -27,52 +31,78 @@ _BUILDERS = {
     "App-8": app8_linqdynamic.build_app,
 }
 
-
-#: Module-style aliases ("app7_statsd", "app7", "app-7") → canonical id.
-_ALIASES = {
-    alias: app_id
-    for app_id, module in (
-        ("App-1", app1_insights),
-        ("App-2", app2_datetime),
-        ("App-3", app3_fluentassertions),
-        ("App-4", app4_k8sclient),
-        ("App-5", app5_radical),
-        ("App-6", app6_restsharp),
-        ("App-7", app7_statsd),
-        ("App-8", app8_linqdynamic),
-    )
-    for alias in (
-        module.__name__.rsplit(".", 1)[-1],  # app7_statsd
-        app_id.lower(),                      # app-7
-        app_id.lower().replace("-", ""),     # app7
-    )
+#: Synthetic large apps (App-XL1..XL3): opt-in via explicit id — never
+#: part of the default iteration, their traces are ~20x the paper apps'.
+_SCALE_BUILDERS: Dict[str, Callable[[], Application]] = {
+    app_id: (lambda _id=app_id: synth.build_synth_app(synth.SCALE_SPECS[_id]))
+    for app_id in synth.SCALE_SPECS
 }
+
+#: Aliases (lowercase) → canonical id, e.g. "app-7"/"app7"/"app7_statsd"
+#: → "App-7" and "app-xl1"/"appxl1" → "App-XL1".
+_ALIASES: Dict[str, str] = {}
+
+
+def _register_aliases(app_id: str, *extra: str) -> None:
+    for alias in (app_id.lower(), app_id.lower().replace("-", ""), *extra):
+        existing = _ALIASES.setdefault(alias.lower(), app_id)
+        if existing != app_id:
+            raise ValueError(
+                f"alias {alias!r} of {app_id!r} already bound to {existing!r}"
+            )
+
+
+for _app_id, _module in (
+    ("App-1", app1_insights),
+    ("App-2", app2_datetime),
+    ("App-3", app3_fluentassertions),
+    ("App-4", app4_k8sclient),
+    ("App-5", app5_radical),
+    ("App-6", app6_restsharp),
+    ("App-7", app7_statsd),
+    ("App-8", app8_linqdynamic),
+):
+    _register_aliases(_app_id, _module.__name__.rsplit(".", 1)[-1])
+for _app_id in _SCALE_BUILDERS:
+    _register_aliases(_app_id)
+del _app_id, _module
 
 
 def app_ids() -> List[str]:
+    """The 8 paper-app ids (the default corpus)."""
     return list(_BUILDERS)
+
+
+def scale_app_ids() -> List[str]:
+    """The synthetic scale-tier ids, smallest first."""
+    return list(_SCALE_BUILDERS)
+
+
+def _builder(app_id: str) -> Optional[Callable[[], Application]]:
+    return _BUILDERS.get(app_id) or _SCALE_BUILDERS.get(app_id)
 
 
 def resolve_app_id(app_id: str) -> str:
     """Canonical id for an app id or alias (raises KeyError when unknown)."""
-    if app_id in _BUILDERS:
+    if _builder(app_id) is not None:
         return app_id
     canonical = _ALIASES.get(app_id.lower())
     if canonical is None:
+        known = sorted(_BUILDERS) + sorted(_SCALE_BUILDERS)
         raise KeyError(
-            f"unknown application {app_id!r}; known: {sorted(_BUILDERS)} "
-            f"(module aliases like 'app7_statsd' also work)"
+            f"unknown application {app_id!r}; known: {known} "
+            f"(aliases like 'app7_statsd' or 'app-xl1' also work)"
         )
     return canonical
 
 
 def get_application(app_id: str) -> Application:
-    """Build a fresh instance of one benchmark application."""
-    return _BUILDERS[resolve_app_id(app_id)]()
+    """Build a fresh instance of one registered application."""
+    return _builder(resolve_app_id(app_id))()
 
 
 def all_applications() -> List[Application]:
-    """Build all 8 benchmark applications (fresh instances)."""
+    """Build all 8 paper benchmark applications (fresh instances)."""
     return [build() for build in _BUILDERS.values()]
 
 
@@ -81,4 +111,5 @@ __all__ = [
     "app_ids",
     "get_application",
     "resolve_app_id",
+    "scale_app_ids",
 ]

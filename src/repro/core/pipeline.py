@@ -161,6 +161,10 @@ class Sherlock:
                 lp_pivots=inference.lp_pivots,
                 lp_factorizations=inference.lp_factorizations,
                 lp_refactorizations=inference.lp_refactorizations,
+                lp_factorize_s=inference.lp_factorize_s,
+                lp_ftran_btran_s=inference.lp_ftran_btran_s,
+                lp_pricing_s=inference.lp_pricing_s,
+                lp_eta_len=inference.lp_eta_len,
                 lp_delta_variables=inference.lp_delta_variables,
                 lp_delta_constraints=inference.lp_delta_constraints,
                 workers=outcome.workers_used,

@@ -44,6 +44,13 @@ class InferenceResult:
     #: Basis LU (re)factorizations of the revised simplex backend.
     lp_factorizations: int = 0
     lp_refactorizations: int = 0
+    #: Cold-solve phase breakdown of the revised simplex backend
+    #: (seconds factorizing, in ftran/btran solves, and pricing) plus
+    #: the packed eta-file length; zero for other backends.
+    lp_factorize_s: float = 0.0
+    lp_ftran_btran_s: float = 0.0
+    lp_pricing_s: float = 0.0
+    lp_eta_len: int = 0
     #: Variables/constraints actually appended this round (equals the
     #: full model size on a rebuild).
     lp_delta_variables: int = 0
@@ -111,6 +118,10 @@ def infer(
         lp_pivots=solution.iterations,
         lp_factorizations=solution.factorizations,
         lp_refactorizations=solution.refactorizations,
+        lp_factorize_s=solution.factorize_s,
+        lp_ftran_btran_s=solution.ftran_btran_s,
+        lp_pricing_s=solution.pricing_s,
+        lp_eta_len=solution.eta_len,
         lp_delta_variables=(
             encoder.last_delta_variables
             if encoder is not None

@@ -22,11 +22,39 @@ whole ``[A | b]`` tableau through every pivot, this solver:
   reduced costs computed by different arithmetic, and on the degenerate
   SherLock LPs the two backends then settle on different — equally
   optimal — vertices, which the differential suite must rule out);
+* above :data:`_DANTZIG_MIN_COLUMNS` real columns it switches to
+  deterministic Dantzig pricing (most negative reduced cost, lowest
+  index on ties) with a Bland fallback after a run of degenerate
+  pivots (the anti-cycling guarantee).  The byte-identity contract only
+  covers the paper-sized LPs — every app in the corpus and every LP the
+  differential suites generate sits far below the threshold — while the
+  scale tier (``App-XL1..XL3``, where no cross-backend identity is
+  promised) gets the pricing rule that converges in a small multiple of
+  ``m`` pivots instead of Bland's degeneracy crawl;
 * runs the textbook phase-1 (artificial variables for rows without a
   usable slack) / phase-2 driver.  Artificial columns are virtual unit
   columns — never materialized; in phase 2 a still-basic artificial is
   pinned at zero by the ratio test (any pivot that would move it forces
-  ``theta = 0`` and drives it out of the basis).
+  ``theta = 0`` and drives it out of the basis);
+* **crashes a singleton basis** before resorting to artificials: a
+  structural column with exactly one (positive) nonzero can serve as
+  the basic column of its row directly, since the normalized rhs is
+  non-negative.  On SherLock-shaped LPs every Mostly-Protected window
+  row carries such a column (the ``max0`` auxiliary variable), so the
+  crash eliminates phase 1 entirely — the asymptotically dominant cost
+  at scale-tier sizes.  The dense tableau applies the *same* rule in
+  the same column order, so both built-ins still walk the same pivot
+  path.
+
+Cold-solve cost is kept down by blockwise Bland pricing with early
+exit over CSR column slices (bit-identical to the full product — CSR
+matvec is an independent sequential dot per column), an incrementally
+maintained basic-cost vector, a ratio test that enumerates candidate
+rows via ``np.nonzero`` and replays the exact fuzzy tie-break chain
+over that (small) subset, a packed sparse eta file, reuse of the
+previous factorization's column ordering, and a batched ftran that
+combines the basic-solution refresh with the entering-column solve at
+refactorization points (see :mod:`repro.lp.factor`).
 
 Column layout, row layout and :data:`~repro.lp.simplex.BasisLabels`
 semantics are identical to the dense tableau, so a basis emitted by one
@@ -38,6 +66,7 @@ warm-start path works unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -56,6 +85,46 @@ BACKEND_NAME = "revised-simplex"
 
 _EPS = 1e-9
 _MAX_ITER_FACTOR = 50
+
+#: Columns priced per block in the Bland scan (early exit on the first
+#: block containing a negative reduced cost).
+_PRICE_BLOCK = 4096
+
+#: Real-column count at which pricing switches from Bland's rule to
+#: deterministic Dantzig (most negative reduced cost, lowest index on
+#: ties).  Every paper-app LP and every LP the differential suites
+#: generate sits orders of magnitude below this, so the cross-backend
+#: byte-identity contract (which holds only under Bland) is untouched;
+#: only the scale tier crosses it.
+_DANTZIG_MIN_COLUMNS = 4096
+
+#: Consecutive degenerate (``theta <= _EPS``) Dantzig pivots tolerated
+#: before falling back to Bland's rule (on both the entering column and
+#: the leaving-row tie-break — the anti-cycling theorem needs both);
+#: the first nondegenerate pivot switches back.
+_DEGENERATE_STREAK_LIMIT = 64
+
+#: Relative magnitude of the deterministic rhs perturbation applied in
+#: scale mode.  SherLock LPs are massively degenerate (every window row
+#: reads ``aux + Σ vars - s = 1``), and a primal simplex stalls on the
+#: resulting zero-step plateaus; perturbing each right-hand side by a
+#: distinct tiny amount makes almost every pivot strictly improving.
+#: The final basis is re-solved against the *true* rhs (dual
+#: feasibility — optimality of the basis — is rhs-independent), so the
+#: perturbation never appears in reported values.
+_PERTURB_SCALE = 1e-7
+
+#: Eta-chain length between refactorizations in scale mode (measured
+#: sweet spot on App-XL1: fewer LU factorizations without the eta
+#: chains growing past what they save).  Paper-sized solves keep
+#: :data:`~repro.lp.factor.DEFAULT_REFACTOR_INTERVAL` so their
+#: arithmetic path — and with it cross-backend byte-identity — is
+#: untouched.
+_SCALE_REFACTOR_INTERVAL = 96
+
+#: A reused column ordering is abandoned once the factor's fill exceeds
+#: this multiple of the last fresh (COLAMD) factorization's fill.
+_FILL_DEGRADATION = 2.0
 
 
 @dataclass
@@ -80,6 +149,14 @@ class _Problem:
     bound_row_vars: List[str]
     form: StandardForm
     art_rows: List[int] = field(default_factory=list)
+    #: rhs used *during iteration*: equals :attr:`rhs` normally, or the
+    #: deterministically perturbed copy in scale mode.  Final values are
+    #: always re-solved against the true :attr:`rhs`.
+    rhs_iter: Optional[np.ndarray] = None
+
+    @property
+    def b_iter(self) -> np.ndarray:
+        return self.rhs if self.rhs_iter is None else self.rhs_iter
 
     @property
     def m(self) -> int:
@@ -115,6 +192,26 @@ class _Counters:
     factorizations: int = 0
     refactorizations: int = 0
     eta_updates: int = 0
+    eta_entries: int = 0
+
+
+@dataclass
+class _Timers:
+    """Cold-solve phase breakdown, surfaced on :class:`Solution`."""
+
+    factorize_s: float = 0.0
+    ftran_btran_s: float = 0.0
+    pricing_s: float = 0.0
+
+
+@dataclass
+class _FactorContext:
+    """Ordering reuse across refactorizations of one solve: the last
+    effective column ordering, and the fill of the last fresh (COLAMD)
+    factorization it is judged against."""
+
+    order: Optional[np.ndarray] = None
+    fresh_fill: int = 0
 
 
 def _as_csr(a, n: int):
@@ -213,16 +310,50 @@ def _prepare_sparse(form: StandardForm) -> _Problem:
 
 
 def _factor(
-    problem: _Problem, basis: List[int], counters: _Counters
+    problem: _Problem,
+    basis: List[int],
+    counters: _Counters,
+    timers: _Timers,
+    ctx: Optional[_FactorContext] = None,
 ) -> Optional[LUFactor]:
+    columns = [problem.column(col) for col in basis]
+    order = ctx.order if ctx is not None else None
+    interval = (
+        _SCALE_REFACTOR_INTERVAL
+        if problem.n_real >= _DANTZIG_MIN_COLUMNS
+        else DEFAULT_REFACTOR_INTERVAL
+    )
+    t0 = perf_counter()
     try:
         lu = LUFactor(
-            [problem.column(col) for col in basis],
-            refactor_interval=DEFAULT_REFACTOR_INTERVAL,
+            columns,
+            refactor_interval=interval,
+            col_order=order,
         )
     except SingularBasisError:
+        lu = None
+        if order is not None:
+            # A reused ordering can go numerically bad where a fresh
+            # COLAMD factorization would not; retry once from scratch.
+            try:
+                lu = LUFactor(columns, refactor_interval=interval)
+            except SingularBasisError:
+                lu = None
+    timers.factorize_s += perf_counter() - t0
+    if lu is None:
         return None
     counters.factorizations += 1
+    if ctx is not None:
+        if lu.reused_ordering:
+            ctx.order = lu.ordering
+            if (
+                ctx.fresh_fill
+                and lu.fill_nnz > _FILL_DEGRADATION * ctx.fresh_fill
+            ):
+                ctx.order = None  # fill degraded: reorder next time
+        else:
+            ctx.fresh_fill = lu.fill_nnz
+            ctx.order = lu.ordering
     return lu
 
 
@@ -235,27 +366,36 @@ class _IterationState:
         basis: List[int],
         lu: LUFactor,
         counters: _Counters,
+        timers: _Timers,
+        ctx: Optional[_FactorContext] = None,
     ) -> None:
         self.problem = problem
         self.basis = basis
         self.lu = lu
         self.counters = counters
+        self.timers = timers
+        self.ctx = ctx
         self.xb = self._basic_solution()
         self.iterations = 0
 
     def _basic_solution(self) -> np.ndarray:
-        xb = self.lu.ftran(self.problem.rhs)
+        t0 = perf_counter()
+        xb = self.lu.ftran(self.problem.b_iter)
+        self.timers.ftran_btran_s += perf_counter() - t0
         # Flush roundoff-scale negativity so the ratio test stays sane.
         np.copyto(xb, 0.0, where=(xb < 0) & (xb > -1e-9))
         return xb
 
-    def refactor(self) -> bool:
-        lu = _factor(self.problem, self.basis, self.counters)
+    def refactor(self, recompute_xb: bool = True) -> bool:
+        lu = _factor(
+            self.problem, self.basis, self.counters, self.timers, self.ctx
+        )
         if lu is None:
             return False
         self.counters.refactorizations += 1
         self.lu = lu
-        self.xb = self._basic_solution()
+        if recompute_xb:
+            self.xb = self._basic_solution()
         return True
 
 
@@ -273,81 +413,217 @@ def _iterate(
     ``pin_artificials`` (phase 2), a basic artificial sits at zero and
     any pivot touching its row is forced degenerate, which ejects it.
 
-    Pivot selection is Bland's rule on both ends (first column with a
-    negative reduced cost; leaving-row ties broken by the smallest basic
-    column), matching the dense tableau pivot-for-pivot — see the module
-    docstring for why this is load-bearing.
+    Pivot selection below :data:`_DANTZIG_MIN_COLUMNS` real columns is
+    Bland's rule on both ends (first column with a negative reduced
+    cost; leaving-row ties broken by the smallest basic column),
+    matching the dense tableau pivot-for-pivot — see the module
+    docstring for why this is load-bearing.  Above it, entering columns
+    are picked by deterministic Dantzig pricing with a Bland fallback
+    under sustained degeneracy.
     """
     problem = state.problem
     m = problem.m
     n_real = problem.n_real
+    matrix_t = problem.matrix_t
+    timers = state.timers
+    basis = state.basis
+    use_dantzig = n_real >= _DANTZIG_MIN_COLUMNS
+    degenerate_streak = 0
+    # Pre-sliced pricing blocks: CSR row slicing copies the submatrix,
+    # which at one slice per iteration dominates small cold solves.
+    # Slicing once up front computes the same products on the same
+    # stored values — bit-identical, minus the per-iteration copies.
+    # (Dantzig mode prices off the whole matrix and, on its rare Bland
+    # fallback iterations, eats the slice copy instead of fronting a
+    # full-matrix copy it would almost never use.)
+    if use_dantzig:
+        price_blocks = None
+    elif n_real <= _PRICE_BLOCK:
+        price_blocks = [(0, matrix_t)]
+    else:
+        price_blocks = [
+            (lo, matrix_t[lo : min(lo + _PRICE_BLOCK, n_real)])
+            for lo in range(0, n_real, _PRICE_BLOCK)
+        ]
+
+    # Incrementally maintained pricing state: the basic-cost vector, an
+    # int mirror of the basis (for vectorized masks) and a bool map of
+    # which real columns are basic.
+    basis_arr = np.asarray(basis, dtype=np.int64)
+    in_basis = np.zeros(n_real, dtype=bool)
+    in_basis[basis_arr[basis_arr < n_real]] = True
+    cb = np.where(
+        basis_arr < n_real,
+        costs_real[np.minimum(basis_arr, n_real - 1)],
+        art_cost,
+    )
 
     while state.iterations < max_iter:
-        if state.lu.should_refactor and not state.refactor():
-            return "singular"
+        refactored = False
+        if state.lu.should_refactor:
+            # Delay the basic-solution refresh: it is batched with the
+            # entering-column ftran below (one multi-RHS LU solve).
+            if not state.refactor(recompute_xb=False):
+                return "singular"
+            refactored = True
 
-        basis = state.basis
-        cb = np.fromiter(
-            (
-                costs_real[col] if col < n_real else art_cost
-                for col in basis
-            ),
-            np.float64,
-            m,
-        )
+        t0 = perf_counter()
         y = state.lu.btran(cb)
-        reduced = costs_real - problem.matrix_t @ y
-        # Basic columns price to ~0; mask them out so roundoff never
-        # re-selects one.
-        basic_real = [col for col in basis if col < n_real]
-        if basic_real:
-            reduced[np.asarray(basic_real, dtype=np.int64)] = 0.0
+        timers.ftran_btran_s += perf_counter() - t0
 
-        negative = np.nonzero(reduced < -_EPS)[0]
-        if negative.size == 0:
+        t0 = perf_counter()
+        entering = -1
+        dantzig_iter = (
+            use_dantzig and degenerate_streak < _DEGENERATE_STREAK_LIMIT
+        )
+        if dantzig_iter:
+            # Dantzig: one full sparse product, most negative reduced
+            # cost, ties to the lowest index (np.argmin's convention).
+            reduced = costs_real - matrix_t @ y
+            # Basic columns price to ~0; mask them out so roundoff
+            # never re-selects one.
+            reduced[in_basis] = 0.0
+            j = int(np.argmin(reduced))
+            if reduced[j] < -_EPS:
+                entering = j
+        else:
+            # Blockwise Bland pricing with early exit.  Each CSR row of
+            # ``matrix_t`` prices independently (a sequential sparse
+            # dot), so per-block products are bit-identical to the full
+            # one and the first negative entry is the same column Bland
+            # would pick.
+            blocks = price_blocks
+            if blocks is None:  # rare Bland fallback in Dantzig mode
+                blocks = (
+                    (lo, matrix_t[lo : min(lo + _PRICE_BLOCK, n_real)])
+                    for lo in range(0, n_real, _PRICE_BLOCK)
+                )
+            for lo, block in blocks:
+                hi = min(lo + _PRICE_BLOCK, n_real)
+                reduced = costs_real[lo:hi] - block @ y
+                reduced[in_basis[lo:hi]] = 0.0
+                negative = np.nonzero(reduced < -_EPS)[0]
+                if negative.size:
+                    entering = lo + int(negative[0])
+                    break
+        timers.pricing_s += perf_counter() - t0
+        if entering < 0:
             return "optimal"
-        entering = int(negative[0])
 
-        w = state.lu.ftran(problem.column_dense(entering))
+        t0 = perf_counter()
+        if refactored:
+            pair = np.empty((m, 2), dtype=np.float64)
+            pair[:, 0] = problem.b_iter
+            pair[:, 1] = problem.column_dense(entering)
+            both = state.lu.ftran(pair)
+            xb = np.ascontiguousarray(both[:, 0])
+            np.copyto(xb, 0.0, where=(xb < 0) & (xb > -1e-9))
+            state.xb = xb
+            w = np.ascontiguousarray(both[:, 1])
+        else:
+            w = state.lu.ftran(problem.column_dense(entering))
+        timers.ftran_btran_s += perf_counter() - t0
 
+        # Ratio test: pick candidate rows vectorized, then replay the
+        # exact order-dependent fuzzy tie-break chain over that (small)
+        # subset — skipped rows were ``continue`` in the full loop, so
+        # the outcome is identical.
+        if pin_artificials:
+            art_basic = basis_arr >= n_real
+            candidates = np.nonzero(
+                (art_basic & (np.abs(w) > _EPS))
+                | (~art_basic & (w > _EPS))
+            )[0]
+        else:
+            candidates = np.nonzero(w > _EPS)[0]
         best_row, best_ratio = -1, np.inf
-        for i in range(m):
-            wi = w[i]
-            if pin_artificials and basis[i] >= n_real:
-                # Basic artificial, pinned at zero: any movement of this
-                # row caps theta at 0 and swaps the artificial out.
-                if abs(wi) > _EPS:
+        xb = state.xb
+        if dantzig_iter and candidates.size:
+            # Scale mode, fully vectorized: minimum ratio, ties (within
+            # ``_EPS``) to the row with the largest pivot magnitude —
+            # the standard anti-stalling (and numerically safest) choice
+            # on heavily degenerate LPs.  ``argmax`` takes the first of
+            # equal magnitudes, so the choice is deterministic.
+            ratios = xb[candidates] / w[candidates]
+            if pin_artificials:
+                ratios[basis_arr[candidates] >= n_real] = 0.0
+            tied = np.nonzero(ratios == ratios.min())[0]
+            pick = tied[int(np.argmax(np.abs(w[candidates[tied]])))]
+            best_row = int(candidates[pick])
+            best_ratio = float(ratios[pick])
+        elif not dantzig_iter:
+            for i in candidates.tolist():
+                if pin_artificials and basis[i] >= n_real:
+                    # Basic artificial, pinned at zero: any movement of
+                    # this row caps theta at 0 and swaps the artificial
+                    # out.
                     ratio = 0.0
                 else:
-                    continue
-            elif wi > _EPS:
-                ratio = state.xb[i] / wi
-            else:
-                continue
-            if ratio < best_ratio - _EPS or (
-                abs(ratio - best_ratio) <= _EPS
-                and (best_row < 0 or basis[i] < basis[best_row])
-            ):
-                best_ratio = ratio
-                best_row = i
+                    ratio = xb[i] / w[i]
+                if ratio < best_ratio - _EPS or (
+                    abs(ratio - best_ratio) <= _EPS
+                    and (best_row < 0 or basis[i] < basis[best_row])
+                ):
+                    best_ratio = ratio
+                    best_row = i
         if best_row < 0:
             return "unbounded"
 
         theta = max(best_ratio, 0.0)
+        # Degeneracy watchdog for Dantzig mode: a long run of zero-step
+        # pivots could cycle, so Bland (which cannot) takes over until
+        # the objective strictly moves again.
+        if theta <= _EPS:
+            degenerate_streak += 1
+        else:
+            degenerate_streak = 0
         state.xb -= theta * w
         state.xb[best_row] = theta
         np.copyto(
             state.xb, 0.0, where=(state.xb < 0) & (state.xb > -1e-9)
         )
+        leaving = basis[best_row]
+        if leaving < n_real:
+            in_basis[leaving] = False
+        in_basis[entering] = True
         basis[best_row] = entering
+        basis_arr[best_row] = entering
+        cb[best_row] = costs_real[entering]
         state.iterations += 1
 
         if state.lu.can_update(w, best_row):
-            state.lu.update(w, best_row)
+            state.counters.eta_entries += state.lu.update(w, best_row)
             state.counters.eta_updates += 1
         elif not state.refactor():
             return "singular"
     return "iteration_limit"
+
+
+def _crash_singletons(problem: _Problem, basis: List[int]) -> None:
+    """Crash singleton structural columns onto still-uncovered rows.
+
+    A structural column with exactly one nonzero entry, positive after
+    sign normalization, is a valid initial basic column for its row (the
+    normalized rhs is ``>= 0``, so the basic value stays feasible).  On
+    SherLock LPs this covers every Mostly-Protected window row via its
+    ``max0`` auxiliary variable, eliminating phase 1.  Columns are
+    scanned in ascending index and "nonzero" means a stored value
+    ``!= 0.0`` — the dense tableau applies the identical rule, which is
+    what keeps the two built-in backends on the same pivot path.
+    """
+    a = problem.matrix  # CSC
+    indptr, indices, data = a.indptr, a.indices, a.data
+    nz_pos = np.nonzero(data != 0.0)[0]
+    col_of = np.searchsorted(indptr, nz_pos, side="right") - 1
+    counts = np.bincount(col_of, minlength=a.shape[1])
+    for j in np.nonzero(counts[: problem.n] == 1)[0].tolist():
+        lo, hi = indptr[j], indptr[j + 1]
+        vals = data[lo:hi]
+        k = lo + int(np.nonzero(vals)[0][0])
+        if data[k] > _EPS:
+            i = int(indices[k])
+            if basis[i] < 0:
+                basis[i] = j
 
 
 def _basis_labels(problem: _Problem, basis: List[int]) -> BasisLabels:
@@ -369,6 +645,25 @@ def _basis_labels(problem: _Problem, basis: List[int]) -> BasisLabels:
     return tuple(labels)
 
 
+def _basis_csc(problem: _Problem, basis: List[int]):
+    """The basis matrix assembled sparse from the untouched column data
+    (never an ``m × m`` dense array — that alone would dwarf the whole
+    solve at scale-tier sizes)."""
+    from scipy.sparse import csc_matrix
+
+    m = len(basis)
+    cols = [problem.column(col) for col in basis]
+    indptr = np.zeros(m + 1, dtype=np.int64)
+    for j, (idx, _) in enumerate(cols):
+        indptr[j + 1] = indptr[j] + len(idx)
+    indices = np.empty(indptr[-1], dtype=np.int64)
+    data = np.empty(indptr[-1], dtype=np.float64)
+    for j, (idx, vals) in enumerate(cols):
+        indices[indptr[j] : indptr[j + 1]] = idx
+        data[indptr[j] : indptr[j + 1]] = vals
+    return csc_matrix((data, indices, indptr), shape=(m, m))
+
+
 def _extract(
     problem: _Problem,
     state: _IterationState,
@@ -380,11 +675,8 @@ def _extract(
     # Re-solve the final basis from the untouched column data (shared
     # with the dense tableau) so both built-ins report bit-identical
     # values whenever they agree on the basis; fall back to the LU
-    # iterate if the one-off dense basis solve fails.
-    basis_matrix = np.column_stack(
-        [problem.column_dense(col) for col in state.basis]
-    )
-    xb = finalize_basic_solution(basis_matrix, problem.rhs)
+    # iterate if the one-off basis solve fails.
+    xb = finalize_basic_solution(_basis_csc(problem, state.basis), problem.rhs)
     if xb is None:
         xb = state.xb
     for row, col in enumerate(state.basis):
@@ -405,6 +697,11 @@ def _extract(
     sol.basis = _basis_labels(problem, state.basis)
     sol.factorizations = counters.factorizations
     sol.refactorizations = counters.refactorizations
+    timers = state.timers
+    sol.factorize_s = timers.factorize_s
+    sol.ftran_btran_s = timers.ftran_btran_s
+    sol.pricing_s = timers.pricing_s
+    sol.eta_len = counters.eta_entries
     return sol
 
 
@@ -447,6 +744,7 @@ def _attempt_warm(
     problem: _Problem,
     warm_basis: BasisLabels,
     counters: _Counters,
+    timers: _Timers,
     max_iter: int,
 ) -> Optional[Solution]:
     """Start phase 2 straight from a previous solve's basis; ``None``
@@ -455,13 +753,16 @@ def _attempt_warm(
     cols = _resolve_labels(problem, warm_basis)
     if cols is None:
         return None
-    lu = _factor(problem, cols, counters)
+    ctx = _FactorContext()
+    lu = _factor(problem, cols, counters, timers, ctx)
     if lu is None:
         return None
+    t0 = perf_counter()
     xb = lu.ftran(problem.rhs)
+    timers.ftran_btran_s += perf_counter() - t0
     if not np.all(np.isfinite(xb)) or np.any(xb < 0):
         return None
-    state = _IterationState(problem, list(cols), lu, counters)
+    state = _IterationState(problem, list(cols), lu, counters, timers, ctx)
     state.xb = xb
     costs = np.zeros(problem.n_real)
     costs[: problem.n] = problem.c
@@ -498,17 +799,34 @@ def solve_revised(
         return solve_unconstrained(form, problem.c, BACKEND_NAME)
 
     counters = _Counters()
+    timers = _Timers()
     m = problem.m
     max_iter = _MAX_ITER_FACTOR * (m + problem.n_real + m)
 
     if warm_basis is not None:
-        warm = _attempt_warm(problem, warm_basis, counters, max_iter)
+        warm = _attempt_warm(problem, warm_basis, counters, timers, max_iter)
         if warm is not None:
             return warm
 
+    if problem.n_real >= _DANTZIG_MIN_COLUMNS:
+        # Scale mode: iterate against a deterministically perturbed rhs
+        # so ratio-test ties (and the degenerate plateaus they cause)
+        # all but vanish.  Each row gets a distinct positive nudge —
+        # positive keeps the normalized ``rhs >= 0`` invariant, distinct
+        # breaks the ties — sized relative to the row.  Knuth's
+        # multiplicative-hash constant spreads the 16-bit fractions.
+        rows = np.arange(m, dtype=np.uint64)
+        frac = (
+            (rows * np.uint64(2654435761)) & np.uint64(0xFFFF)
+        ).astype(np.float64) / 65536.0
+        problem.rhs_iter = problem.rhs + _PERTURB_SCALE * (1.0 + frac) * (
+            np.maximum(1.0, np.abs(problem.rhs))
+        )
+
     # Initial basis: the slack where it survived sign normalization with
-    # coefficient +1, a (virtual) artificial everywhere else.
-    basis: List[int] = []
+    # coefficient +1, then crashed singleton structural columns, a
+    # (virtual) artificial only where neither applies.
+    basis: List[int] = [-1] * m
     signs_ok = problem.rhs >= 0  # rhs already normalized; kept for clarity
     slack_sign = np.ones(m)
     # A flipped ub row has slack coefficient -1; recover the sign from
@@ -519,15 +837,18 @@ def solve_revised(
         slack_sign[i] = vals[0] if len(vals) else 0.0
     for i in range(m):
         if i < problem.m_ub and slack_sign[i] > 0.5 and signs_ok[i]:
-            basis.append(problem.n + i)
-        else:
+            basis[i] = problem.n + i
+    _crash_singletons(problem, basis)
+    for i in range(m):
+        if basis[i] < 0:
             problem.art_rows.append(i)
-            basis.append(problem.n_real + len(problem.art_rows) - 1)
+            basis[i] = problem.n_real + len(problem.art_rows) - 1
 
-    lu = _factor(problem, basis, counters)
+    ctx = _FactorContext()
+    lu = _factor(problem, basis, counters, timers, ctx)
     if lu is None:
         return Solution(SolveStatus.ERROR, backend=BACKEND_NAME)
-    state = _IterationState(problem, basis, lu, counters)
+    state = _IterationState(problem, basis, lu, counters, timers, ctx)
 
     iterations1 = 0
     if problem.art_rows:

@@ -35,6 +35,12 @@ BACKEND_NAME = "dense-tableau"
 _EPS = 1e-9
 _MAX_ITER_FACTOR = 50
 
+#: Basis size at which :func:`finalize_basic_solution` switches from the
+#: dense LAPACK solve to a sparse LU.  Both built-in backends route
+#: through this function with the same basis, so the switch point being
+#: shared is what keeps their reports bit-identical at every size.
+_SPARSE_FINALIZE_MIN = 2048
+
 
 def solve_unconstrained(form: StandardForm, c: np.ndarray, backend: str):
     """Solve a model with no rows: every variable sits at whichever finite
@@ -79,11 +85,35 @@ def finalize_basic_solution(
     means two backends that agree on the *basis* also agree on every
     reported value and on the objective bit-for-bit.  Returns ``None``
     (caller keeps its iterate) when the recomputation fails.
+
+    ``basis_matrix`` may be dense or ``scipy.sparse``.  Below
+    :data:`_SPARSE_FINALIZE_MIN` rows the solve is the dense LAPACK one
+    (densifying a sparse input); at and above it, a sparse LU — a dense
+    ``m³`` solve at scale-tier sizes would cost more than the whole
+    simplex run.  The branch depends only on ``m``, never on the input's
+    storage, so both backends always take the same one.
     """
-    try:
-        xb = np.linalg.solve(basis_matrix, rhs)
-    except np.linalg.LinAlgError:
-        return None
+    from scipy import sparse
+
+    m = basis_matrix.shape[0]
+    rhs = np.asarray(rhs, dtype=np.float64)
+    if m >= _SPARSE_FINALIZE_MIN:
+        try:
+            mat = (
+                basis_matrix.tocsc()
+                if sparse.issparse(basis_matrix)
+                else sparse.csc_matrix(basis_matrix)
+            )
+            xb = sparse.linalg.splu(mat).solve(rhs)
+        except (RuntimeError, ValueError, MemoryError):
+            return None
+    else:
+        if sparse.issparse(basis_matrix):
+            basis_matrix = basis_matrix.toarray()
+        try:
+            xb = np.linalg.solve(basis_matrix, rhs)
+        except np.linalg.LinAlgError:
+            return None
     if not np.all(np.isfinite(xb)):
         return None
     # Flush roundoff-scale negativity exactly as the iterations do.
@@ -113,10 +143,22 @@ class _Tableau:
                 self.table[m, :] -= coef * self.table[row, :]
 
     def pivot(self, row: int, col: int) -> None:
-        self.table[row, :] /= self.table[row, col]
-        for r in range(self.m + 1):
-            if r != row and abs(self.table[r, col]) > _EPS:
-                self.table[r, :] -= self.table[r, col] * self.table[row, :]
+        table = self.table
+        table[row, :] /= table[row, col]
+        # Eliminate the pivot column from every other row carrying it.
+        # Row selection and per-element arithmetic match the historical
+        # scalar loop exactly; rows are processed in blocks so the
+        # factor×pivot-row outer product never materializes at full
+        # height on scale-tier tableaus.
+        factors = table[:, col].copy()
+        factors[row] = 0.0
+        rows_upd = np.nonzero(np.abs(factors) > _EPS)[0]
+        if rows_upd.size:
+            pivot_row = table[row, :]
+            block = max(1, (1 << 22) // max(table.shape[1], 1))
+            for lo in range(0, rows_upd.size, block):
+                sel = rows_upd[lo : lo + block]
+                table[sel, :] -= factors[sel, None] * pivot_row[None, :]
         self.basis[row] = col
         self.iterations += 1
 
@@ -127,29 +169,45 @@ class _Tableau:
             cost_row = self.table[m, :n]
             # Bland's rule: entering variable = smallest index with
             # negative reduced cost.
-            entering = -1
-            for j in range(n):
-                if cost_row[j] < -_EPS:
-                    entering = j
-                    break
-            if entering < 0:
+            negative = np.nonzero(cost_row < -_EPS)[0]
+            if negative.size == 0:
                 return "optimal"
+            entering = int(negative[0])
             col = self.table[:m, entering]
             rhs = self.table[:m, n]
+            # Candidate rows vectorized, then the exact fuzzy tie-break
+            # chain replayed over the (small) subset — skipped rows never
+            # set ``best`` in the historical full loop either.
             best_row, best_ratio = -1, np.inf
-            for i in range(m):
-                if col[i] > _EPS:
-                    ratio = rhs[i] / col[i]
-                    if ratio < best_ratio - _EPS or (
-                        abs(ratio - best_ratio) <= _EPS
-                        and (best_row < 0 or self.basis[i] < self.basis[best_row])
-                    ):
-                        best_ratio = ratio
-                        best_row = i
+            basis = self.basis
+            for i in np.nonzero(col > _EPS)[0].tolist():
+                ratio = rhs[i] / col[i]
+                if ratio < best_ratio - _EPS or (
+                    abs(ratio - best_ratio) <= _EPS
+                    and (best_row < 0 or basis[i] < basis[best_row])
+                ):
+                    best_ratio = ratio
+                    best_row = i
             if best_row < 0:
                 return "unbounded"
             self.pivot(best_row, entering)
         return "iteration_limit"
+
+
+def _densify(a, n: int) -> np.ndarray:
+    """A fresh dense copy of a (possibly sparse) constraint block,
+    written in bounded row chunks so no second full-size transient is
+    alive at scale-tier sizes."""
+    if hasattr(a, "toarray"):
+        m = a.shape[0]
+        out = np.zeros((m, n))
+        if m:
+            csr = a.tocsr()
+            step = max(1, (1 << 24) // max(n, 1))
+            for lo in range(0, m, step):
+                out[lo : lo + step, :] = csr[lo : lo + step].toarray()
+        return out
+    return a.copy() if a.size else np.zeros((0, n))
 
 
 def _prepare(form: StandardForm):
@@ -162,11 +220,9 @@ def _prepare(form: StandardForm):
     shift = np.zeros(n)
     # The cached lowering may hand us sparse matrices; the tableau is
     # dense, so densify up front.
-    raw_ub = form.a_ub.toarray() if hasattr(form.a_ub, "toarray") else form.a_ub
-    raw_eq = form.a_eq.toarray() if hasattr(form.a_eq, "toarray") else form.a_eq
-    a_ub = raw_ub.copy() if raw_ub.size else np.zeros((0, n))
+    a_ub = _densify(form.a_ub, n)
     b_ub = form.b_ub.copy() if form.b_ub.size else np.zeros(0)
-    a_eq = raw_eq.copy() if raw_eq.size else np.zeros((0, n))
+    a_eq = _densify(form.a_eq, n)
     b_eq = form.b_eq.copy() if form.b_eq.size else np.zeros(0)
     c = form.c.copy()
 
@@ -223,18 +279,19 @@ def solve_simplex(
     n_slack = m_ub
     rows = np.zeros((m, n + n_slack))
     rhs = np.zeros(m)
-    for i in range(m_ub):
-        rows[i, :n] = a_ub[i]
-        rows[i, n + i] = 1.0
-        rhs[i] = b_ub[i]
-    for j in range(m_eq):
-        rows[m_ub + j, :n] = a_eq[j]
-        rhs[m_ub + j] = b_eq[j]
+    if m_ub:
+        rows[:m_ub, :n] = a_ub
+        rows[np.arange(m_ub), n + np.arange(m_ub)] = 1.0
+        rhs[:m_ub] = b_ub
+    if m_eq:
+        rows[m_ub:, :n] = a_eq
+        rhs[m_ub:] = b_eq
+    a_ub = a_eq = None  # free the pre-assembly copies at scale-tier sizes
     # Normalize negative rhs.
-    for i in range(m):
-        if rhs[i] < 0:
-            rows[i, :] *= -1.0
-            rhs[i] *= -1.0
+    flip = rhs < 0
+    if np.any(flip):
+        rows[flip, :] *= -1.0
+        rhs[flip] *= -1.0
 
     # Slack-column semantics for basis labels: ub rows are the model's
     # constraint rows followed by one upper-bound row per finite-bounded
@@ -265,7 +322,8 @@ def solve_simplex(
             return warm
 
     # Identify rows whose slack can serve as the initial basis (slack
-    # coefficient +1 after normalization); others get artificials.
+    # coefficient +1 after normalization); then crash singleton
+    # structural columns onto the rest; only leftovers get artificials.
     basis: List[int] = []
     needs_artificial: List[int] = []
     for i in range(m):
@@ -275,22 +333,47 @@ def solve_simplex(
             needs_artificial.append(i)
             basis.append(-1)
 
+    # Crash: a structural column with exactly one nonzero, positive
+    # after normalization, is a valid basic column for its row (rhs is
+    # >= 0).  Same rule, same ascending-column order as the revised
+    # simplex (`_crash_singletons`) — that parity keeps the two
+    # built-ins on the same pivot path.  The crash row is rescaled to
+    # make the column a unit column, but only inside the tableau; the
+    # `rows` array stays untouched for the finalizing basis re-solve.
+    crash_rows: List[Tuple[int, float]] = []
+    if needs_artificial:
+        nz_r, nz_c = np.nonzero(rows[:, :n])
+        counts = np.bincount(nz_c, minlength=n)
+        singleton = counts[nz_c] == 1
+        pending = set(needs_artificial)
+        s_rows, s_cols = nz_r[singleton], nz_c[singleton]
+        for k in np.argsort(s_cols, kind="stable").tolist():
+            i, j = int(s_rows[k]), int(s_cols[k])
+            value = rows[i, j]
+            if value > _EPS and i in pending:
+                basis[i] = j
+                pending.discard(i)
+                crash_rows.append((i, float(value)))
+        needs_artificial = sorted(pending)
+
     n_art = len(needs_artificial)
     total = n + n_slack + n_art
-    full = np.zeros((m, total))
-    full[:, : n + n_slack] = rows
-    for k, i in enumerate(needs_artificial):
-        full[i, n + n_slack + k] = 1.0
-        basis[i] = n + n_slack + k
-
     max_iter = _MAX_ITER_FACTOR * (m + total)
 
     # Phase 1.
     if n_art:
+        full = np.zeros((m, total))
+        full[:, : n + n_slack] = rows
+        for k, i in enumerate(needs_artificial):
+            full[i, n + n_slack + k] = 1.0
+            basis[i] = n + n_slack + k
         c1 = np.zeros(total)
         c1[n + n_slack :] = 1.0
         tab = _Tableau(full, rhs, c1)
+        full = None
         tab.basis = list(basis)
+        for i, value in crash_rows:
+            tab.table[i, :] /= value
         tab.price_out()
         status = tab.run(max_iter)
         if status != "optimal":
@@ -335,6 +418,11 @@ def solve_simplex(
     c2[:n] = c
     tab2 = _Tableau(work, work_rhs, c2)
     tab2.basis = list(basis)
+    if not n_art:
+        # No phase 1 ran: apply the crash-row rescale here (when phase 1
+        # ran, its tableau was rescaled and ``work`` inherited it).
+        for i, value in crash_rows:
+            tab2.table[i, :] /= value
     tab2.price_out()
     status = tab2.run(max_iter)
     if status == "unbounded":

@@ -42,6 +42,14 @@ class Solution:
     #: pivot).  Zero for backends without a factorized basis.
     factorizations: int = 0
     refactorizations: int = 0
+    #: Cold-solve phase breakdown of the revised simplex (seconds spent
+    #: LU-factorizing the basis, in ftran/btran triangular solves, and
+    #: in Bland pricing), plus the total packed length of the eta file
+    #: (entries appended across the solve).  Zero for other backends.
+    factorize_s: float = 0.0
+    ftran_btran_s: float = 0.0
+    pricing_s: float = 0.0
+    eta_len: int = 0
 
     @property
     def is_optimal(self) -> bool:

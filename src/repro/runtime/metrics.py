@@ -54,6 +54,15 @@ class RunMetrics:
     #: factorized basis; summed when aggregated.
     lp_factorizations: int = 0
     lp_refactorizations: int = 0
+    #: Cold-solve phase breakdown of the revised simplex: seconds spent
+    #: LU-factorizing the basis, in ftran/btran triangular solves, and
+    #: in pricing, plus the packed eta-file length (entries appended).
+    #: Zero for other backends; summed when aggregated.  Lets a solver
+    #: regression be attributed to a phase without re-profiling.
+    lp_factorize_s: float = 0.0
+    lp_ftran_btran_s: float = 0.0
+    lp_pricing_s: float = 0.0
+    lp_eta_len: int = 0
     #: Variables/constraints the encoder actually appended this round —
     #: equals the full LP size on a rebuild, and only the round's delta
     #: on the incremental path (summed when aggregated).
@@ -92,6 +101,10 @@ class RunMetrics:
         self.lp_pivots += other.lp_pivots
         self.lp_factorizations += other.lp_factorizations
         self.lp_refactorizations += other.lp_refactorizations
+        self.lp_factorize_s += other.lp_factorize_s
+        self.lp_ftran_btran_s += other.lp_ftran_btran_s
+        self.lp_pricing_s += other.lp_pricing_s
+        self.lp_eta_len += other.lp_eta_len
         self.lp_delta_variables += other.lp_delta_variables
         self.lp_delta_constraints += other.lp_delta_constraints
         self.workers = max(self.workers, other.workers)
@@ -127,6 +140,10 @@ class RunMetrics:
                 f"({self.lp_refactorizations} re-) "
                 f"(delta {self.lp_delta_variables}v/"
                 f"{self.lp_delta_constraints}c)",
+                f"lp solve phases: factorize {self.lp_factorize_s:.3f}s, "
+                f"ftran/btran {self.lp_ftran_btran_s:.3f}s, "
+                f"pricing {self.lp_pricing_s:.3f}s, "
+                f"eta length {self.lp_eta_len}",
             ]
         )
 

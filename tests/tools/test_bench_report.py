@@ -1,9 +1,12 @@
 """Unit tests for the CI perf gate in ``tools/bench_report.py``.
 
 ``evaluate_gate`` is a pure function over two BENCH suite dicts, so the
-gating semantics — the App-8 re-solve speedup floor and the 25% total
-solve-time regression budget against the committed baseline — are tested
-without running any benchmark.
+gating semantics — the App-8 re-solve speedup floor, the 25% total
+solve-time regression budget, the small-tier aggregate revised/dense
+cold-solve ratio, and the scale-tier cold-solve checks — are tested
+without running any benchmark.  Also covers the ``safe_ratio``
+denominator clamp in ``benchmarks/bench_fastpath.py`` that keeps
+``inf``/``nan`` out of the BENCH json.
 """
 
 import importlib.util
@@ -41,6 +44,36 @@ def _suite(entries):
             }
             for app_id, speedup, solve_s in entries
         ],
+    }
+
+
+def _scale_entry(
+    app_id,
+    rounds,
+    revised_s=None,
+    dense_s=None,
+    revised_capped=False,
+    dense_capped=False,
+):
+    backends = {}
+    if revised_s is not None:
+        backends["revised"] = {
+            "backend": "revised-simplex",
+            "solve_s": revised_s,
+            "capped": revised_capped,
+        }
+    if dense_s is not None:
+        backends["dense_tableau"] = {
+            "backend": "dense-tableau",
+            "solve_s": dense_s,
+            "capped": dense_capped,
+        }
+    return {
+        "app_id": app_id,
+        "tier": "scale",
+        "rounds": rounds,
+        "seed": 0,
+        "backends": backends,
     }
 
 
@@ -101,6 +134,170 @@ class TestEvaluateGate:
         assert any("no apps in common" in line for line in lines)
 
 
+class TestSmallTierAggregateGate:
+    def test_aggregate_ratio_over_limit_fails(self):
+        suite = _suite([("App-2", 2.5, 0.010), ("App-8", 2.5, 0.019)])
+        for entry in suite["apps"]:
+            entry["solve_revised_s"] = 0.030
+            entry["solve_dense_tableau_s"] = 0.020  # ratio 1.5 > 1.15
+        ok, lines = bench_report.evaluate_gate(suite, BASELINE)
+        assert not ok
+        assert any(
+            "FAIL" in line and "revised cold solve" in line
+            for line in lines
+        )
+
+    def test_aggregate_tolerates_a_per_app_outlier(self):
+        # App-2's revised solve is 5x dense — a few ms of scheduler
+        # noise — but the aggregate is well under 1.15x, so no failure.
+        suite = _suite([("App-2", 2.5, 0.010), ("App-8", 2.5, 0.019)])
+        suite["apps"][0]["solve_revised_s"] = 0.005
+        suite["apps"][0]["solve_dense_tableau_s"] = 0.001
+        suite["apps"][1]["solve_revised_s"] = 0.010
+        suite["apps"][1]["solve_dense_tableau_s"] = 0.050
+        ok, lines = bench_report.evaluate_gate(suite, BASELINE)
+        assert ok
+        assert any(
+            "PASS" in line and "revised cold solve" in line
+            for line in lines
+        )
+
+    def test_suites_without_solve_timings_skip_the_check(self):
+        ok, lines = bench_report.evaluate_gate(BASELINE, BASELINE)
+        assert ok
+        assert not any("revised cold solve over" in line for line in lines)
+
+
+class TestScaleGate:
+    BASE = dict(
+        BASELINE,
+        scale_apps=[
+            _scale_entry(
+                "App-XL1", 3, revised_s=90.0, dense_s=900.0,
+                dense_capped=True,
+            )
+        ],
+    )
+
+    def test_revised_beating_dense_passes(self):
+        suite = dict(
+            BASELINE,
+            scale_apps=[_scale_entry("App-XL1", 3, 90.0, dense_s=500.0)],
+        )
+        ok, lines = bench_report.evaluate_gate(suite, self.BASE)
+        assert ok, lines
+
+    def test_revised_slower_than_dense_fails(self):
+        suite = dict(
+            BASELINE,
+            scale_apps=[_scale_entry("App-XL1", 3, 120.0, dense_s=100.0)],
+        )
+        ok, lines = bench_report.evaluate_gate(suite, self.BASE)
+        assert not ok
+        assert any("FAIL" in line and "App-XL1" in line for line in lines)
+
+    def test_capped_revised_fails(self):
+        suite = dict(
+            BASELINE,
+            scale_apps=[
+                _scale_entry("App-XL1", 3, 900.0, revised_capped=True)
+            ],
+        )
+        ok, lines = bench_report.evaluate_gate(suite, self.BASE)
+        assert not ok
+        assert any("blew its" in line for line in lines)
+
+    def test_dense_reference_falls_back_to_baseline(self):
+        # A revised-only fresh run (the CI smoke) compares against the
+        # baseline's capped dense measurement.
+        suite = dict(
+            BASELINE, scale_apps=[_scale_entry("App-XL1", 3, 90.0)]
+        )
+        ok, lines = bench_report.evaluate_gate(suite, self.BASE)
+        assert ok, lines
+        assert any("baseline dense" in line for line in lines)
+
+    def test_no_dense_reference_anywhere_skips(self):
+        suite = dict(
+            BASELINE, scale_apps=[_scale_entry("App-XL9", 3, 90.0)]
+        )
+        ok, lines = bench_report.evaluate_gate(suite, self.BASE)
+        assert ok
+        assert any(
+            line.startswith("SKIP") and "App-XL9" in line for line in lines
+        )
+
+    def test_revised_regression_against_baseline_fails(self):
+        # 150s > 1.5 * 90s = 135s.
+        suite = dict(
+            BASELINE,
+            scale_apps=[_scale_entry("App-XL1", 3, 150.0, dense_s=500.0)],
+        )
+        ok, lines = bench_report.evaluate_gate(suite, self.BASE)
+        assert not ok
+        assert any(
+            "FAIL" in line and "vs baseline" in line for line in lines
+        )
+
+    def test_baseline_entries_match_on_rounds(self):
+        # A rounds=1 smoke entry must not be compared against the
+        # baseline's rounds=3 measurement of the same app.
+        suite = dict(
+            BASELINE, scale_apps=[_scale_entry("App-XL1", 1, 500.0)]
+        )
+        ok, lines = bench_report.evaluate_gate(suite, self.BASE)
+        assert ok, lines
+        assert not any("vs baseline" in line for line in lines)
+
+    def test_scale_only_suite_passes_without_small_apps(self):
+        suite = {
+            "benchmark": "fastpath",
+            "apps": [],
+            "scale_apps": [_scale_entry("App-XL1", 1, 10.0, dense_s=50.0)],
+        }
+        ok, lines = bench_report.evaluate_gate(suite, self.BASE)
+        assert ok, lines
+        assert any("scale-only run" in line for line in lines)
+
+    def test_missing_revised_run_fails(self):
+        suite = dict(
+            BASELINE,
+            scale_apps=[_scale_entry("App-XL1", 3, dense_s=500.0)],
+        )
+        ok, lines = bench_report.evaluate_gate(suite, self.BASE)
+        assert not ok
+        assert any("no revised-simplex run" in line for line in lines)
+
+
+class TestSafeRatio:
+    """The denominator clamp that keeps inf/nan out of the BENCH json
+    (division by a ~0 timing on a fast machine used to emit ``inf``,
+    which ``json.dump(..., allow_nan=False)`` now rejects)."""
+
+    def test_ordinary_division(self):
+        from benchmarks.bench_fastpath import safe_ratio
+
+        assert safe_ratio(10.0, 2.0) == 5.0
+
+    def test_zero_denominator_is_finite(self):
+        import math
+
+        from benchmarks.bench_fastpath import (
+            MIN_TIMING_DENOMINATOR_S,
+            safe_ratio,
+        )
+
+        value = safe_ratio(1.0, 0.0)
+        assert math.isfinite(value)
+        assert value == 1.0 / MIN_TIMING_DENOMINATOR_S
+
+    def test_clamped_ratio_survives_strict_json(self):
+        from benchmarks.bench_fastpath import safe_ratio
+
+        payload = {"speedup": safe_ratio(0.002, 0.0)}
+        json.dumps(payload, allow_nan=False)  # must not raise
+
+
 class TestGateAgainstCommittedBaseline:
     def test_committed_baseline_is_gateable(self):
         """The checked-in BENCH_PR3.json must satisfy its own gate (the
@@ -113,6 +310,31 @@ class TestGateAgainstCommittedBaseline:
         assert ok, lines
         app8 = [e for e in baseline["apps"] if e["app_id"] == "App-8"]
         assert app8 and app8[0]["resolve_speedup"] >= 2.0
+
+    def test_committed_pr5_baseline_is_gateable(self):
+        """BENCH_PR5.json — the baseline both CI bench jobs gate against
+        — must self-gate cleanly, carry all three scale apps plus the
+        rounds=1 smoke entry, and hold an uncapped revised run that
+        beats dense on every scale entry."""
+        path = os.path.join(_REPO_ROOT, "BENCH_PR5.json")
+        with open(path, "r", encoding="utf-8") as fp:
+            baseline = json.load(fp)
+        ok, lines = bench_report.evaluate_gate(baseline, baseline)
+        assert ok, lines
+        keys = {
+            (e["app_id"], e["rounds"]) for e in baseline["scale_apps"]
+        }
+        assert {
+            ("App-XL1", 3),
+            ("App-XL2", 3),
+            ("App-XL3", 3),
+            ("App-XL1", 1),
+        } <= keys
+        for entry in baseline["scale_apps"]:
+            revised = entry["backends"]["revised"]
+            assert not revised["capped"], entry["app_id"]
+            dense = entry["backends"]["dense_tableau"]
+            assert revised["solve_s"] <= dense["solve_s"]
 
     def test_cli_gate_exit_codes(self, tmp_path, monkeypatch):
         """--gate returns 1 on regression, 0 otherwise (smoke the CLI

@@ -5,22 +5,36 @@ gate against a committed baseline.
 The report is the repo's perf-trajectory data point: per-app window
 extraction and final-round re-solve wall-clock (fast path vs reference),
 per-backend LP solve times, events/sec, plus enough environment metadata
-to compare runs.  CI runs this on a two-app subset, uploads the JSON as
-an artifact, and *gates* it against the committed ``BENCH_PR3.json``
-baseline::
+to compare runs.  ``--tier scale`` adds the synthetic ``App-XL*``
+workloads (``scale_apps`` in the JSON): per-backend cold-solve wall
+clock with phase breakdown, factorization counts, and peak RSS, each
+backend subprocess-isolated under a ``--budget-s`` wall-clock cap.
+
+CI runs the small tier on a two-app subset plus a one-round scale smoke
+(``--tier scale --apps App-XL1 --rounds 1 --scale-backends revised``),
+uploads the JSON as an artifact, and *gates* it against the committed
+``BENCH_PR5.json`` baseline::
 
     python tools/bench_report.py --apps App-2 App-8 --repeats 3 \\
-        --output bench_current.json --baseline BENCH_PR3.json --gate
+        --output bench_current.json --baseline BENCH_PR5.json --gate
 
-The gate fails (exit 1) when the fast path stops paying for itself:
+The gate fails (exit 1) when a fast path stops paying for itself:
 
 * App-8's incremental re-solve speedup drops below 2x, or
 * the summed incremental re-solve time over apps present in both suites
-  regresses by more than 25% against the baseline.
+  regresses by more than 25% against the baseline, or
+* the revised simplex's summed cold-solve time over the small-tier apps
+  exceeds 1.15x the dense tableau's (aggregate: individual small-app
+  solves are a few ms, where per-app ratios are scheduler noise), or
+* any scale-tier revised cold solve blows its budget, runs slower than
+  the dense tableau (fresh run, or the baseline's — possibly capped —
+  measurement when dense was skipped), or regresses more than 50%
+  against the baseline's revised time.
 
-Run locally over all apps with::
+Regenerate the committed baseline over everything with::
 
-    PYTHONPATH=src python tools/bench_report.py --output BENCH_PR4.json
+    PYTHONPATH=src python tools/bench_report.py --tier both \\
+        --output BENCH_PR5.json
 """
 
 from __future__ import annotations
@@ -40,6 +54,9 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 from benchmarks.bench_fastpath import (  # noqa: E402
     DEFAULT_REPEATS,
     DEFAULT_ROUNDS,
+    DEFAULT_SCALE_BUDGET_S,
+    SCALE_BACKENDS,
+    run_scale_suite,
     run_suite,
 )
 
@@ -62,6 +79,12 @@ def _git_commit() -> str:
 #: Gate thresholds (see module docstring).
 MIN_APP8_RESOLVE_SPEEDUP = 2.0
 MAX_SOLVE_TIME_REGRESSION = 1.25
+#: Ceiling on (summed revised cold solve) / (summed dense cold solve)
+#: over the small-tier apps.
+REVISED_SMALL_MAX_RATIO = 1.15
+#: Ceiling on a scale-tier revised cold solve relative to the baseline's
+#: measurement of the same (app, rounds) entry.
+MAX_SCALE_SOLVE_REGRESSION = 1.5
 
 
 def evaluate_gate(suite, baseline):
@@ -103,9 +126,92 @@ def evaluate_gate(suite, baseline):
             f"(baseline {base_total * 1e3:.2f}ms, limit "
             f"{limit * 1e3:.2f}ms)"
         )
+    elif not suite["apps"] and suite.get("scale_apps"):
+        lines.append(
+            "SKIP: scale-only run, no small-tier apps to compare against "
+            "the baseline"
+        )
     else:
         ok = False
         lines.append("FAIL: no apps in common with the baseline suite")
+
+    # Small tier: revised cold solve within 1.15x of dense, in AGGREGATE
+    # over the benchmarked apps — each individual solve is a few ms,
+    # where per-app ratios are scheduler noise, not signal.
+    timed = [
+        e
+        for e in suite["apps"]
+        if "solve_revised_s" in e and "solve_dense_tableau_s" in e
+    ]
+    if timed:
+        revised_total = sum(e["solve_revised_s"] for e in timed)
+        dense_total = sum(e["solve_dense_tableau_s"] for e in timed)
+        limit = REVISED_SMALL_MAX_RATIO * dense_total
+        passed = revised_total <= limit
+        ok = ok and passed
+        lines.append(
+            f"{'PASS' if passed else 'FAIL'}: revised cold solve over "
+            f"{len(timed)} small app(s) {revised_total * 1e3:.2f}ms "
+            f"(dense {dense_total * 1e3:.2f}ms, limit {limit * 1e3:.2f}ms "
+            f"= {REVISED_SMALL_MAX_RATIO:.2f}x)"
+        )
+
+    # Scale tier: per (app, rounds) entry, the revised simplex must
+    # finish inside its budget, beat the dense tableau (falling back to
+    # the baseline's dense measurement when the fresh run skipped it —
+    # a capped dense time is a lower bound, so "revised <= capped dense"
+    # holds a fortiori), and stay within MAX_SCALE_SOLVE_REGRESSION of
+    # the baseline's revised time.
+    base_scale = {
+        (e["app_id"], e.get("rounds")): e
+        for e in baseline.get("scale_apps", [])
+    }
+    for entry in suite.get("scale_apps", []):
+        label = f"{entry['app_id']} (rounds={entry.get('rounds')})"
+        backends = entry.get("backends", {})
+        revised = backends.get("revised")
+        if revised is None:
+            ok = False
+            lines.append(f"FAIL: {label} has no revised-simplex run")
+            continue
+        if revised.get("capped"):
+            ok = False
+            lines.append(
+                f"FAIL: {label} revised cold solve blew its "
+                f"{revised['solve_s']:.0f}s budget"
+            )
+            continue
+        base_entry = base_scale.get((entry["app_id"], entry.get("rounds")))
+        base_backends = (base_entry or {}).get("backends", {})
+        dense, dense_source = backends.get("dense_tableau"), "fresh"
+        if dense is None:
+            dense, dense_source = base_backends.get("dense_tableau"), (
+                "baseline"
+            )
+        if dense is None:
+            lines.append(
+                f"SKIP: {label} has no dense-tableau reference (fresh or "
+                f"baseline); revised-vs-dense not checked"
+            )
+        else:
+            passed = revised["solve_s"] <= dense["solve_s"]
+            ok = ok and passed
+            capped = " (capped)" if dense.get("capped") else ""
+            lines.append(
+                f"{'PASS' if passed else 'FAIL'}: {label} revised cold "
+                f"solve {revised['solve_s']:.1f}s <= {dense_source} dense "
+                f"{dense['solve_s']:.1f}s{capped}"
+            )
+        base_revised = base_backends.get("revised")
+        if base_revised is not None and not base_revised.get("capped"):
+            limit = MAX_SCALE_SOLVE_REGRESSION * base_revised["solve_s"]
+            passed = revised["solve_s"] <= limit
+            ok = ok and passed
+            lines.append(
+                f"{'PASS' if passed else 'FAIL'}: {label} revised cold "
+                f"solve {revised['solve_s']:.1f}s vs baseline "
+                f"{base_revised['solve_s']:.1f}s (limit {limit:.1f}s)"
+            )
     return ok, lines
 
 
@@ -119,9 +225,31 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
     parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--tier",
+        choices=("small", "scale", "both"),
+        default="small",
+        help="which benchmark tier(s) to run; with 'both', --apps "
+        "selects small-tier apps and every registered scale app runs",
+    )
+    parser.add_argument(
+        "--budget-s",
+        type=float,
+        default=DEFAULT_SCALE_BUDGET_S,
+        help="wall-clock cap per scale-tier cold solve (exceeders are "
+        "recorded at the cap with capped:true)",
+    )
+    parser.add_argument(
+        "--scale-backends",
+        nargs="*",
+        choices=sorted(SCALE_BACKENDS),
+        default=None,
+        help="scale-tier backends to time (default: all)",
+    )
     parser.add_argument(
         "--output",
-        default=os.path.join(REPO_ROOT, "BENCH_PR3.json"),
+        default=os.path.join(REPO_ROOT, "BENCH_PR5.json"),
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -139,7 +267,29 @@ def main(argv=None) -> int:
         parser.error("--gate requires --baseline")
 
     started = time.time()
-    suite = run_suite(args.apps, rounds=args.rounds, repeats=args.repeats)
+    if args.tier in ("small", "both"):
+        suite = run_suite(
+            args.apps,
+            rounds=args.rounds,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+    else:
+        suite = {
+            "benchmark": "fastpath",
+            "rounds": args.rounds,
+            "repeats": args.repeats,
+            "seed": args.seed,
+            "apps": [],
+        }
+    if args.tier in ("scale", "both"):
+        suite["scale_apps"] = run_scale_suite(
+            args.apps if args.tier == "scale" else None,
+            rounds=args.rounds,
+            seed=args.seed,
+            budget_s=args.budget_s,
+            backend_keys=args.scale_backends,
+        )
     suite["meta"] = {
         "generated_unix": round(started, 3),
         "wall_clock_s": round(time.time() - started, 3),
@@ -147,14 +297,31 @@ def main(argv=None) -> int:
         "platform": platform.platform(),
         "commit": _git_commit(),
     }
+    # allow_nan=False: inf/nan are not valid JSON, and a speedup that
+    # divides by a ~0 timing would otherwise poison the baseline for
+    # every later --gate run (bench_fastpath clamps denominators, so a
+    # violation here is a bug in a new metric).
     with open(args.output, "w", encoding="utf-8") as fp:
-        json.dump(suite, fp, indent=2, sort_keys=True)
+        json.dump(suite, fp, indent=2, sort_keys=True, allow_nan=False)
         fp.write("\n")
 
     for entry in suite["apps"]:
         print(
             f"{entry['app_id']}: extract {entry['extract_speedup']:.1f}x, "
             f"re-solve {entry['resolve_speedup']:.1f}x"
+        )
+    for entry in suite.get("scale_apps", []):
+        solves = ", ".join(
+            f"{key} "
+            + (
+                f">={run['solve_s']:.0f}s (capped)"
+                if run.get("capped")
+                else f"{run['solve_s']:.1f}s"
+            )
+            for key, run in entry["backends"].items()
+        )
+        print(
+            f"{entry['app_id']} (scale, rounds={entry['rounds']}): {solves}"
         )
     print(f"wrote {args.output}")
 
