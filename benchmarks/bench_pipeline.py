@@ -40,9 +40,9 @@ def test_full_pipeline_parallel(benchmark):
     config = SherlockConfig(rounds=3, seed=0)
     baseline = _canonical(repro.run("App-2", config))
     with ExecutionRuntime(workers=4) as runtime:
-        repro.run("App-2", config, runtime=runtime)  # warm the pool up
+        repro.run("App-2", config, engine=runtime)  # warm the pool up
 
-        report = benchmark(lambda: repro.run("App-2", config, runtime=runtime))
+        report = benchmark(lambda: repro.run("App-2", config, engine=runtime))
     assert _canonical(report) == baseline
 
 

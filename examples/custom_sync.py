@@ -10,7 +10,8 @@ from window evidence, with zero annotations.
 Run:  python examples/custom_sync.py
 """
 
-from repro import Sherlock, SherlockConfig
+import repro
+from repro import SherlockConfig
 from repro.sim import (
     AppContext,
     AppInfo,
@@ -86,7 +87,7 @@ def main() -> None:
         tests=[UnitTest("Demo.Tests::TurnstileGate", turnstile_test)],
         ground_truth=GroundTruth(),
     )
-    report = Sherlock(app, SherlockConfig(rounds=3, seed=2)).run()
+    report = repro.run(app, SherlockConfig(rounds=3, seed=2))
 
     print(report.describe())
     print("\nInferred synchronizations:")

@@ -11,7 +11,8 @@ propagates — and the inference locks in.
 Run:  python examples/feedback_demo.py
 """
 
-from repro import Sherlock, SherlockConfig
+import repro
+from repro import SherlockConfig
 from repro.sim import (
     AppContext,
     AppInfo,
@@ -104,7 +105,7 @@ def main() -> None:
         tests=[make_test()],
         ground_truth=GroundTruth(),
     )
-    report = Sherlock(app, SherlockConfig(rounds=3, seed=4)).run()
+    report = repro.run(app, SherlockConfig(rounds=3, seed=4))
 
     for round_result in report.rounds:
         releases = sorted(

@@ -9,7 +9,8 @@ whatsoever.
 Run:  python examples/quickstart.py
 """
 
-from repro import Sherlock, SherlockConfig
+import repro
+from repro import SherlockConfig
 from repro.sim import (
     AppContext,
     AppInfo,
@@ -81,7 +82,7 @@ def main() -> None:
         ground_truth=GroundTruth(),
     )
     config = SherlockConfig(rounds=3, seed=1)
-    report = Sherlock(app, config).run()
+    report = repro.run(app, config)
 
     print(report.describe())
     print("\nInferred releases:")

@@ -12,7 +12,8 @@ Run:  python examples/race_detection.py [App-7]
 
 import sys
 
-from repro import Sherlock, SherlockConfig, get_application
+import repro
+from repro import SherlockConfig, get_application
 from repro.racedet import detect_races, manual_spec, sherlock_spec
 
 
@@ -20,7 +21,7 @@ def main() -> None:
     app_id = sys.argv[1] if len(sys.argv) > 1 else "App-7"
     app = get_application(app_id)
     print(f"Running SherLock on {app_id} ({app.name})...")
-    report = Sherlock(app, SherlockConfig(rounds=3, seed=0)).run()
+    report = repro.run(app, SherlockConfig(rounds=3, seed=0))
     print(report.describe())
 
     manual = detect_races(app, manual_spec(app), seed=0)

@@ -24,19 +24,24 @@ Quickstart::
 
     import repro
 
-    report = repro.run("App-2", workers=4, cache=True)
+    report = repro.run("App-2", engine="process:4", cache=True)
     for sync in sorted(report.final.syncs, key=lambda s: s.display()):
         print(sync.display())
     print(report.metrics.describe())   # phase timings, cache hits
 
-``workers`` fans test execution out across a process pool; ``cache``
-memoizes observed rounds under ``.repro_cache/``.  Both are guaranteed
-not to change results: serial, parallel, and warm-cache runs serialize
-byte-identically.
+or, from async code (``engine="async"`` fan-out by default)::
+
+    report = await repro.arun("App-2", cache=True)
+
+``engine`` picks how unit-test jobs execute ("serial", "process[:N]"
+pool fan-out, "async[:N]" asyncio tasks with bounded concurrency);
+``cache`` memoizes observed rounds under ``.repro_cache/`` (or
+``"memory"`` for an LRU-only store).  Neither changes results: all
+engines and warm-cache runs serialize byte-identically.
 """
 
 from . import fuzz
-from .api import run
+from .api import arun, run
 from .apps import all_applications, app_ids, get_application
 from .core import (
     InferenceResult,
@@ -46,13 +51,25 @@ from .core import (
     run_sherlock,
 )
 from .racedet import detect_races, manual_spec, sherlock_spec
-from .runtime import ExecutionRuntime, RunMetrics, TraceCache
+from .runtime import (
+    AsyncEngine,
+    Engine,
+    ExecutionRuntime,
+    ProcessEngine,
+    RunMetrics,
+    SerialEngine,
+    TraceCache,
+)
 from .trace import OpRef, OpType, Role, SyncOp, TraceEvent, TraceLog
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "AsyncEngine",
+    "Engine",
     "ExecutionRuntime",
+    "ProcessEngine",
+    "SerialEngine",
     "InferenceResult",
     "OpRef",
     "OpType",
@@ -67,6 +84,7 @@ __all__ = [
     "TraceLog",
     "all_applications",
     "app_ids",
+    "arun",
     "detect_races",
     "fuzz",
     "get_application",

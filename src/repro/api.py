@@ -1,14 +1,23 @@
-"""The one-call public entry point: :func:`repro.run`.
+"""The one-call public entry points: :func:`repro.run` / :func:`repro.arun`.
 
-``repro.run("App-2", workers=4, cache=True)`` resolves the application,
-builds an :class:`~repro.runtime.engine.ExecutionRuntime` (process pool +
-trace cache), runs the full multi-round SherLock pipeline, and returns
-the :class:`~repro.core.pipeline.SherlockReport`.
+``repro.run("App-2", engine="process:4", cache=True)`` resolves the
+application, builds an :class:`~repro.runtime.engine.ExecutionRuntime`
+(pluggable engine + trace cache), runs the full multi-round SherLock
+pipeline, and returns the :class:`~repro.core.pipeline.SherlockReport`.
+``repro.arun`` is the asyncio-native twin (``await repro.arun("App-2")``)
+and defaults to the async engine; both produce byte-identical reports
+for the same inputs regardless of engine.
+
+The legacy ``workers=`` / ``runtime=`` kwargs of :func:`run` are folded
+into the ``engine=`` spec (``workers=4`` ≡ ``engine="process:4"``, a
+pre-built runtime is passed as ``engine=`` directly); they keep working
+for one release and emit :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Optional, Union
 
 from .apps.registry import get_application
@@ -16,17 +25,24 @@ from .core.config import SherlockConfig
 from .core.pipeline import Sherlock, SherlockReport
 from .runtime.cache import DEFAULT_CACHE_DIR, TraceCache
 from .runtime.engine import ExecutionRuntime
+from .runtime.engines import Engine
 from .sim.program import Application
 
 CacheSpec = Union[None, bool, str, "os.PathLike[str]", TraceCache]
 
+#: ``engine=`` accepts a spec string ("serial" | "process[:N]" |
+#: "async[:N]"), a live :class:`Engine`, or a caller-owned
+#: :class:`ExecutionRuntime` (used as-is and kept open).
+RunEngineSpec = Union[None, str, Engine, ExecutionRuntime]
+
 
 def coerce_cache(cache: CacheSpec) -> Optional[TraceCache]:
-    """Interpret the ``cache=`` argument of :func:`run`.
+    """Interpret the ``cache=`` argument of :func:`run` / :func:`arun`.
 
     ``None``/``False`` → no caching; ``True`` → on-disk store under
-    ``.repro_cache/``; a path → on-disk store there; a
-    :class:`TraceCache` is used as-is (sharable across calls).
+    ``.repro_cache/``; ``"memory"`` → in-process LRU only (no disk
+    store); any other path → on-disk store there; a :class:`TraceCache`
+    is used as-is (sharable across calls).
     """
     if cache is None or cache is False:
         return None
@@ -34,7 +50,66 @@ def coerce_cache(cache: CacheSpec) -> Optional[TraceCache]:
         return TraceCache(DEFAULT_CACHE_DIR)
     if isinstance(cache, TraceCache):
         return cache
+    if isinstance(cache, str) and cache == "memory":
+        return TraceCache()
     return TraceCache(os.fspath(cache))
+
+
+def _resolve_app(app_or_id: Union[Application, str]) -> Application:
+    return (
+        get_application(app_or_id)
+        if isinstance(app_or_id, str)
+        else app_or_id
+    )
+
+
+def _shim_legacy_kwargs(
+    engine: RunEngineSpec,
+    workers: Optional[int],
+    runtime: Optional[ExecutionRuntime],
+) -> RunEngineSpec:
+    """Map the deprecated ``workers=`` / ``runtime=`` kwargs onto the
+    ``engine=`` spec (one release of back-compat, warning once per call
+    site)."""
+    if runtime is not None:
+        if engine is not None:
+            raise TypeError(
+                "pass either engine= or the deprecated runtime=, not both"
+            )
+        warnings.warn(
+            "repro.run(runtime=...) is deprecated; pass the runtime as "
+            "engine= instead (repro.run(..., engine=runtime))",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        engine = runtime
+    if workers is not None:
+        if engine is not None:
+            raise TypeError(
+                "pass either engine= or the deprecated workers=, not both"
+            )
+        warnings.warn(
+            "repro.run(workers=N) is deprecated; use "
+            "engine='process:N' (or engine='serial') instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        engine = "serial" if workers == 1 else f"process:{workers}"
+    return engine
+
+
+def _config_engine_spec(
+    engine: RunEngineSpec,
+    config: Optional[SherlockConfig],
+    default: str = "auto",
+) -> Union[str, Engine]:
+    """The engine spec to build a runtime from: the explicit ``engine=``
+    argument, else ``config.engine``, else ``default``."""
+    if engine is not None:
+        return engine  # type: ignore[return-value]  (never a runtime here)
+    if config is not None and config.engine != "auto":
+        return config.engine
+    return default
 
 
 def run(
@@ -42,11 +117,16 @@ def run(
     config: Optional[SherlockConfig] = None,
     *,
     rounds: Optional[int] = None,
-    workers: int = 1,
+    engine: RunEngineSpec = None,
     cache: CacheSpec = None,
+    workers: Optional[int] = None,
     runtime: Optional[ExecutionRuntime] = None,
 ) -> SherlockReport:
     """Run SherLock on an application and return its report.
+
+    Fully synchronous for callers — no event loop required (and a
+    running one is tolerated: the pipeline then runs on a private loop
+    in a helper thread).  Results are byte-identical across engines.
 
     Parameters
     ----------
@@ -58,26 +138,59 @@ def run(
     rounds:
         Overrides ``config.rounds`` (the report's config reflects what
         actually ran).
-    workers:
-        Worker processes for test execution; ``1`` runs serially.
-        Results are byte-identical either way.
+    engine:
+        How to execute unit-test jobs: ``"serial"`` (default),
+        ``"process[:N]"`` (process pool), ``"async[:N]"`` (asyncio
+        fan-out with bounded concurrency), a live
+        :class:`~repro.runtime.engines.Engine`, or a pre-built
+        :class:`ExecutionRuntime` (used as-is and kept open; its cache
+        wins over ``cache=``).  ``None`` falls back to
+        ``config.engine``.
     cache:
-        ``True`` / a directory path / a :class:`TraceCache` to memoize
-        observed rounds; ``None`` disables caching.
+        ``True`` / ``"memory"`` / a directory path / a
+        :class:`TraceCache` to memoize observed rounds; ``None``
+        disables caching.
+    workers:
+        Deprecated — ``workers=N`` is ``engine="process:N"``.
     runtime:
-        A pre-built :class:`ExecutionRuntime` to use (and keep open);
-        overrides ``workers``/``cache``.  Without one, a runtime is
-        created for this call and shut down afterwards.
+        Deprecated — pass the runtime as ``engine=`` instead.
     """
-    app = (
-        get_application(app_or_id)
-        if isinstance(app_or_id, str)
-        else app_or_id
-    )
-    if runtime is not None:
-        return Sherlock(app, config, runtime=runtime).run(rounds=rounds)
-    with ExecutionRuntime(workers=workers, cache=coerce_cache(cache)) as rt:
+    engine = _shim_legacy_kwargs(engine, workers, runtime)
+    app = _resolve_app(app_or_id)
+    if isinstance(engine, ExecutionRuntime):
+        return Sherlock(app, config, runtime=engine).run(rounds=rounds)
+    spec = _config_engine_spec(engine, config)
+    with ExecutionRuntime(engine=spec, cache=coerce_cache(cache)) as rt:
         return Sherlock(app, config, runtime=rt).run(rounds=rounds)
 
 
-__all__ = ["coerce_cache", "run"]
+async def arun(
+    app_or_id: Union[Application, str],
+    config: Optional[SherlockConfig] = None,
+    *,
+    rounds: Optional[int] = None,
+    engine: RunEngineSpec = None,
+    cache: CacheSpec = None,
+) -> SherlockReport:
+    """Async-native :func:`run`: ``await repro.arun("App-2")``.
+
+    Runs on the caller's event loop; trace-cache disk I/O and job
+    fan-out happen in worker threads so the loop stays responsive.
+    Defaults to the async engine (``engine="async"``) when neither the
+    ``engine=`` argument nor ``config.engine`` chooses one — byte-for-
+    byte the same report either way.
+    """
+    app = _resolve_app(app_or_id)
+    if isinstance(engine, ExecutionRuntime):
+        return await Sherlock(app, config, runtime=engine).arun(
+            rounds=rounds
+        )
+    spec = _config_engine_spec(engine, config, default="async")
+    rt = ExecutionRuntime(engine=spec, cache=coerce_cache(cache))
+    try:
+        return await Sherlock(app, config, runtime=rt).arun(rounds=rounds)
+    finally:
+        rt.close()
+
+
+__all__ = ["arun", "coerce_cache", "run"]

@@ -88,6 +88,12 @@ def _add_shared_options(parser: argparse.ArgumentParser, suppress: bool) -> None
         help="worker processes for test execution (default 1 = serial)",
     )
     parser.add_argument(
+        "--engine", choices=["serial", "process", "async"],
+        default=default(None),
+        help="execution engine (default: serial, or a process pool when "
+        "--workers > 1); --workers sizes process/async concurrency",
+    )
+    parser.add_argument(
         "--cache", nargs="?", const=DEFAULT_CACHE_DIR, default=default(None),
         metavar="DIR",
         help="memoize observed rounds on disk (default dir: "
@@ -177,6 +183,7 @@ def _build_parser() -> argparse.ArgumentParser:
 def _print_stats(report, runtime: ExecutionRuntime) -> None:
     print("-- stats " + "-" * 31)
     print(report.metrics.describe())
+    print(f"engine: {runtime.engine!r}")
     if runtime.cache is not None:
         print(f"trace cache: {runtime.cache!r}")
 
@@ -184,7 +191,7 @@ def _print_stats(report, runtime: ExecutionRuntime) -> None:
 def _cmd_infer(args, runtime: ExecutionRuntime) -> int:
     app = get_application(args.app_id)
     config = SherlockConfig(rounds=args.rounds, seed=args.seed)
-    report = run(app, config, runtime=runtime)
+    report = run(app, config, engine=runtime)
     gt = app.ground_truth
     print(report.describe())
     for sync in sorted(report.final.syncs, key=lambda s: s.display()):
@@ -203,7 +210,7 @@ def _cmd_infer(args, runtime: ExecutionRuntime) -> int:
 def _cmd_races(args, runtime: ExecutionRuntime) -> int:
     app = get_application(args.app_id)
     config = SherlockConfig(rounds=args.rounds, seed=args.seed)
-    report = run(app, config, runtime=runtime)
+    report = run(app, config, engine=runtime)
     manual = detect_races(app, manual_spec(app), seed=args.seed)
     inferred = detect_races(app, sherlock_spec(report.final), seed=args.seed)
     print(f"{'detector':12s} {'true':>5s} {'false':>6s}")
@@ -228,6 +235,7 @@ def _cmd_fuzz(args, runtime: ExecutionRuntime) -> int:
         rounds=args.rounds,
         policy=args.policy,
         workers=args.workers,
+        engine=args.engine,
         replay_every=args.replay_every,
         oracles=not args.no_oracles,
     )
@@ -256,7 +264,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         return 0
     with ExecutionRuntime(
-        workers=args.workers, cache=coerce_cache(args.cache)
+        workers=args.workers,
+        cache=coerce_cache(args.cache),
+        engine=args.engine,
     ) as runtime:
         # Experiment regenerators pick this runtime up via run_all().
         common.set_default_runtime(runtime)

@@ -69,6 +69,13 @@ class SherlockConfig:
     #: Kernel scheduling-policy spec: "random" (uniform, the default) or
     #: "pct"/"pct:<change-prob>" (priority-based schedule exploration).
     schedule_policy: str = "random"
+    #: Execution-engine spec used when no runtime/engine is supplied at
+    #: the call site: "auto" (serial for ``repro.run``, async for
+    #: ``repro.arun``) | "serial" | "process[:N]" | "async[:N]".
+    #: Execution-only: engines never change results (byte-identical
+    #: reports), so this is not part of trace-cache keys or serialized
+    #: reports.
+    engine: str = "auto"
 
     # -- hypothesis & property toggles (Table 5) -----------------------------------
     hyp_mostly_protected: bool = True
@@ -128,6 +135,10 @@ class SherlockConfig:
         if self.delay < 0:
             raise ValueError("delay must be non-negative")
         build_policy(self.schedule_policy)  # raises ValueError when unknown
+        # Deferred import: runtime.engines itself imports core modules.
+        from ..runtime.engines import validate_engine_spec
+
+        validate_engine_spec(self.engine)  # raises ValueError when unknown
 
 
 #: Ablation settings used by Table 5, keyed by the paper's row labels.

@@ -4,9 +4,9 @@ A campaign sweeps scheduler seeds for one or more apps: each *schedule*
 is one full Observer → Solver → Perturber pipeline run under a distinct
 ``(seed, policy)``, with every observed trace fed through the
 :mod:`~repro.fuzz.sanitizer` and the final report through the
-:mod:`~repro.fuzz.oracles`.  Schedules fan out across the PR-1
-:class:`~repro.runtime.engine.ExecutionRuntime` process pool
-(``workers``), and a *permutation pass* re-executes a sample of
+:mod:`~repro.fuzz.oracles`.  Schedules fan out across an
+:class:`~repro.runtime.engine.ExecutionRuntime` engine (``workers`` /
+``engine``), and a *permutation pass* re-executes a sample of
 schedules in reverse order afterwards, checking that trace digests and
 serialized reports come back byte-identical (runs must not leak state
 into each other, and report content must not depend on campaign order).
@@ -50,6 +50,10 @@ class CampaignConfig:
     rounds: int = 3
     policy: str = "random"
     workers: int = 1
+    #: Execution-engine spec for the schedule fan-out ("serial" |
+    #: "process[:N]" | "async[:N]"); ``None`` derives from ``workers``
+    #: (process pool when > 1).  ``workers`` sizes an unsized spec.
+    engine: Optional[str] = None
     #: λ-stability probe half-width (±fraction of config.lam).  ±1% is
     #: the empirically stable band across all 8 apps at rounds=3; App-4
     #: and App-8 carry LP probabilities near the 0.9 threshold, so wider
@@ -70,6 +74,10 @@ class CampaignConfig:
             raise ValueError("replay_every must be >= 0")
         if not self.app_ids:
             raise ValueError("campaign needs at least one app id")
+        if self.engine is not None:
+            from ..runtime.engines import validate_engine_spec
+
+            validate_engine_spec(self.engine)
         # Resolves aliases eagerly so typos fail before any execution.
         self.app_ids = [resolve_app_id(a) for a in self.app_ids]
         SherlockConfig(schedule_policy=self.policy)  # spec check
@@ -229,7 +237,8 @@ class CampaignReport:
             f"fuzz campaign: {len(self.results)} schedules over "
             f"{len(self.config.app_ids)} app(s), policy="
             f"{self.config.policy}, rounds={self.config.rounds}, "
-            f"workers={self.config.workers}"
+            f"workers={self.config.workers}, "
+            f"engine={self.config.engine or 'auto'}"
         ]
         for app_id, row in self.per_app().items():
             lines.append(
@@ -276,7 +285,9 @@ def run_campaign(
     ]
 
     owned = runtime is None
-    rt = runtime or ExecutionRuntime(workers=config.workers)
+    rt = runtime or ExecutionRuntime(
+        workers=config.workers, engine=config.engine
+    )
     try:
         results = rt.map_jobs(run_schedule_job, jobs)
         # Permutation pass: replay a sample in reverse order; equivalent

@@ -1,18 +1,23 @@
-"""Execution runtime: process-pool fan-out, trace caching, run metrics.
+"""Execution runtime: pluggable engines, trace caching, run metrics.
 
 The runtime layer sits between the SherLock pipeline and the simulator:
 
-* :class:`ExecutionRuntime` — executes Observer rounds serially or across
-  a process pool, consulting a trace cache first;
+* :class:`ExecutionRuntime` — consults a trace cache, then delegates
+  round execution to a pluggable engine; sync and async surfaces;
+* :class:`Engine` — the engine interface, with
+  :class:`SerialEngine` / :class:`ProcessEngine` / :class:`AsyncEngine`
+  implementations (``engine="serial" | "process" | "async"``);
 * :class:`TraceCache` — content-addressed memoization of observed rounds
   (in-memory LRU + optional on-disk JSON store under ``.repro_cache/``);
-* :class:`RunMetrics` — per-phase timings and cache/LP counters surfaced
-  on round results and reports.
+* :class:`RunMetrics` — per-phase timings and cache/LP/engine counters
+  surfaced on round results and reports.
 
-Parallel and cached runs are guaranteed to serialize byte-identically to
-serial cold runs; see DESIGN.md § "Runtime".
+All engines and cached runs are guaranteed to serialize byte-identically
+to serial cold runs; see DESIGN.md § "Runtime" and § "Engines and the
+async runtime".
 """
 
+from ._sync import _run_sync
 from .cache import (
     CACHE_FORMAT_VERSION,
     DEFAULT_CACHE_DIR,
@@ -21,18 +26,38 @@ from .cache import (
     round_key,
     thaw_delay_plan,
 )
-from .engine import ExecutionRuntime, ObserveOutcome, execute_test_payload
+from .engine import ExecutionRuntime, ObserveOutcome
+from .engines import (
+    AsyncEngine,
+    Engine,
+    EngineMetrics,
+    ProcessEngine,
+    SerialEngine,
+    coerce_engine,
+    execute_test_payload,
+    parse_engine_spec,
+    validate_engine_spec,
+)
 from .metrics import RunMetrics
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
     "DEFAULT_CACHE_DIR",
+    "AsyncEngine",
+    "Engine",
+    "EngineMetrics",
     "ExecutionRuntime",
     "ObserveOutcome",
+    "ProcessEngine",
     "RunMetrics",
+    "SerialEngine",
     "TraceCache",
+    "_run_sync",
+    "coerce_engine",
     "execute_test_payload",
     "freeze_delay_plan",
+    "parse_engine_spec",
     "round_key",
     "thaw_delay_plan",
+    "validate_engine_spec",
 ]

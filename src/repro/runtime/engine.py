@@ -1,43 +1,39 @@
-"""Parallel, cache-aware execution engine for Observer rounds.
+"""Cache-aware execution runtime over a pluggable engine.
 
-The engine owns *how* an application's unit tests get executed for one
-observed round: serially in-process (``workers=1``), fanned out across a
-:class:`concurrent.futures.ProcessPoolExecutor`, or replayed from a
-:class:`~repro.runtime.cache.TraceCache` without executing anything.
+The runtime owns *whether* an application's unit tests get executed for
+one observed round — consulting a
+:class:`~repro.runtime.cache.TraceCache` first and replaying the round
+without executing anything on a hit — and delegates *how* they execute
+to a pluggable :class:`~repro.runtime.engines.Engine`: serially
+in-process, fanned out across a process pool, or over asyncio tasks
+with bounded concurrency (``engine="serial" | "process" | "async"``).
 
-Determinism is the contract.  Every unit test runs on a fresh kernel
-seeded by ``(config.seed, test qname, round index)`` alone, and per-test
-context objects are built fresh per execution, so a worker process
-reproduces exactly the trace the serial path would produce — parallel,
-cached, and serial runs yield byte-identical serialized reports (absolute
-heap addresses differ across processes, but SherLock only ever compares
-addresses *within* one test's trace and never serializes them).
+Determinism is the contract: engines may change how fast traces are
+produced, never what is inferred — serial, process, async, and cached
+runs yield byte-identical serialized reports (see
+:mod:`repro.runtime.engines`).
+
+Both a synchronous surface (``observe_round`` / ``map_jobs``, used by
+``repro.run()``) and an asyncio-native one (``aobserve_round`` /
+``amap_jobs``, used by ``repro.arun()``) are exposed; the async path
+additionally keeps cache disk I/O off the event loop.
 """
 
 from __future__ import annotations
 
-import warnings
-from concurrent.futures import Executor, ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
 
-from ..apps.registry import get_application
 from ..core.config import SherlockConfig
-from ..core.observer import Observer
 from ..sim.program import Application
-from ..sim.runner import RunOptions, TestExecution, run_unit_test
-from .cache import (
-    DelayPlan,
-    FrozenPlan,
-    TraceCache,
-    freeze_delay_plan,
-    round_key,
-    thaw_delay_plan,
+from ..sim.runner import TestExecution
+from .cache import DelayPlan, TraceCache, round_key
+from .engines import (
+    Engine,
+    EngineSpec,
+    coerce_engine,
+    execute_test_payload,  # noqa: F401  (re-export: worker entry point)
 )
-
-#: (app_id, config fields, round index, frozen plan, test qname)
-WorkerPayload = Tuple[str, Dict[str, Any], int, FrozenPlan, str]
 
 
 @dataclass
@@ -49,58 +45,54 @@ class ObserveOutcome:
     #: Worker count that actually executed the round (1 on cache hits and
     #: serial/fallback paths).
     workers_used: int = 1
+    #: Name of the engine that produced the round ("cache" on hits).
+    engine: str = "serial"
+    #: Per-round engine counters (see
+    #: :class:`~repro.runtime.engines.EngineMetrics`); zero on cache hits.
+    jobs_cancelled: int = 0
+    concurrency_hwm: int = 0
+    await_s: float = 0.0
 
     @property
     def events_observed(self) -> int:
         return sum(len(e.log) for e in self.executions)
 
 
-def execute_test_payload(payload: WorkerPayload) -> TestExecution:
-    """Run one unit test from plain data (the worker-process entry point).
-
-    Rebuilds the application, config, and delay plan from picklable
-    primitives so nothing process-specific crosses the pool boundary.
-    """
-    app_id, config_kwargs, round_index, frozen_plan, test_qname = payload
-    config = SherlockConfig(**config_kwargs)
-    app = get_application(app_id)
-    for test in app.tests:
-        if test.qname == test_qname:
-            break
-    else:
-        raise KeyError(f"{app_id} has no unit test {test_qname!r}")
-    observer = Observer(config)
-    options = RunOptions(
-        seed=config.seed,
-        run_id=round_index,
-        op_cost=config.op_cost,
-        delay_plan=thaw_delay_plan(frozen_plan),
-        event_filter=observer.event_filter,
-        max_steps=config.max_steps,
-        schedule_policy=config.schedule_policy,
-    )
-    return run_unit_test(app, test, options)
-
-
 class ExecutionRuntime:
-    """Shared execution engine: process pool + trace cache.
+    """Shared execution runtime: pluggable engine + trace cache.
 
     One runtime can serve many :class:`~repro.core.pipeline.Sherlock`
     instances (the experiment regenerators share one across all 8 apps),
-    amortizing pool start-up and letting every caller reuse cached rounds.
+    amortizing pool start-up and letting every caller reuse cached
+    rounds.
+
+    Lifecycle: ``close()`` is idempotent; once closed, submitting work
+    raises ``RuntimeError`` immediately instead of hanging on a dead
+    pool.  A ``KeyboardInterrupt``/``SystemExit`` escaping mid-round
+    tears the engine down before propagating, so no worker processes
+    outlive an aborted run.
     """
 
     def __init__(
         self,
         workers: int = 1,
         cache: Optional[TraceCache] = None,
+        engine: EngineSpec = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        self.workers = workers
+        self.engine = coerce_engine(engine, default_workers=workers)
         self.cache = cache
-        self._pool: Optional[Executor] = None
-        self._pool_broken = False
+        self._closed = False
+
+    @property
+    def workers(self) -> int:
+        """Concurrency of the underlying engine (compat alias)."""
+        return self.engine.concurrency
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # -- core API ------------------------------------------------------------
 
@@ -112,18 +104,46 @@ class ExecutionRuntime:
         delay_plan: Optional[DelayPlan] = None,
     ) -> ObserveOutcome:
         """Traces for one round: cached if seen before, else executed."""
+        self._check_open()
         plan = dict(delay_plan or {})
         key = self.round_key(app.app_id, config, round_index, plan)
         if self.cache is not None:
             cached = self.cache.get(key)
             if cached is not None:
-                return ObserveOutcome(cached, cache_hit=True)
-        executions, workers_used = self._execute_round(
-            app, config, round_index, plan
-        )
+                return ObserveOutcome(cached, cache_hit=True, engine="cache")
+        before = self.engine.metrics.snapshot()
+        with self._teardown_on_interrupt():
+            executions, workers_used = self.engine.execute_round(
+                app, config, round_index, plan
+            )
         if self.cache is not None:
             self.cache.put(key, executions)
-        return ObserveOutcome(executions, workers_used=workers_used)
+        return self._outcome(executions, workers_used, before)
+
+    async def aobserve_round(
+        self,
+        app: Application,
+        config: SherlockConfig,
+        round_index: int,
+        delay_plan: Optional[DelayPlan] = None,
+    ) -> ObserveOutcome:
+        """Async :meth:`observe_round`: cache disk I/O and job fan-out
+        both happen off the event loop."""
+        self._check_open()
+        plan = dict(delay_plan or {})
+        key = self.round_key(app.app_id, config, round_index, plan)
+        if self.cache is not None:
+            cached = await self.cache.aget(key)
+            if cached is not None:
+                return ObserveOutcome(cached, cache_hit=True, engine="cache")
+        before = self.engine.metrics.snapshot()
+        with self._teardown_on_interrupt():
+            executions, workers_used = await self.engine.aexecute_round(
+                app, config, round_index, plan
+            )
+        if self.cache is not None:
+            await self.cache.aput(key, executions)
+        return self._outcome(executions, workers_used, before)
 
     @staticmethod
     def round_key(
@@ -132,7 +152,8 @@ class ExecutionRuntime:
         round_index: int,
         delay_plan: Optional[DelayPlan],
     ) -> str:
-        """Cache key of one round (only trace-determining fields)."""
+        """Cache key of one round (only trace-determining fields —
+        engine choice deliberately excluded)."""
         return round_key(
             app_id=app_id,
             seed=config.seed,
@@ -143,98 +164,64 @@ class ExecutionRuntime:
             schedule_policy=config.schedule_policy,
         )
 
-    # -- execution paths -----------------------------------------------------
-
-    def _execute_round(
-        self,
-        app: Application,
-        config: SherlockConfig,
-        round_index: int,
-        plan: DelayPlan,
-    ) -> Tuple[List[TestExecution], int]:
-        if self.workers > 1 and len(app.tests) > 1 and not self._pool_broken:
-            parallel = self._execute_parallel(app, config, round_index, plan)
-            if parallel is not None:
-                return parallel, self.workers
-        observer = Observer(config)
-        return observer.observe_round(app, round_index, dict(plan)), 1
-
-    def _execute_parallel(
-        self,
-        app: Application,
-        config: SherlockConfig,
-        round_index: int,
-        plan: DelayPlan,
-    ) -> Optional[List[TestExecution]]:
-        frozen = freeze_delay_plan(plan)
-        config_kwargs = asdict(config)
-        payloads: List[WorkerPayload] = [
-            (app.app_id, config_kwargs, round_index, frozen, test.qname)
-            for test in app.tests
-        ]
-        try:
-            pool = self._ensure_pool()
-            # map() preserves submission order, so results line up with
-            # app.tests exactly as the serial path's do.
-            return list(pool.map(execute_test_payload, payloads))
-        except (BrokenProcessPool, OSError) as exc:
-            # Pool-level failure (sandbox, OOM, dead workers): fall back
-            # to serial.  Task-level exceptions propagate unchanged — a
-            # failing test must not poison the pool for later rounds.
-            self._pool_broken = True
-            self._shutdown_pool()
-            warnings.warn(
-                f"process pool unavailable ({type(exc).__name__}: {exc}); "
-                "falling back to serial execution",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            return None
-
     # -- generic fan-out -----------------------------------------------------
 
-    def map_jobs(self, fn: Any, payloads: List[Any]) -> List[Any]:
-        """Run ``fn`` over ``payloads`` on the worker pool, in order.
+    def map_jobs(
+        self, fn: Callable[[Any], Any], payloads: List[Any]
+    ) -> List[Any]:
+        """Run ``fn`` over ``payloads`` on the engine, in order.
 
-        The campaign-level counterpart of :meth:`observe_round`'s per-test
-        fan-out: ``fn`` must be a module-level function and every payload
-        picklable.  Falls back to a serial in-process loop when the pool
-        is unavailable (sandbox, OOM) or the runtime is serial, so callers
+        The campaign-level counterpart of :meth:`observe_round`'s
+        per-test fan-out: for the process engine ``fn`` must be a
+        module-level function and every payload picklable.  Callers
         always get one result per payload, in submission order.
         """
-        if self.workers > 1 and len(payloads) > 1 and not self._pool_broken:
-            try:
-                pool = self._ensure_pool()
-                return list(pool.map(fn, payloads))
-            except (BrokenProcessPool, OSError) as exc:
-                # Same contract as _execute_parallel: only pool-level
-                # failures trigger the serial fallback; a payload that
-                # raises propagates to the caller.
-                self._pool_broken = True
-                self._shutdown_pool()
-                warnings.warn(
-                    f"process pool unavailable ({type(exc).__name__}: "
-                    f"{exc}); falling back to serial execution",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-        return [fn(payload) for payload in payloads]
+        self._check_open()
+        with self._teardown_on_interrupt():
+            return self.engine.map_jobs(fn, payloads)
 
-    def _ensure_pool(self) -> Executor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool
+    async def amap_jobs(
+        self, fn: Callable[[Any], Any], payloads: List[Any]
+    ) -> List[Any]:
+        """Async :meth:`map_jobs`."""
+        self._check_open()
+        with self._teardown_on_interrupt():
+            return await self.engine.amap_jobs(fn, payloads)
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker pool down (the cache stays usable)."""
-        self._shutdown_pool()
+        """Shut the engine down (idempotent; the cache stays usable)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.engine.close()
 
-    def _shutdown_pool(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "ExecutionRuntime is closed; create a new runtime (a "
+                "`with ExecutionRuntime(...)` block only spans its body)"
+            )
+
+    def _teardown_on_interrupt(self) -> "_TeardownOnInterrupt":
+        return _TeardownOnInterrupt(self)
+
+    def _outcome(
+        self,
+        executions: List[TestExecution],
+        workers_used: int,
+        before: Any,
+    ) -> ObserveOutcome:
+        delta = self.engine.metrics.since(before)
+        return ObserveOutcome(
+            executions,
+            workers_used=workers_used,
+            engine=self.engine.name,
+            jobs_cancelled=delta.jobs_cancelled,
+            concurrency_hwm=delta.concurrency_hwm,
+            await_s=delta.await_s,
+        )
 
     def __enter__(self) -> "ExecutionRuntime":
         return self
@@ -244,9 +231,32 @@ class ExecutionRuntime:
 
     def __repr__(self) -> str:
         return (
-            f"ExecutionRuntime(workers={self.workers}, "
+            f"ExecutionRuntime(engine={self.engine!r}, "
             f"cache={self.cache!r})"
         )
+
+
+class _TeardownOnInterrupt:
+    """Tear the engine down when an *interrupt-class* exception escapes.
+
+    Ordinary ``Exception``s (a failing unit test, a bad payload)
+    propagate with the engine left healthy — a failing job must not
+    poison the pool for later rounds (tested contract).  But a
+    ``KeyboardInterrupt``/``SystemExit`` mid-fan-out used to leak live
+    worker processes that hung interpreter shutdown; now the runtime
+    closes itself before re-raising.
+    """
+
+    def __init__(self, runtime: ExecutionRuntime) -> None:
+        self._runtime = runtime
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc is not None and not isinstance(exc, Exception):
+            self._runtime.close()
+        return False
 
 
 __all__ = ["ExecutionRuntime", "ObserveOutcome", "execute_test_payload"]

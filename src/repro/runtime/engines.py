@@ -1,0 +1,625 @@
+"""Pluggable execution engines: serial, process-pool, and asyncio-native.
+
+An :class:`Engine` owns *how* unit-test jobs get executed — the
+:class:`~repro.runtime.engine.ExecutionRuntime` owns *whether* they run at
+all (trace-cache consultation) and wires an engine into the pipeline.
+Three implementations ship:
+
+* :class:`SerialEngine` — in-process, one job at a time (the default);
+* :class:`ProcessEngine` — fan-out across a
+  ``concurrent.futures.ProcessPoolExecutor`` with a serial fallback when
+  the pool is unavailable (sandbox, OOM);
+* :class:`AsyncEngine` — asyncio tasks with semaphore-bounded concurrency
+  running jobs in worker threads, so I/O-bound stages (disk trace cache,
+  future network shards) interleave with compute on one event loop.
+
+Determinism is the shared contract.  Every unit test runs on a fresh
+kernel seeded by ``(config.seed, test qname, round index)`` alone and
+per-test context objects are built fresh per execution, so serial,
+process, and async runs yield byte-identical serialized reports (absolute
+heap-object ids differ across processes *and* across thread
+interleavings, but SherLock only ever compares ids within one test's
+trace and never serializes them).
+
+The canonical interface is async (``aexecute_round`` / ``amap_jobs``);
+the sync methods are façades over it via
+:func:`~repro.runtime._sync._run_sync`.  Engines with a natively
+synchronous hot path (serial, process) override the sync methods
+directly and bridge the *async* surface instead, so no event loop is
+created unless a caller actually asks for one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+import warnings
+from abc import ABC, abstractmethod
+from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, replace
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from ..apps.registry import get_application, resolve_app_id
+from ..core.config import SherlockConfig
+from ..core.observer import Observer
+from ..sim.program import Application, UnitTest
+from ..sim.runner import RunOptions, TestExecution, run_unit_test
+from ._sync import _run_sync
+from .cache import DelayPlan, FrozenPlan, freeze_delay_plan, thaw_delay_plan
+
+#: (app_id, config fields, round index, frozen plan, test qname)
+WorkerPayload = Tuple[str, Dict[str, Any], int, FrozenPlan, str]
+
+#: What an engine returns for one executed round.
+RoundExecutions = Tuple[List[TestExecution], int]
+
+#: Accepted ``engine=`` specs: ``None``/"auto" (pick for me), a spec
+#: string ("serial" | "process[:N]" | "async[:N]"), or an Engine.
+EngineSpec = Union[None, str, "Engine"]
+
+_ENGINE_KINDS = ("serial", "process", "async")
+
+
+def execute_test_payload(payload: WorkerPayload) -> TestExecution:
+    """Run one unit test from plain data (the worker entry point).
+
+    Rebuilds the application, config, and delay plan from picklable
+    primitives so nothing process-specific crosses the pool boundary.
+    The async engine reuses it per worker *thread* for the same
+    isolation: every job gets a private application instance.
+    """
+    app_id, config_kwargs, round_index, frozen_plan, test_qname = payload
+    config = SherlockConfig(**config_kwargs)
+    app = get_application(app_id)
+    for test in app.tests:
+        if test.qname == test_qname:
+            break
+    else:
+        raise KeyError(f"{app_id} has no unit test {test_qname!r}")
+    return _run_one_test(app, test, config, round_index, frozen_plan)
+
+
+def _run_one_test(
+    app: Application,
+    test: UnitTest,
+    config: SherlockConfig,
+    round_index: int,
+    frozen_plan: FrozenPlan,
+) -> TestExecution:
+    """Execute one unit test exactly as the serial Observer path would."""
+    observer = Observer(config)
+    options = RunOptions(
+        seed=config.seed,
+        run_id=round_index,
+        op_cost=config.op_cost,
+        delay_plan=thaw_delay_plan(frozen_plan),
+        event_filter=observer.event_filter,
+        max_steps=config.max_steps,
+        schedule_policy=config.schedule_policy,
+    )
+    return run_unit_test(app, test, options)
+
+
+def _app_registered(app: Application) -> bool:
+    """True when ``app.app_id`` resolves to a registry builder, so jobs
+    can rebuild a private instance from the id alone."""
+    try:
+        return resolve_app_id(app.app_id) == app.app_id
+    except KeyError:
+        return False
+
+
+# -- metrics -----------------------------------------------------------------
+
+
+@dataclass
+class EngineMetrics:
+    """Cumulative fan-out counters of one engine instance.
+
+    Observability only — like :class:`~repro.runtime.metrics.RunMetrics`
+    these never enter serialized reports.  Per-round deltas are computed
+    by the runtime via :meth:`snapshot` / :meth:`since`.
+    """
+
+    #: Jobs that ran to completion (cache hits never reach an engine).
+    jobs_completed: int = 0
+    #: Jobs cancelled cooperatively after a sibling failed (async only).
+    jobs_cancelled: int = 0
+    #: Most jobs ever in flight at once (1 for serial; the pool size for
+    #: process rounds that actually fanned out).
+    concurrency_hwm: int = 0
+    #: Seconds spent awaiting job fan-out (async engine only: wall time
+    #: between dispatching a batch and its last job settling).
+    await_s: float = 0.0
+
+    def snapshot(self) -> "EngineMetrics":
+        return replace(self)
+
+    def since(self, before: "EngineMetrics") -> "EngineMetrics":
+        """Counters accumulated after ``before`` was snapshotted (the
+        high-water mark is level-valued and carried over, not diffed)."""
+        return EngineMetrics(
+            jobs_completed=self.jobs_completed - before.jobs_completed,
+            jobs_cancelled=self.jobs_cancelled - before.jobs_cancelled,
+            concurrency_hwm=self.concurrency_hwm,
+            await_s=self.await_s - before.await_s,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+# -- the interface -----------------------------------------------------------
+
+
+class Engine(ABC):
+    """How jobs execute: one round's unit tests, or a generic fan-out.
+
+    Contract:
+
+    * ``aexecute_round`` / ``execute_round`` return one
+      :class:`TestExecution` per ``app.tests`` entry, in test order, plus
+      the worker count that actually executed the round;
+    * ``amap_jobs`` / ``map_jobs`` return one result per payload, in
+      submission order; a job exception propagates to the caller;
+    * results are byte-identical to the serial path's — an engine may
+      change how *fast* traces are produced, never what is inferred;
+    * ``close`` is idempotent and the engine must stay safe to close on
+      error paths (no hangs on dead workers).
+    """
+
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self) -> None:
+        self.metrics = EngineMetrics()
+
+    #: Concurrent jobs this engine runs at most (1 for serial).
+    @property
+    def concurrency(self) -> int:
+        return 1
+
+    # -- canonical async surface ---------------------------------------------
+
+    @abstractmethod
+    async def aexecute_round(
+        self,
+        app: Application,
+        config: SherlockConfig,
+        round_index: int,
+        plan: DelayPlan,
+    ) -> RoundExecutions:
+        """Execute all unit tests of one round."""
+
+    @abstractmethod
+    async def amap_jobs(
+        self, fn: Callable[[Any], Any], payloads: List[Any]
+    ) -> List[Any]:
+        """Run ``fn`` over ``payloads``, results in submission order."""
+
+    # -- sync façade ---------------------------------------------------------
+
+    def execute_round(
+        self,
+        app: Application,
+        config: SherlockConfig,
+        round_index: int,
+        plan: DelayPlan,
+    ) -> RoundExecutions:
+        return _run_sync(
+            self.aexecute_round(app, config, round_index, plan)
+        )
+
+    def map_jobs(
+        self, fn: Callable[[Any], Any], payloads: List[Any]
+    ) -> List[Any]:
+        return _run_sync(self.amap_jobs(fn, payloads))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release engine resources; safe to call more than once."""
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+# -- serial ------------------------------------------------------------------
+
+
+class SerialEngine(Engine):
+    """In-process, one job at a time — the reference implementation."""
+
+    name = "serial"
+
+    def execute_round(
+        self,
+        app: Application,
+        config: SherlockConfig,
+        round_index: int,
+        plan: DelayPlan,
+    ) -> RoundExecutions:
+        observer = Observer(config)
+        executions = observer.observe_round(app, round_index, dict(plan))
+        self._count(len(executions))
+        return executions, 1
+
+    def map_jobs(
+        self, fn: Callable[[Any], Any], payloads: List[Any]
+    ) -> List[Any]:
+        results = [fn(payload) for payload in payloads]
+        self._count(len(results))
+        return results
+
+    async def aexecute_round(
+        self,
+        app: Application,
+        config: SherlockConfig,
+        round_index: int,
+        plan: DelayPlan,
+    ) -> RoundExecutions:
+        return self.execute_round(app, config, round_index, plan)
+
+    async def amap_jobs(
+        self, fn: Callable[[Any], Any], payloads: List[Any]
+    ) -> List[Any]:
+        return self.map_jobs(fn, payloads)
+
+    def _count(self, jobs: int) -> None:
+        self.metrics.jobs_completed += jobs
+        if jobs:
+            self.metrics.concurrency_hwm = max(
+                self.metrics.concurrency_hwm, 1
+            )
+
+
+# -- process pool ------------------------------------------------------------
+
+
+class ProcessEngine(Engine):
+    """Fan-out across a process pool, with a serial fallback.
+
+    Only pool-level failures (``BrokenProcessPool``, ``OSError``: dead
+    workers, sandbox, OOM) trigger the fallback and mark the pool broken;
+    a job that raises propagates to the caller and the pool stays
+    healthy — a failing test must not poison the pool for later rounds.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 2) -> None:
+        super().__init__()
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._pool: Optional[Executor] = None
+        self._pool_broken = False
+
+    @property
+    def concurrency(self) -> int:
+        return self.workers
+
+    def execute_round(
+        self,
+        app: Application,
+        config: SherlockConfig,
+        round_index: int,
+        plan: DelayPlan,
+    ) -> RoundExecutions:
+        if (
+            self.workers > 1
+            and len(app.tests) > 1
+            and not self._pool_broken
+            and _app_registered(app)
+        ):
+            parallel = self._execute_parallel(app, config, round_index, plan)
+            if parallel is not None:
+                self._count(len(parallel), self.workers)
+                return parallel, self.workers
+        observer = Observer(config)
+        executions = observer.observe_round(app, round_index, dict(plan))
+        self._count(len(executions), 1)
+        return executions, 1
+
+    def _execute_parallel(
+        self,
+        app: Application,
+        config: SherlockConfig,
+        round_index: int,
+        plan: DelayPlan,
+    ) -> Optional[List[TestExecution]]:
+        frozen = freeze_delay_plan(plan)
+        config_kwargs = asdict(config)
+        payloads: List[WorkerPayload] = [
+            (app.app_id, config_kwargs, round_index, frozen, test.qname)
+            for test in app.tests
+        ]
+        try:
+            pool = self._ensure_pool()
+            # map() preserves submission order, so results line up with
+            # app.tests exactly as the serial path's do.
+            return list(pool.map(execute_test_payload, payloads))
+        except (BrokenProcessPool, OSError) as exc:
+            self._mark_broken(exc, stacklevel=4)
+            return None
+
+    def map_jobs(
+        self, fn: Callable[[Any], Any], payloads: List[Any]
+    ) -> List[Any]:
+        if self.workers > 1 and len(payloads) > 1 and not self._pool_broken:
+            try:
+                pool = self._ensure_pool()
+                results = list(pool.map(fn, payloads))
+                self._count(len(results), self.workers)
+                return results
+            except (BrokenProcessPool, OSError) as exc:
+                # Same contract as _execute_parallel: only pool-level
+                # failures trigger the serial fallback; a payload that
+                # raises propagates to the caller.
+                self._mark_broken(exc, stacklevel=3)
+        results = [fn(payload) for payload in payloads]
+        self._count(len(results), 1)
+        return results
+
+    async def aexecute_round(
+        self,
+        app: Application,
+        config: SherlockConfig,
+        round_index: int,
+        plan: DelayPlan,
+    ) -> RoundExecutions:
+        # Blocking pool.map runs in a helper thread so the caller's loop
+        # stays free for cache I/O and sibling tasks.
+        return await asyncio.to_thread(
+            self.execute_round, app, config, round_index, plan
+        )
+
+    async def amap_jobs(
+        self, fn: Callable[[Any], Any], payloads: List[Any]
+    ) -> List[Any]:
+        return await asyncio.to_thread(self.map_jobs, fn, payloads)
+
+    def _mark_broken(self, exc: BaseException, stacklevel: int) -> None:
+        self._pool_broken = True
+        self.close()
+        warnings.warn(
+            f"process pool unavailable ({type(exc).__name__}: {exc}); "
+            "falling back to serial execution",
+            RuntimeWarning,
+            stacklevel=stacklevel + 1,
+        )
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _count(self, jobs: int, used: int) -> None:
+        self.metrics.jobs_completed += jobs
+        if jobs:
+            self.metrics.concurrency_hwm = max(
+                self.metrics.concurrency_hwm, min(used, jobs)
+            )
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        return f"ProcessEngine(workers={self.workers})"
+
+
+# -- asyncio-native ----------------------------------------------------------
+
+
+class AsyncEngine(Engine):
+    """asyncio tasks with semaphore-bounded concurrency.
+
+    Jobs run in worker threads (``asyncio.to_thread``) so the event loop
+    stays free to interleave cache I/O and sibling work; an
+    ``asyncio.Semaphore`` bounds how many are in flight.  Registered
+    apps are rebuilt per job from their id — exactly the process
+    engine's isolation — and unregistered :class:`Application` instances
+    are shared read-only across jobs (their per-test state is built
+    fresh by ``make_context``, like the serial path).
+
+    Cancellation is cooperative: when a job raises, every task still
+    queued on the semaphore is cancelled (counted in
+    ``metrics.jobs_cancelled``) and in-flight worker threads are awaited
+    to completion before the original exception propagates — no orphaned
+    threads, no half-delivered batches.
+    """
+
+    name = "async"
+
+    def __init__(self, concurrency: Optional[int] = None) -> None:
+        super().__init__()
+        if concurrency is None:
+            concurrency = os.cpu_count() or 4
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self._concurrency = concurrency
+        self._in_flight = 0
+
+    @property
+    def concurrency(self) -> int:
+        return self._concurrency
+
+    async def aexecute_round(
+        self,
+        app: Application,
+        config: SherlockConfig,
+        round_index: int,
+        plan: DelayPlan,
+    ) -> RoundExecutions:
+        frozen = freeze_delay_plan(plan)
+        if _app_registered(app):
+            config_kwargs = asdict(config)
+            payloads: List[WorkerPayload] = [
+                (app.app_id, config_kwargs, round_index, frozen, t.qname)
+                for t in app.tests
+            ]
+            executions = await self.amap_jobs(
+                execute_test_payload, payloads
+            )
+        else:
+            executions = await self.amap_jobs(
+                lambda test: _run_one_test(
+                    app, test, config, round_index, frozen
+                ),
+                list(app.tests),
+            )
+        used = min(self._concurrency, max(1, len(executions)))
+        return executions, used
+
+    async def amap_jobs(
+        self, fn: Callable[[Any], Any], payloads: List[Any]
+    ) -> List[Any]:
+        if not payloads:
+            return []
+        semaphore = asyncio.Semaphore(self._concurrency)
+
+        async def one_job(payload: Any) -> Any:
+            async with semaphore:
+                self._in_flight += 1
+                self.metrics.concurrency_hwm = max(
+                    self.metrics.concurrency_hwm, self._in_flight
+                )
+                try:
+                    return await asyncio.to_thread(fn, payload)
+                finally:
+                    self._in_flight -= 1
+
+        tasks = [
+            asyncio.ensure_future(one_job(payload)) for payload in payloads
+        ]
+        t_start = time.perf_counter()
+        try:
+            results = await asyncio.gather(*tasks)
+        except BaseException:
+            for task in tasks:
+                task.cancel()
+            settled = await asyncio.gather(*tasks, return_exceptions=True)
+            self.metrics.jobs_cancelled += sum(
+                1
+                for outcome in settled
+                if isinstance(outcome, asyncio.CancelledError)
+            )
+            raise
+        finally:
+            self.metrics.await_s += time.perf_counter() - t_start
+        self.metrics.jobs_completed += len(results)
+        return results
+
+    def __repr__(self) -> str:
+        return f"AsyncEngine(concurrency={self._concurrency})"
+
+
+# -- spec parsing ------------------------------------------------------------
+
+
+def parse_engine_spec(spec: str) -> Tuple[str, Optional[int]]:
+    """Split an engine spec string into ``(kind, concurrency)``.
+
+    ``"serial" | "process[:N]" | "async[:N]" | "auto"`` — raises
+    ``ValueError`` on anything else.
+    """
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"engine spec must be a string or Engine, got {type(spec).__name__}"
+        )
+    kind, sep, arg = spec.partition(":")
+    if kind == "auto":
+        if sep:
+            raise ValueError("engine spec 'auto' takes no :N suffix")
+        return "auto", None
+    if kind not in _ENGINE_KINDS:
+        raise ValueError(
+            f"unknown engine spec {spec!r}; choose from "
+            f"{['auto', *_ENGINE_KINDS]} (e.g. 'process:4', 'async:8')"
+        )
+    concurrency: Optional[int] = None
+    if sep:
+        if kind == "serial":
+            raise ValueError("engine spec 'serial' takes no :N suffix")
+        try:
+            concurrency = int(arg)
+        except ValueError:
+            raise ValueError(
+                f"engine spec {spec!r}: concurrency {arg!r} is not an "
+                "integer"
+            ) from None
+        if concurrency < 1:
+            raise ValueError(
+                f"engine spec {spec!r}: concurrency must be >= 1"
+            )
+    return kind, concurrency
+
+
+def validate_engine_spec(spec: str) -> None:
+    """Raise ``ValueError``/``TypeError`` when ``spec`` cannot name an
+    engine (used by ``SherlockConfig.validate``)."""
+    parse_engine_spec(spec)
+
+
+def coerce_engine(
+    spec: EngineSpec = None, *, default_workers: Optional[int] = None
+) -> Engine:
+    """Interpret an ``engine=`` argument into a live :class:`Engine`.
+
+    ``None``/"auto" → serial, unless ``default_workers`` > 1 (the legacy
+    ``workers=`` knob) selects a process pool of that size.  Spec strings
+    without an explicit ``:N`` size themselves from ``default_workers``
+    when it is > 1, else from ``os.cpu_count()``.  An :class:`Engine`
+    instance passes through unchanged (sharable across calls).
+    """
+    if isinstance(spec, Engine):
+        return spec
+    kind, concurrency = parse_engine_spec(spec if spec is not None else "auto")
+    if kind == "auto":
+        if default_workers is not None and default_workers > 1:
+            return ProcessEngine(default_workers)
+        return SerialEngine()
+    if kind == "serial":
+        return SerialEngine()
+    if concurrency is None:
+        if default_workers is not None and default_workers > 1:
+            concurrency = default_workers
+        else:
+            concurrency = os.cpu_count() or 4
+    if kind == "process":
+        return ProcessEngine(concurrency)
+    return AsyncEngine(concurrency)
+
+
+__all__ = [
+    "AsyncEngine",
+    "Engine",
+    "EngineMetrics",
+    "EngineSpec",
+    "ProcessEngine",
+    "SerialEngine",
+    "WorkerPayload",
+    "coerce_engine",
+    "execute_test_payload",
+    "parse_engine_spec",
+    "validate_engine_spec",
+]

@@ -70,6 +70,13 @@ class RunMetrics:
     lp_delta_constraints: int = 0
     #: Worker-process count of the runtime that produced the traces.
     workers: int = 1
+    #: Engine fan-out counters (see
+    #: :class:`~repro.runtime.engines.EngineMetrics`): most jobs in
+    #: flight at once, jobs cancelled after a sibling failed (async
+    #: engine), and wall seconds spent awaiting job batches.
+    engine_concurrency_hwm: int = 0
+    engine_jobs_cancelled: int = 0
+    engine_await_s: float = 0.0
 
     @property
     def total_s(self) -> float:
@@ -108,6 +115,13 @@ class RunMetrics:
         self.lp_delta_variables += other.lp_delta_variables
         self.lp_delta_constraints += other.lp_delta_constraints
         self.workers = max(self.workers, other.workers)
+        # The high-water mark is level-valued (keep the peak); the other
+        # engine counters are per-round work and add up.
+        self.engine_concurrency_hwm = max(
+            self.engine_concurrency_hwm, other.engine_concurrency_hwm
+        )
+        self.engine_jobs_cancelled += other.engine_jobs_cancelled
+        self.engine_await_s += other.engine_await_s
 
     @classmethod
     def aggregate(cls, rounds: Iterable["RunMetrics"]) -> "RunMetrics":
@@ -144,6 +158,10 @@ class RunMetrics:
                 f"ftran/btran {self.lp_ftran_btran_s:.3f}s, "
                 f"pricing {self.lp_pricing_s:.3f}s, "
                 f"eta length {self.lp_eta_len}",
+                f"engine: concurrency hwm "
+                f"{self.engine_concurrency_hwm}, "
+                f"{self.engine_jobs_cancelled} cancelled jobs, "
+                f"await {self.engine_await_s:.3f}s",
             ]
         )
 

@@ -52,11 +52,16 @@ class TestRunEntryPoint:
         cache = TraceCache()
         assert coerce_cache(cache) is cache
 
+    def test_coerce_cache_memory_is_lru_only(self):
+        cache = coerce_cache("memory")
+        assert isinstance(cache, TraceCache)
+        assert cache.path is None
+
 
 class TestRunSherlockDeprecation:
-    def test_emits_deprecation_warning(self):
+    def test_emits_future_warning_with_removal_note(self):
         app = get_application("App-5")
-        with pytest.warns(DeprecationWarning, match="repro.run"):
+        with pytest.warns(FutureWarning, match="removed in repro 2.0"):
             report = run_sherlock(app, SherlockConfig(rounds=1, seed=0))
         assert report.app_id == "App-5"
 
@@ -65,18 +70,18 @@ class TestRunSherlockDeprecation:
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             run_sherlock(app, SherlockConfig(rounds=1, seed=0))
-        deprecations = [
+        futures = [
             w for w in caught
-            if issubclass(w.category, DeprecationWarning)
+            if issubclass(w.category, FutureWarning)
         ]
-        assert len(deprecations) == 1
-        assert "repro.run" in str(deprecations[0].message)
+        assert len(futures) == 1
+        assert "repro.run" in str(futures[0].message)
 
     def test_returns_same_report_as_repro_run(self):
         from repro.core.serialize import report_to_dict
 
         config = SherlockConfig(rounds=2, seed=0)
-        with pytest.warns(DeprecationWarning):
+        with pytest.warns(FutureWarning):
             legacy = run_sherlock(get_application("App-5"), config)
         modern = repro.run("App-5", config)
         assert json.dumps(

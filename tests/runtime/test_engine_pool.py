@@ -42,7 +42,7 @@ class TestTaskExceptions:
         with ExecutionRuntime(workers=2) as runtime:
             with pytest.raises(ValueError):
                 runtime.map_jobs(_boom, [1, 2, 3])
-            assert not runtime._pool_broken
+            assert not runtime.engine._pool_broken
             # The pool still serves parallel work afterwards.
             assert runtime.map_jobs(_double, [1, 2, 3]) == [2, 4, 6]
 
@@ -59,19 +59,19 @@ class TestTaskExceptions:
 class TestPoolFailures:
     def test_pool_failure_falls_back_to_serial(self):
         runtime = ExecutionRuntime(workers=2)
-        runtime._pool = _ExplodingPool()
+        runtime.engine._pool = _ExplodingPool()
         with pytest.warns(RuntimeWarning, match="falling back to serial"):
             result = runtime.map_jobs(_double, [1, 2, 3])
         assert result == [2, 4, 6]
-        assert runtime._pool_broken
+        assert runtime.engine._pool_broken
         runtime.close()
 
     def test_broken_pool_stays_serial(self):
         runtime = ExecutionRuntime(workers=2)
-        runtime._pool = _ExplodingPool()
+        runtime.engine._pool = _ExplodingPool()
         with pytest.warns(RuntimeWarning):
             runtime.map_jobs(_double, [1, 2])
         # No new pool is spun up once broken.
         assert runtime.map_jobs(_double, [4, 5]) == [8, 10]
-        assert runtime._pool is None
+        assert runtime.engine._pool is None
         runtime.close()

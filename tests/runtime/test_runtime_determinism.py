@@ -1,8 +1,8 @@
 """Determinism guarantee of the execution runtime.
 
-Serial cold runs, 4-worker parallel runs, and warm-cache replays must
-serialize byte-identically: the runtime may change *how fast* traces are
-produced, never *what* is inferred.
+Serial cold runs, process-pool runs, async-engine runs, and warm-cache
+replays must serialize byte-identically: the runtime may change *how
+fast* traces are produced, never *what* is inferred.
 """
 
 import json
@@ -32,7 +32,14 @@ def serial_baselines():
 @pytest.mark.parametrize("app_id", APPS)
 def test_parallel_matches_serial(app_id, serial_baselines):
     config = SherlockConfig(rounds=2, seed=0)
-    report = repro.run(app_id, config, workers=4)
+    report = repro.run(app_id, config, engine="process:4")
+    assert canonical(report) == serial_baselines[app_id]
+
+
+@pytest.mark.parametrize("app_id", APPS)
+def test_async_engine_matches_serial(app_id, serial_baselines):
+    config = SherlockConfig(rounds=2, seed=0)
+    report = repro.run(app_id, config, engine="async:4")
     assert canonical(report) == serial_baselines[app_id]
 
 
@@ -63,8 +70,8 @@ def test_parallel_and_cached_compose(serial_baselines):
     config = SherlockConfig(rounds=2, seed=0)
     cache = TraceCache()
     with ExecutionRuntime(workers=4, cache=cache) as runtime:
-        cold = repro.run("App-7", config, runtime=runtime)
-        warm = repro.run("App-7", config, runtime=runtime)
+        cold = repro.run("App-7", config, engine=runtime)
+        warm = repro.run("App-7", config, engine=runtime)
     assert canonical(cold) == serial_baselines["App-7"]
     assert canonical(warm) == serial_baselines["App-7"]
     assert warm.metrics.cache_hits == 2

@@ -1,0 +1,79 @@
+"""The ``_run_sync`` bridge: synchronous entry points over async cores.
+
+``repro.run()`` must stay callable from plain synchronous code *and*
+from inside a running event loop (e.g. a Jupyter cell or an async web
+handler); in the latter case the pipeline runs on a private loop in a
+helper thread rather than raising ``RuntimeError: asyncio.run() cannot
+be called from a running event loop``.
+"""
+
+import asyncio
+
+import pytest
+
+import repro
+from repro.core import SherlockConfig
+from repro.runtime import _run_sync
+
+
+class TestRunSyncNoLoop:
+    def test_returns_coroutine_value(self):
+        async def forty_two():
+            return 42
+
+        assert _run_sync(forty_two()) == 42
+
+    def test_runs_real_async_work(self):
+        async def gather_some():
+            async def one(i):
+                await asyncio.sleep(0)
+                return i
+
+            return sum(await asyncio.gather(*(one(i) for i in range(5))))
+
+        assert _run_sync(gather_some()) == 10
+
+    def test_propagates_exceptions(self):
+        async def boom():
+            raise ValueError("async failure")
+
+        with pytest.raises(ValueError, match="async failure"):
+            _run_sync(boom())
+
+
+class TestRunSyncInsideRunningLoop:
+    def test_bridges_via_helper_thread(self):
+        async def inner():
+            return "nested"
+
+        async def outer():
+            # A running loop exists here; _run_sync must not try
+            # asyncio.run() on this thread.
+            return _run_sync(inner())
+
+        assert asyncio.run(outer()) == "nested"
+
+    def test_propagates_exceptions_across_threads(self):
+        async def boom():
+            raise KeyError("lost")
+
+        async def outer():
+            with pytest.raises(KeyError, match="lost"):
+                _run_sync(boom())
+            return True
+
+        assert asyncio.run(outer())
+
+
+class TestRunStaysSynchronous:
+    def test_repro_run_works_without_event_loop(self):
+        report = repro.run("App-5", SherlockConfig(rounds=1, seed=0))
+        assert report.app_id == "App-5"
+
+    def test_repro_run_works_inside_running_loop(self):
+        async def call_run():
+            return repro.run("App-5", SherlockConfig(rounds=1, seed=0))
+
+        report = asyncio.run(call_run())
+        assert report.app_id == "App-5"
+        assert len(report.rounds) == 1
