@@ -16,6 +16,9 @@ Public API tour:
 * :mod:`repro.apps` — the 8 benchmark applications.
 * :mod:`repro.racedet` — the FastTrack race detector (Manual_dr /
   SherLock_dr).
+* :mod:`repro.predict` — sync-preserving *predictive* race detection
+  (Manual_pr / SherLock_pr) with witness reorderings; one-call entry
+  point :func:`repro.predict_races`.
 * :mod:`repro.tsvd` — the TSVD baseline.
 * :mod:`repro.analysis` — per-table experiment regenerators.
 * :mod:`repro.lp` — the linear-programming substrate.
@@ -41,7 +44,7 @@ engines and warm-cache runs serialize byte-identically.
 """
 
 from . import fuzz
-from .api import arun, run
+from .api import arun, predict_races, run
 from .apps import all_applications, app_ids, get_application
 from .core import (
     InferenceResult,
@@ -89,6 +92,7 @@ __all__ = [
     "fuzz",
     "get_application",
     "manual_spec",
+    "predict_races",
     "run",
     "run_sherlock",
     "sherlock_spec",

@@ -23,6 +23,7 @@ from typing import Optional, Union
 from .apps.registry import get_application
 from .core.config import SherlockConfig
 from .core.pipeline import Sherlock, SherlockReport
+from .racedet.spec import HappensBeforeSpec
 from .runtime.cache import DEFAULT_CACHE_DIR, TraceCache
 from .runtime.engine import ExecutionRuntime
 from .runtime.engines import Engine
@@ -193,4 +194,50 @@ async def arun(
         rt.close()
 
 
-__all__ = ["arun", "coerce_cache", "run"]
+def predict_races(
+    app_or_id: Union[Application, str],
+    *,
+    spec: Union[str, HappensBeforeSpec] = "manual",
+    seed: int = 0,
+    rounds: int = 3,
+    schedule_policy: str = "random",
+):
+    """Predictive (sync-preserving) race detection on one app run.
+
+    Runs the app's unit tests once under ``seed``/``schedule_policy``
+    and analyzes every trace with the sync-preserving predictive
+    detector (:mod:`repro.predict`) next to FastTrack under the same
+    happens-before spec.  Returns a
+    :class:`~repro.predict.harness.PredictionReport`: predicted races
+    with sanitizer-validated witness reorderings, FastTrack's first
+    races, and the per-field detection-power deltas.
+
+    ``spec`` selects the sync vocabulary: ``"manual"`` (Manual_pr, the
+    hand annotations), ``"sherlock"`` (SherLock_pr — runs the inference
+    pipeline for ``rounds`` first), or any
+    :class:`~repro.racedet.spec.HappensBeforeSpec`.
+    """
+    from .predict.harness import predict_app
+    from .racedet.annotations import manual_spec, sherlock_spec
+
+    app = _resolve_app(app_or_id)
+    if isinstance(spec, HappensBeforeSpec):
+        hb_spec = spec
+    elif spec == "manual":
+        hb_spec = manual_spec(app)
+    elif spec == "sherlock":
+        config = SherlockConfig(
+            rounds=rounds, seed=seed, schedule_policy=schedule_policy
+        )
+        hb_spec = sherlock_spec(Sherlock(app, config).run().final)
+    else:
+        raise ValueError(
+            f"spec must be 'manual', 'sherlock', or a HappensBeforeSpec, "
+            f"got {spec!r}"
+        )
+    return predict_app(
+        app, hb_spec, seed=seed, policy=schedule_policy
+    )
+
+
+__all__ = ["arun", "coerce_cache", "predict_races", "run"]

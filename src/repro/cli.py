@@ -19,6 +19,12 @@ Commands
     trace, run differential inference oracles, write a JSON campaign
     report.  Exit status is non-zero on sanitizer violations (and, with
     ``--strict``, on oracle failures).
+``predict``
+    Sync-preserving predictive race detection (Manual_pr / SherLock_pr):
+    sweep schedule seeds per app, compare FastTrack-first-race vs TSVD
+    vs predictive detection power, verify the predictive ⊇ FastTrack
+    invariant and every witness reordering.  Exit status is non-zero
+    when the superset invariant or a witness validation fails.
 """
 
 from __future__ import annotations
@@ -177,6 +183,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also fail on oracle failures, not just sanitizer "
         "violations",
     )
+
+    predict_p = sub.add_parser(
+        "predict",
+        help="predictive (sync-preserving) race detection power sweep",
+        parents=[shared],
+    )
+    predict_p.add_argument(
+        "--app", action="append", dest="predict_apps", metavar="APP",
+        help="app to analyze (repeatable; ids or module aliases; "
+        "default: all 8)",
+    )
+    predict_p.add_argument(
+        "--schedules", type=int, default=1,
+        help="schedule seeds to sweep per app × spec (default 1)",
+    )
+    predict_p.add_argument(
+        "--spec", choices=["manual", "sherlock", "both"], default="both",
+        help="happens-before vocabulary: manual annotations "
+        "(Manual_pr), SherLock's inference (SherLock_pr), or both "
+        "(default both)",
+    )
+    predict_p.add_argument(
+        "--policy", default="random", choices=policy_names(),
+        help="kernel scheduling policy (default random)",
+    )
+    predict_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the sweep as JSON",
+    )
     return parser
 
 
@@ -251,6 +286,34 @@ def _cmd_fuzz(args, runtime: ExecutionRuntime) -> int:
     return 0
 
 
+def _cmd_predict(args, runtime: ExecutionRuntime) -> int:
+    from .predict import PowerConfig, run_power_sweep
+
+    apps = args.predict_apps or args.apps or app_ids()
+    specs = (
+        ("manual", "sherlock") if args.spec == "both" else (args.spec,)
+    )
+    config = PowerConfig(
+        app_ids=list(apps),
+        schedules=args.schedules,
+        base_seed=args.seed,
+        rounds=args.rounds,
+        policy=args.policy,
+        specs=specs,
+        workers=args.workers,
+        engine=args.engine,
+    )
+    report = run_power_sweep(config, runtime=runtime)
+    print(report.table().render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fp:
+            json.dump(report.to_dict(), fp, indent=2)
+        print(f"power sweep written to {args.out}")
+    if not report.all_supersets_ok or report.total_invalid_witnesses:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if isinstance(args.apps, str):
@@ -283,6 +346,8 @@ def _dispatch(args, runtime: ExecutionRuntime) -> int:
         return _cmd_races(args, runtime)
     if args.command == "fuzz":
         return _cmd_fuzz(args, runtime)
+    if args.command == "predict":
+        return _cmd_predict(args, runtime)
     if args.command == "table":
         print(_TABLES[args.name](args.apps).render())
         if args.stats and runtime.cache is not None:

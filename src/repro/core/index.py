@@ -222,6 +222,10 @@ class ConflictGroups:
     def __len__(self) -> int:
         return len(self._groups)
 
+    def groups(self) -> List[Tuple[GroupKey, ConflictGroup]]:
+        """All groups in first-appearance (log) order."""
+        return list(self._groups.items())
+
 
 __all__ = [
     "ConflictGroup",

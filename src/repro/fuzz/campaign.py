@@ -30,6 +30,7 @@ from .oracles import (
     OracleResult,
     ground_truth_oracle,
     lambda_stability_oracle,
+    predicted_unwitnessed_oracle,
 )
 from .sanitizer import TraceSanitizer, Violation, trace_digest
 
@@ -137,6 +138,9 @@ def run_schedule_job(job: ScheduleJob) -> ScheduleResult:
         oracle_results.append(
             lambda_stability_oracle(report, tolerance=lam_tolerance)
         )
+        oracle_results.append(
+            predicted_unwitnessed_oracle(app, report, collected)
+        )
 
     report_json = json.dumps(report_to_dict(report), sort_keys=True)
     return ScheduleResult(
@@ -189,8 +193,27 @@ class CampaignReport:
     def ok(self) -> bool:
         return self.total_violations == 0 and not self.permutation_mismatches
 
+    def schedule_targets(self) -> Dict[str, List[str]]:
+        """Predicted-but-unwitnessed races per app: prioritized targets
+        for the next campaign's schedule search (field + access kinds,
+        stable across worker processes)."""
+        out: Dict[str, List[str]] = {}
+        for app_id in self.config.app_ids:
+            targets = {
+                t
+                for r in self.results
+                if r.app_id == app_id
+                for o in r.oracles
+                if o["name"] == "predicted-unwitnessed"
+                for t in o["data"].get("targets", [])
+            }
+            if targets:
+                out[app_id] = sorted(targets)
+        return out
+
     def per_app(self) -> Dict[str, Dict[str, Any]]:
         out: Dict[str, Dict[str, Any]] = {}
+        targets = self.schedule_targets()
         for app_id in self.config.app_ids:
             rows = [r for r in self.results if r.app_id == app_id]
             sync_freq: Dict[str, int] = {}
@@ -210,6 +233,7 @@ class CampaignReport:
                 "sync_frequency": dict(
                     sorted(sync_freq.items(), key=lambda kv: -kv[1])
                 ),
+                "race_targets": targets.get(app_id, []),
             }
         return out
 
@@ -228,6 +252,7 @@ class CampaignReport:
                 "ok": self.ok,
             },
             "apps": self.per_app(),
+            "schedule_targets": self.schedule_targets(),
             "schedules": [r.to_dict() for r in self.results],
             "permutation_mismatches": self.permutation_mismatches,
         }
@@ -246,7 +271,8 @@ class CampaignReport:
                 f"{row['violations']} sanitizer violations, "
                 f"{row['oracle_failures']} oracle failures, "
                 f"{row['distinct_traces']} distinct traces, "
-                f"{row['distinct_inferred_sets']} distinct inferred sets"
+                f"{row['distinct_inferred_sets']} distinct inferred sets, "
+                f"{len(row['race_targets'])} predicted race target(s)"
             )
         lines.append(
             f"  permutation replay: {self.permutation_sampled} sampled, "

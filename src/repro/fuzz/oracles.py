@@ -10,6 +10,14 @@ Each oracle checks one *stability claim* about a finished pipeline run:
   near its default; re-solving the *same* observation store with λ
   scaled by ±``tolerance`` (default ±1%, the empirically stable band for
   the 8 apps at rounds=3) must reproduce the identical inferred set.
+* **predicted-unwitnessed** — run the sync-preserving predictive
+  detector (:mod:`repro.predict`) under the schedule's *inferred* spec
+  over every collected trace; races predicted but never reported by
+  FastTrack in the observed order are emitted as prioritized
+  schedule-search targets for later campaigns.  The oracle only *fails*
+  when a predicted race's witness reordering does not validate (a
+  detector bug) — unwitnessed predictions themselves are the useful
+  signal, not an error.
 * **permutation** (campaign-level, see :mod:`repro.fuzz.campaign`) —
   re-executing a sample of schedules in a different order must reproduce
   byte-identical trace digests and serialized reports.
@@ -18,12 +26,13 @@ Each oracle checks one *stability claim* about a finished pipeline run:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..analysis.metrics import classify
 from ..core.pipeline import SherlockReport
 from ..core.solver import infer
 from ..sim.program import Application
+from ..sim.runner import TestExecution
 
 
 @dataclass
@@ -107,9 +116,65 @@ def lambda_stability_oracle(
     )
 
 
+def predicted_unwitnessed_oracle(
+    app: Application,
+    report: SherlockReport,
+    executions: Sequence[TestExecution],
+) -> OracleResult:
+    """Predict races over the collected traces; flag schedule targets.
+
+    Targets are keyed by field + access kinds (addresses are heap object
+    ids and thus process-dependent), so campaign aggregation across
+    worker processes is stable.
+    """
+    # Imported lazily: repro.predict pulls in the sanitizer, which this
+    # package's __init__ is itself mid-importing during campaign runs.
+    from ..predict.detector import PredictiveDetector
+    from ..racedet.annotations import sherlock_spec
+    from ..racedet.fasttrack import analyze_run
+
+    spec = sherlock_spec(report.final)
+    detector = PredictiveDetector(spec)
+    predicted = 0
+    invalid = 0
+    targets = set()
+    for execution in executions:
+        analysis = detector.analyze(execution.log)
+        predicted += len(analysis.races)
+        invalid += analysis.invalid_witnesses
+        witnessed = {
+            r.key() for r in analyze_run(execution.log, spec).races
+        }
+        for race in analysis.races:
+            if race.key() not in witnessed:
+                targets.add(
+                    f"{race.field_name}"
+                    f"[{race.first_access}/{race.second_access}]"
+                )
+    passed = invalid == 0
+    return OracleResult(
+        name="predicted-unwitnessed",
+        passed=passed,
+        detail=(
+            f"{invalid} predicted race(s) with invalid witness "
+            f"reorderings"
+            if not passed
+            else f"{predicted} predicted race(s), {len(targets)} "
+            f"unwitnessed schedule target(s)"
+        ),
+        data={
+            "predicted": predicted,
+            "unwitnessed": len(targets),
+            "invalid_witnesses": invalid,
+            "targets": sorted(targets),
+        },
+    )
+
+
 __all__ = [
     "OracleResult",
     "ground_truth_oracle",
     "lambda_stability_oracle",
     "lambda_stability_range",
+    "predicted_unwitnessed_oracle",
 ]

@@ -1,0 +1,53 @@
+"""Predictive (sync-preserving) race detection over inferred syncs.
+
+Where the FastTrack harness (:mod:`repro.racedet`) only witnesses races
+in the *observed* schedule, this package predicts races reachable by
+reordering the trace without changing which sync operations pair up
+(after "Optimal Prediction of Synchronization-Preserving Races" —
+Mathur, Pavlogiannis, Viswanathan).  It is parameterized by the same
+:class:`~repro.racedet.spec.HappensBeforeSpec` as FastTrack, so it runs
+as Manual_pr / SherLock_pr next to Manual_dr / SherLock_dr, and every
+predicted race ships a concrete, sanitizer-validated witness reordering.
+"""
+
+from .closure import (
+    PrefixVector,
+    SyncPairings,
+    SyncPreservingClosure,
+    sync_pairings,
+)
+from .detector import (
+    PredictedRace,
+    PredictionAnalysis,
+    PredictiveDetector,
+    analyze_run_predictive,
+)
+from .harness import (
+    PowerConfig,
+    PowerReport,
+    PowerRow,
+    PredictionReport,
+    predict_app,
+    run_power_sweep,
+)
+from .witness import WITNESS_OF, build_witness, validate_witness
+
+__all__ = [
+    "WITNESS_OF",
+    "PowerConfig",
+    "PowerReport",
+    "PowerRow",
+    "PredictedRace",
+    "PredictionAnalysis",
+    "PredictionReport",
+    "PredictiveDetector",
+    "PrefixVector",
+    "SyncPairings",
+    "SyncPreservingClosure",
+    "analyze_run_predictive",
+    "build_witness",
+    "predict_app",
+    "run_power_sweep",
+    "sync_pairings",
+    "validate_witness",
+]

@@ -2,7 +2,12 @@
 
 from .annotations import manual_spec, sherlock_spec
 from .fasttrack import FastTrack, RaceReport, RunAnalysis, analyze_run
-from .report import RaceDetectionResult, attribute_false_races, detect_races
+from .report import (
+    RaceDetectionResult,
+    attribute_false_races,
+    classify_first_races,
+    detect_races,
+)
 from .spec import HappensBeforeSpec
 from .vectorclock import Epoch, VarState, VectorClock
 
@@ -17,6 +22,7 @@ __all__ = [
     "VectorClock",
     "analyze_run",
     "attribute_false_races",
+    "classify_first_races",
     "detect_races",
     "manual_spec",
     "sherlock_spec",

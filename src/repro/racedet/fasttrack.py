@@ -18,7 +18,6 @@ from typing import Dict, List, Optional, Tuple
 
 from ..trace.events import TraceEvent
 from ..trace.log import TraceLog
-from ..trace.optypes import OpType
 from .spec import HappensBeforeSpec
 from .vectorclock import VarState, VectorClock
 
@@ -61,7 +60,6 @@ class FastTrack:
         #: access to the same address).
         self.static_channels: Dict[int, VectorClock] = {}
         self.vars: Dict[Tuple[str, int], VarState] = {}
-        self._acquire_methods = spec.acquire_method_names()
 
     def _vc(self, tid: int) -> VectorClock:
         vc = self.thread_vc.get(tid)
@@ -80,17 +78,13 @@ class FastTrack:
 
     def _step(self, event: TraceEvent, analysis: RunAnalysis) -> None:
         vc = self._vc(event.thread_id)
-        ref = event.ref
 
         # Acquire side first: joining before checking mirrors the fact
-        # that the acquire happened before the protected access.
-        if self.spec.is_acquire(ref):
-            self._join(event, vc)
-        if (
-            event.optype is OpType.EXIT
-            and event.name in self._acquire_methods
-        ):
-            # Blocking acquire completes at the call's return.
+        # that the acquire happened before the protected access.  The
+        # event-level classification (including the EXIT of a blocking
+        # acquire, whose edge lands at the call's return) lives on the
+        # spec so the predictive detector shares it exactly.
+        if self.spec.is_acquire_event(event):
             self._join(event, vc)
         if event.address in self.static_channels:
             vc.join(self.static_channels[event.address])
@@ -98,14 +92,11 @@ class FastTrack:
         if event.is_memory:
             self._check_access(event, vc, analysis)
 
-        if self.spec.is_release(ref):
+        if self.spec.is_release_event(event):
             channel = self.channels.setdefault(event.address, VectorClock())
             channel.join(vc)
             vc.increment(event.thread_id)
-        if (
-            event.optype is OpType.EXIT
-            and event.name in self.spec.static_init_methods
-        ):
+        if self.spec.is_static_publish_event(event):
             published = self.static_channels.setdefault(
                 event.address, VectorClock()
             )

@@ -4,12 +4,32 @@ suite and score true/false races per §5.4."""
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..sim.program import Application
 from ..sim.runner import RunOptions, run_application
 from .fasttrack import RaceReport, analyze_run
 from .spec import HappensBeforeSpec
+
+
+def classify_first_races(
+    first_races: Iterable[Optional[RaceReport]],
+    racy_fields: Set[str],
+) -> Tuple[int, int]:
+    """``(true, false)`` counts of first-race-per-run reports.
+
+    ``None`` entries (race-free runs) count as neither.  Pure helper so
+    the harness's §5.4 counting can be asserted on directly.
+    """
+    true_races = false_races = 0
+    for report in first_races:
+        if report is None:
+            continue
+        if report.field_name in racy_fields:
+            true_races += 1
+        else:
+            false_races += 1
+    return true_races, false_races
 
 
 @dataclass
@@ -45,6 +65,7 @@ def detect_races(
     spec: HappensBeforeSpec,
     seed: int = 0,
     runs: int = 1,
+    schedule_policy: str = "random",
 ) -> RaceDetectionResult:
     """Run all unit tests ``runs`` times; count first-race per test run.
 
@@ -54,17 +75,14 @@ def detect_races(
     result = RaceDetectionResult(app.app_id, spec.name)
     result._racy_fields = frozenset(app.ground_truth.racy_fields)
     for run_id in range(runs):
-        options = RunOptions(seed=seed, run_id=run_id)
+        options = RunOptions(
+            seed=seed, run_id=run_id, schedule_policy=schedule_policy
+        )
         for execution in run_application(app, options):
-            analysis = analyze_run(execution.log, spec)
-            first = analysis.first
-            result.first_races.append(first)
-            if first is None:
-                continue
-            if first.field_name in app.ground_truth.racy_fields:
-                result.true_races += 1
-            else:
-                result.false_races += 1
+            result.first_races.append(analyze_run(execution.log, spec).first)
+    result.true_races, result.false_races = classify_first_races(
+        result.first_races, set(result._racy_fields)
+    )
     return result
 
 
@@ -89,4 +107,9 @@ def attribute_false_races(
     return by_category
 
 
-__all__ = ["RaceDetectionResult", "attribute_false_races", "detect_races"]
+__all__ = [
+    "RaceDetectionResult",
+    "attribute_false_races",
+    "classify_first_races",
+    "detect_races",
+]

@@ -11,9 +11,12 @@ returns).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Set
+from typing import TYPE_CHECKING, Iterable, Set
 
 from ..trace.optypes import OpRef, OpType, Role, SyncOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..trace.events import TraceEvent
 
 
 @dataclass
@@ -52,6 +55,32 @@ class HappensBeforeSpec:
             for ref in self.acquires
             if ref.optype is OpType.ENTER
         }
+
+    # -- event-level classification ------------------------------------------
+    #
+    # The dynamic-instance view FastTrack and the predictive detector
+    # share: a trace event acquires either because its static op is an
+    # acquire (delegate/begin-style and volatile reads) or because it is
+    # the EXIT of an acquire method (blocking acquires complete — and
+    # take their happens-before edge — at the call's return).
+
+    def is_acquire_event(self, event: "TraceEvent") -> bool:
+        if self.is_acquire(event.ref):
+            return True
+        return (
+            event.optype is OpType.EXIT
+            and event.name in self.acquire_method_names()
+        )
+
+    def is_release_event(self, event: "TraceEvent") -> bool:
+        return self.is_release(event.ref)
+
+    def is_static_publish_event(self, event: "TraceEvent") -> bool:
+        """Whether this EXIT publishes a static-initialization channel."""
+        return (
+            event.optype is OpType.EXIT
+            and event.name in self.static_init_methods
+        )
 
     @staticmethod
     def from_syncs(name: str, syncs: Iterable[SyncOp]) -> "HappensBeforeSpec":

@@ -36,8 +36,25 @@ class TestScheduleJob:
         result = run_schedule_job(job(rounds=3, oracles=True))
         assert result.violations == []
         names = {o["name"] for o in result.oracles}
-        assert names == {"ground-truth", "lambda-stability"}
+        assert names == {
+            "ground-truth",
+            "lambda-stability",
+            "predicted-unwitnessed",
+        }
         assert result.oracle_failures == []
+
+    def test_predicted_unwitnessed_oracle_reports_targets(self):
+        result = run_schedule_job(job(rounds=3, oracles=True))
+        (oracle,) = [
+            o for o in result.oracles
+            if o["name"] == "predicted-unwitnessed"
+        ]
+        assert oracle["passed"]  # fails only on invalid witnesses
+        assert oracle["data"]["invalid_witnesses"] == 0
+        assert oracle["data"]["predicted"] >= oracle["data"]["unwitnessed"]
+        assert oracle["data"]["targets"] == sorted(
+            oracle["data"]["targets"]
+        )
 
     def test_result_is_json_serializable(self):
         result = run_schedule_job(job())

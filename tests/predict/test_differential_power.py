@@ -1,0 +1,162 @@
+"""Differential soundness suite: predictive ⊇ FastTrack, valid witnesses.
+
+On every benchmark app's golden seed-0 traces, under the same
+happens-before spec:
+
+* the predictive detector's race set is a superset of FastTrack's
+  first-race reports (the §5.4-sound subset FastTrack is counted on);
+* every predicted race ships a witness reordering that passes the
+  ``TraceSanitizer`` and preserves the source trace's sync pairings;
+* the whole analysis is deterministic — byte-stable across two runs
+  (addresses renumbered by first appearance, as heap object ids are
+  process-dependent).
+"""
+
+import json
+
+import pytest
+
+from repro.apps.registry import app_ids, get_application
+from repro.core import Sherlock, SherlockConfig
+from repro.predict import PredictiveDetector, predict_app, validate_witness
+from repro.racedet import analyze_run, manual_spec, sherlock_spec
+from repro.sim.runner import RunOptions, run_application
+
+
+def _analyses(app, spec, seed=0):
+    executions = run_application(
+        app, RunOptions(seed=seed, run_id=0)
+    )
+    detector = PredictiveDetector(spec)
+    return [(ex, detector.analyze(ex.log)) for ex in executions]
+
+
+@pytest.fixture(scope="module")
+def sherlock_specs():
+    """Inferred specs for the CI smoke apps (one pipeline run each)."""
+    specs = {}
+    for app_id in ("App-2", "App-7"):
+        app = get_application(app_id)
+        report = Sherlock(app, SherlockConfig(rounds=3, seed=0)).run()
+        specs[app_id] = sherlock_spec(report.final)
+    return specs
+
+
+@pytest.mark.parametrize("app_id", app_ids())
+def test_predictive_superset_of_fasttrack_manual(app_id):
+    app = get_application(app_id)
+    spec = manual_spec(app)
+    for execution, analysis in _analyses(app, spec):
+        assert analysis.invalid_witnesses == 0
+        first = analyze_run(execution.log, spec).first
+        if first is not None:
+            assert first.key() in analysis.keys(), (
+                f"{app_id}/{execution.test_name}: FastTrack race "
+                f"{first.key()} not predicted"
+            )
+
+
+@pytest.mark.parametrize("app_id", app_ids())
+def test_witnesses_sanitize_with_identical_pairings(app_id):
+    app = get_application(app_id)
+    spec = manual_spec(app)
+    for execution, analysis in _analyses(app, spec):
+        for race in analysis.races:
+            assert race.validated
+            assert race.witness is not None
+            problems = validate_witness(
+                execution.log, race.witness, spec,
+                race.a_seq, race.b_seq,
+            )
+            assert problems == [], (app_id, execution.test_name)
+
+
+@pytest.mark.parametrize("app_id", ["App-2", "App-7"])
+def test_predictive_superset_under_sherlock_spec(app_id, sherlock_specs):
+    """Same invariants with the *inferred* sync set (SherLock_pr)."""
+    app = get_application(app_id)
+    spec = sherlock_specs[app_id]
+    for execution, analysis in _analyses(app, spec):
+        assert analysis.invalid_witnesses == 0
+        first = analyze_run(execution.log, spec).first
+        if first is not None:
+            assert first.key() in analysis.keys()
+        for race in analysis.races:
+            assert validate_witness(
+                execution.log, race.witness, spec,
+                race.a_seq, race.b_seq,
+            ) == []
+
+
+def _canonical(analyses):
+    """Process-stable serialization of a full predictive analysis."""
+    payload = []
+    for execution, analysis in analyses:
+        renumber = {}
+
+        def addr(a):
+            return renumber.setdefault(a, len(renumber))
+
+        races = []
+        for r in analysis.races:
+            races.append({
+                "field": r.field_name,
+                "addr": addr(r.address),
+                "kinds": [r.first_access, r.second_access],
+                "threads": [r.first_thread, r.second_thread],
+                "pair": [r.a_seq, r.b_seq],
+                "witness": [
+                    [
+                        e.thread_id, e.optype.value, e.name,
+                        addr(e.address), e.meta["witness_of"],
+                    ]
+                    for e in r.witness.events
+                ],
+            })
+        payload.append({
+            "test": execution.test_name,
+            "races": races,
+            "counters": [
+                analysis.pairs_checked,
+                analysis.pairs_predicted,
+                analysis.unwitnessed_pairs,
+                analysis.invalid_witnesses,
+            ],
+        })
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.mark.parametrize("app_id", app_ids())
+def test_analysis_byte_stable_across_two_runs(app_id):
+    app = get_application(app_id)
+    spec = manual_spec(app)
+    first = _canonical(_analyses(app, spec))
+    second = _canonical(_analyses(app, spec))
+    assert first == second
+
+
+def test_predicts_planted_race_fasttrack_misses():
+    """Acceptance case: on App-5's seed-0 schedule the detector
+    predicts planted racy fields whose first-race reports FastTrack
+    misses in the observed order (they only race under a reordering)."""
+    app = get_application("App-5")
+    report = predict_app(app, manual_spec(app), seed=0)
+    racy = set(app.ground_truth.racy_fields)
+    planted_missed = set(report.predicted_only_fields) & racy
+    assert "Radical.Messaging.MessageBroker/Stats::dispatchCount" in (
+        planted_missed
+    )
+    assert report.superset_ok
+
+
+def test_prediction_report_shape():
+    app = get_application("App-7")
+    report = predict_app(app, manual_spec(app), seed=0)
+    assert report.spec_name == "Manual_pr"
+    assert len(report.ft_first) == len(app.tests)
+    assert report.per_test.keys() == {t.qname for t in app.tests}
+    for race in report.races:
+        assert race.test_name in report.per_test
+        # The racy pair is the witness's final two events.
+        tail = {e.meta["witness_of"] for e in race.witness.events[-2:]}
+        assert tail == {race.a_seq, race.b_seq}

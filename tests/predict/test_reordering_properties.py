@@ -1,0 +1,141 @@
+"""Property tests for witness reorderings over generated traces.
+
+Hypothesis generates small multi-threaded traces mixing plain and
+volatile field accesses (volatile writes release, volatile reads
+acquire — the channel-pairing machinery the closure is built on).  For
+every predicted conflicting pair, the constructed witness must:
+
+* be a (sub-)permutation of the original events — an injective mapping
+  back to source events with identical content;
+* preserve per-thread program order, as a program-order-closed prefix
+  of each thread's original sequence;
+* pair each acquire with the same release (and each post-publish access
+  with the same static publish) as the source trace;
+* end with the predicted pair as its final two, conflicting, events.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predict import (
+    SyncPreservingClosure,
+    WITNESS_OF,
+    build_witness,
+    sync_pairings,
+    validate_witness,
+)
+from repro.racedet import HappensBeforeSpec
+from repro.trace.events import TraceEvent
+from repro.trace.log import TraceLog
+from repro.trace.optypes import OpType
+
+VOLATILE = "Gen.Obj::flag"
+PLAIN = ("Gen.Obj::data", "Gen.Obj::count")
+
+SPEC = HappensBeforeSpec(name="gen", volatile_fields={VOLATILE})
+
+#: One trace step: (thread, field, is_write, address choice).
+_step = st.tuples(
+    st.integers(min_value=1, max_value=3),
+    st.sampled_from((VOLATILE,) + PLAIN),
+    st.booleans(),
+    st.integers(min_value=0, max_value=1),
+)
+
+traces = st.lists(_step, min_size=2, max_size=28)
+
+
+def _build_log(steps):
+    log = TraceLog(run_id=0)
+    local = {}
+    for i, (tid, name, is_write, addr) in enumerate(steps):
+        local[tid] = local.get(tid, 0.0) + 0.25
+        log.append(TraceEvent(
+            timestamp=(i + 1) * 0.5,
+            thread_id=tid,
+            optype=OpType.WRITE if is_write else OpType.READ,
+            name=name,
+            address=1000 + addr,
+            local_time=local[tid],
+        ))
+    return log
+
+
+def _predicted_witnesses(steps):
+    """All (log, a, b, witness) for predicted pairs of a generated log."""
+    log = _build_log(steps)
+    closure = SyncPreservingClosure(log, SPEC)
+    out = []
+    events = log.memory_events()
+    for j in range(len(events)):
+        for i in range(j):
+            a, b = events[i], events[j]
+            if not a.conflicts_with(b):
+                continue
+            ideal = closure.predicts(a.seq, b.seq)
+            if ideal is None:
+                continue
+            witness = build_witness(
+                log, SPEC, closure, a.seq, b.seq, ideal
+            )
+            if witness is not None:
+                out.append((log, a.seq, b.seq, witness))
+    return out
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(traces)
+def test_witness_is_injective_subpermutation(steps):
+    for log, _, _, witness in _predicted_witnesses(steps):
+        origins = [e.meta[WITNESS_OF] for e in witness.events]
+        assert len(set(origins)) == len(origins)
+        for event, origin in zip(witness.events, origins):
+            source = log[origin]
+            assert (
+                event.thread_id, event.optype, event.name, event.address
+            ) == (
+                source.thread_id, source.optype, source.name,
+                source.address,
+            )
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(traces)
+def test_witness_preserves_program_order(steps):
+    for log, _, _, witness in _predicted_witnesses(steps):
+        kept = {}
+        for event in witness.events:
+            kept.setdefault(event.thread_id, []).append(
+                event.meta[WITNESS_OF]
+            )
+        for tid, seqs in kept.items():
+            original = [
+                e.seq for e in log.events if e.thread_id == tid
+            ]
+            # A program-order-closed prefix, in order: the witness keeps
+            # exactly the first len(seqs) events of the thread.
+            assert seqs == original[: len(seqs)]
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(traces)
+def test_witness_keeps_source_sync_pairings(steps):
+    for log, _, _, witness in _predicted_witnesses(steps):
+        seq_of = {id(e): e.meta[WITNESS_OF] for e in witness.events}
+        original = sync_pairings(log.events, SPEC)
+        reordered = sync_pairings(witness.events, SPEC, seq_of=seq_of)
+        for acquire, release in reordered.acquires.items():
+            assert original.acquires[acquire] == release
+        for access, publish in reordered.statics.items():
+            assert original.statics[access] == publish
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(traces)
+def test_witness_ends_with_the_racy_pair_and_validates(steps):
+    for log, a_seq, b_seq, witness in _predicted_witnesses(steps):
+        assert len(witness) >= 2
+        tail = witness.events[-2:]
+        assert {e.meta[WITNESS_OF] for e in tail} == {a_seq, b_seq}
+        assert tail[0].conflicts_with(tail[1])
+        assert validate_witness(log, witness, SPEC, a_seq, b_seq) == []

@@ -5,11 +5,15 @@ import pytest
 from repro.apps.registry import get_application
 from repro.core import Sherlock, SherlockConfig
 from repro.racedet import (
+    HappensBeforeSpec,
+    analyze_run,
     attribute_false_races,
+    classify_first_races,
     detect_races,
     manual_spec,
     sherlock_spec,
 )
+from repro.sim.runner import RunOptions, run_application
 
 
 @pytest.fixture(scope="module")
@@ -44,11 +48,45 @@ def test_sherlock_spec_mirrors_inference(app7_report):
     assert len(spec.releases) == len(report.final.releases)
 
 
-def test_detect_races_counts_first_per_run(app7_report):
+def test_detect_races_classifies_first_races(app7_report):
+    """The harness's counts are the *classified* first-race verdicts,
+    not raw report lists."""
     app, report = app7_report
     result = detect_races(app, sherlock_spec(report.final), seed=0)
     assert len(result.first_races) == len(app.tests)
-    assert result.total == result.true_races + result.false_races
+    expected = classify_first_races(
+        result.first_races, set(app.ground_truth.racy_fields)
+    )
+    assert (result.true_races, result.false_races) == expected
+    assert result.total == sum(expected)
+
+
+def test_classify_first_races_skips_race_free_runs(app7_report):
+    app, report = app7_report
+    result = detect_races(app, sherlock_spec(report.final), seed=0)
+    racy = set(app.ground_truth.racy_fields)
+    true_n, false_n = classify_first_races(result.first_races, racy)
+    reported = [r for r in result.first_races if r is not None]
+    assert true_n + false_n == len(reported)
+    assert true_n == sum(1 for r in reported if r.field_name in racy)
+    # None entries (race-free runs) never count either way.
+    assert classify_first_races([None, None], racy) == (0, 0)
+
+
+def test_fasttrack_stops_counting_after_first_race_per_run():
+    """§5.4 soundness caveat: FastTrack's guarantee holds only until
+    the first report, so the harness counts one race per run even when
+    the analysis reports several."""
+    app = get_application("App-7")
+    empty = HappensBeforeSpec(name="empty")  # no syncs: many races
+    executions = run_application(app, RunOptions(seed=0, run_id=0))
+    per_run = [
+        len(analyze_run(e.log, empty).races) for e in executions
+    ]
+    assert max(per_run) > 1  # at least one run reports multiple races
+    result = detect_races(app, empty, seed=0)
+    assert result.total == sum(1 for n in per_run if n > 0)
+    assert result.total < sum(per_run)
 
 
 def test_sherlock_dr_beats_manual_on_false_races(app7_report):

@@ -51,6 +51,30 @@ def test_fuzz_command(tmp_path, capsys):
     assert "App-7" in blob["apps"]
 
 
+def test_predict_command(tmp_path, capsys):
+    out_path = tmp_path / "power.json"
+    assert main([
+        "--rounds", "2", "predict",
+        "--app", "App-7",
+        "--spec", "both",
+        "--out", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Detection power" in out
+    assert "Manual_pr" in out and "SherLock_pr" in out
+    blob = json.loads(out_path.read_text(encoding="utf-8"))
+    assert blob["totals"]["supersets_ok"] is True
+    assert blob["totals"]["invalid_witnesses"] == 0
+    assert {r["spec_name"] for r in blob["rows"]} == {
+        "Manual_pr", "SherLock_pr"
+    }
+
+
+def test_predict_unknown_spec_rejected():
+    with pytest.raises(SystemExit):
+        main(["predict", "--spec", "lockset"])
+
+
 def test_fuzz_unknown_policy_rejected():
     with pytest.raises(SystemExit):
         main(["fuzz", "--policy", "roundrobin"])
