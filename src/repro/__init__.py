@@ -18,7 +18,8 @@ Public API tour:
   SherLock_dr).
 * :mod:`repro.predict` — sync-preserving *predictive* race detection
   (Manual_pr / SherLock_pr) with witness reorderings; one-call entry
-  point :func:`repro.predict_races`.
+  point :func:`repro.predict_races`; directed schedule search
+  via :func:`repro.convert_predictions` (``repro convert``).
 * :mod:`repro.tsvd` — the TSVD baseline.
 * :mod:`repro.analysis` — per-table experiment regenerators.
 * :mod:`repro.lp` — the linear-programming substrate.
@@ -44,7 +45,7 @@ engines and warm-cache runs serialize byte-identically.
 """
 
 from . import fuzz
-from .api import arun, predict_races, run
+from .api import arun, convert_predictions, predict_races, run
 from .apps import all_applications, app_ids, get_application
 from .core import (
     InferenceResult,
@@ -88,6 +89,7 @@ __all__ = [
     "all_applications",
     "app_ids",
     "arun",
+    "convert_predictions",
     "detect_races",
     "fuzz",
     "get_application",

@@ -240,4 +240,57 @@ def predict_races(
     )
 
 
-__all__ = ["arun", "coerce_cache", "predict_races", "run"]
+def convert_predictions(
+    apps: Union[Application, str, "list[Union[Application, str]]"],
+    *,
+    spec: str = "manual",
+    seed: int = 0,
+    schedules: int = 4,
+    rounds: int = 3,
+    policy: str = "random",
+    targets: Optional[dict] = None,
+    engine: Optional[str] = None,
+    workers: int = 1,
+):
+    """Directed schedule search over predicted-only races.
+
+    Takes the apps' predicted-but-not-first races (from
+    :func:`predict_races` / a campaign's ``schedule_targets()``), fans
+    ``schedules`` :class:`~repro.sim.schedule.DirectedPolicy` runs per
+    app over the execution engine, and returns a
+    :class:`~repro.predict.convert.ConvertReport`: per target, either
+    *converted* (the prediction was validated by an observed FastTrack
+    race under the rolling soundness horizon) or *flagged* (no directed
+    schedule converted it — a candidate false prediction).
+
+    ``targets`` optionally maps app ids to explicit target lists (the
+    shape ``CampaignReport.schedule_targets()`` returns); apps not
+    listed derive targets from their own prediction baseline.
+    """
+    from .predict.convert import ConvertConfig, run_conversion
+
+    if isinstance(apps, (str, Application)):
+        apps = [apps]
+    app_ids = [_resolve_app(a).app_id for a in apps]
+    specs = ("manual", "sherlock") if spec == "both" else (spec,)
+    config = ConvertConfig(
+        app_ids=app_ids,
+        schedules=schedules,
+        base_seed=seed,
+        rounds=rounds,
+        policy=policy,
+        specs=specs,
+        workers=workers,
+        engine=engine,
+        targets=targets,
+    )
+    return run_conversion(config)
+
+
+__all__ = [
+    "arun",
+    "coerce_cache",
+    "convert_predictions",
+    "predict_races",
+    "run",
+]

@@ -24,7 +24,16 @@ Commands
     sweep schedule seeds per app, compare FastTrack-first-race vs TSVD
     vs predictive detection power, verify the predictive ⊇ FastTrack
     invariant and every witness reordering.  Exit status is non-zero
-    when the superset invariant or a witness validation fails.
+    when the superset invariant or a witness validation fails.  With
+    ``--convert``, follow up with a directed schedule-search pass over
+    the predicted-only races.
+``convert``
+    Directed schedule search: fan ``directed:<seed>|target|...``
+    schedules over the predicted-only races and report, per app × spec
+    × target, whether the prediction was converted into an observed
+    FastTrack race (validated) or never converted (candidate false
+    prediction).  ``--require-planted`` makes the exit status non-zero
+    when a ground-truth planted race fails to convert.
 """
 
 from __future__ import annotations
@@ -53,7 +62,7 @@ from .apps.registry import all_applications, app_ids, get_application
 from .core import SherlockConfig
 from .racedet import detect_races, manual_spec, sherlock_spec
 from .runtime import DEFAULT_CACHE_DIR, ExecutionRuntime
-from .sim.schedule import policy_names
+from .sim.schedule import build_policy, policy_names
 
 _TABLES = {
     "table1": lambda a: table1.run(a),
@@ -68,6 +77,20 @@ _TABLES = {
     "tsvd": lambda a: tsvd_enhance.run(a),
     "overhead": lambda a: overhead.run(a),
 }
+
+
+def _policy_spec(value: str) -> str:
+    """Validate a schedule-policy spec string (``--policy``).
+
+    Accepts every registered spec shape — ``random``, ``pct[:p]``,
+    ``directed:<seed>[@p]|target|...`` — not just the bare names, so
+    parameterized specs flow through the CLI unchanged.
+    """
+    try:
+        build_policy(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return value
 
 
 def _add_shared_options(parser: argparse.ArgumentParser, suppress: bool) -> None:
@@ -163,8 +186,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seeds to sweep per app (default 25)",
     )
     fuzz_p.add_argument(
-        "--policy", default="random", choices=policy_names(),
-        help="kernel scheduling policy (default random)",
+        "--policy", default="random", type=_policy_spec,
+        help="kernel scheduling policy spec "
+        f"(one of {policy_names()}, optionally parameterized, e.g. "
+        "'pct:0.05' or 'directed:7|Cls::field'; default random)",
+    )
+    fuzz_p.add_argument(
+        "--convert", action="store_true",
+        help="after the campaign, run a directed schedule-search pass "
+        "over its predicted race targets",
     )
     fuzz_p.add_argument(
         "--out", default="fuzz_report.json", metavar="PATH",
@@ -205,12 +235,53 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default both)",
     )
     predict_p.add_argument(
-        "--policy", default="random", choices=policy_names(),
-        help="kernel scheduling policy (default random)",
+        "--policy", default="random", type=_policy_spec,
+        help="kernel scheduling policy spec "
+        f"(one of {policy_names()}, optionally parameterized; "
+        "default random)",
     )
     predict_p.add_argument(
         "--out", default=None, metavar="PATH",
         help="also write the sweep as JSON",
+    )
+    predict_p.add_argument(
+        "--convert", action="store_true",
+        help="follow up with a directed schedule-search pass over the "
+        "predicted-only races",
+    )
+
+    convert_p = sub.add_parser(
+        "convert",
+        help="directed schedule search over predicted-only races",
+        parents=[shared],
+    )
+    convert_p.add_argument(
+        "--app", action="append", dest="convert_apps", metavar="APP",
+        help="app to convert (repeatable; ids or module aliases; "
+        "default: all 8)",
+    )
+    convert_p.add_argument(
+        "--schedules", type=int, default=4,
+        help="directed schedules (seeds) per app × spec (default 4)",
+    )
+    convert_p.add_argument(
+        "--spec", choices=["manual", "sherlock", "both"],
+        default="manual",
+        help="happens-before vocabulary (default manual)",
+    )
+    convert_p.add_argument(
+        "--policy", default="random", type=_policy_spec,
+        help="schedule policy of the observed baseline run "
+        "(default random)",
+    )
+    convert_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the conversion report as JSON",
+    )
+    convert_p.add_argument(
+        "--require-planted", action="store_true",
+        help="exit non-zero when a planted (ground-truth racy) target "
+        "fails to convert",
     )
     return parser
 
@@ -279,11 +350,30 @@ def _cmd_fuzz(args, runtime: ExecutionRuntime) -> int:
         json.dump(report.to_dict(), fp, indent=2)
     print(report.summary())
     print(f"campaign report written to {args.out}")
-    if report.total_violations or report.permutation_mismatches:
-        return 1
-    if args.strict and report.total_oracle_failures:
-        return 1
-    return 0
+    if args.convert:
+        _convert_followup(
+            args, runtime, apps, targets=report.schedule_targets()
+        )
+    return report.exit_code(strict=args.strict)
+
+
+def _convert_followup(args, runtime, apps, targets=None, specs=("manual",)):
+    """Directed schedule-search pass after a fuzz/predict command."""
+    from .predict.convert import ConvertConfig, run_conversion
+
+    config = ConvertConfig(
+        app_ids=list(apps),
+        base_seed=args.seed,
+        rounds=args.rounds,
+        specs=tuple(specs),
+        workers=args.workers,
+        engine=args.engine,
+        targets=targets or None,
+    )
+    report = run_conversion(config, runtime=runtime)
+    print(report.table().render())
+    print(report.summary())
+    return report
 
 
 def _cmd_predict(args, runtime: ExecutionRuntime) -> int:
@@ -309,9 +399,41 @@ def _cmd_predict(args, runtime: ExecutionRuntime) -> int:
         with open(args.out, "w", encoding="utf-8") as fp:
             json.dump(report.to_dict(), fp, indent=2)
         print(f"power sweep written to {args.out}")
+    if args.convert:
+        _convert_followup(args, runtime, apps, specs=specs)
     if not report.all_supersets_ok or report.total_invalid_witnesses:
         return 1
     return 0
+
+
+def _cmd_convert(args, runtime: ExecutionRuntime) -> int:
+    from .predict.convert import ConvertConfig, run_conversion
+
+    apps = args.convert_apps or args.apps or app_ids()
+    specs = (
+        ("manual", "sherlock") if args.spec == "both" else (args.spec,)
+    )
+    config = ConvertConfig(
+        app_ids=list(apps),
+        schedules=args.schedules,
+        base_seed=args.seed,
+        rounds=args.rounds,
+        policy=args.policy,
+        specs=specs,
+        workers=args.workers,
+        engine=args.engine,
+    )
+    report = run_conversion(config, runtime=runtime)
+    print(report.table().render())
+    print(report.summary())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fp:
+            json.dump(report.to_dict(), fp, indent=2)
+        print(f"conversion report written to {args.out}")
+    if args.stats:
+        print("-- stats " + "-" * 31)
+        print(report.metrics.describe())
+    return report.exit_code(require_planted=args.require_planted)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -348,6 +470,8 @@ def _dispatch(args, runtime: ExecutionRuntime) -> int:
         return _cmd_fuzz(args, runtime)
     if args.command == "predict":
         return _cmd_predict(args, runtime)
+    if args.command == "convert":
+        return _cmd_convert(args, runtime)
     if args.command == "table":
         print(_TABLES[args.name](args.apps).render())
         if args.stats and runtime.cache is not None:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import hashlib
 import json
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..apps.registry import get_application, resolve_app_id
@@ -65,6 +65,9 @@ class CampaignConfig:
     oracles: bool = True
 
     def validate(self) -> None:
+        """Read-only sanity checks — never mutates the config, so a
+        caller's ``CampaignConfig`` serializes exactly as passed and
+        ``validate()`` is idempotent by inspection."""
         if self.schedules < 1:
             raise ValueError("schedules must be >= 1")
         if self.rounds < 1:
@@ -79,9 +82,18 @@ class CampaignConfig:
             from ..runtime.engines import validate_engine_spec
 
             validate_engine_spec(self.engine)
-        # Resolves aliases eagerly so typos fail before any execution.
-        self.app_ids = [resolve_app_id(a) for a in self.app_ids]
+        # Resolves aliases eagerly so typos fail before any execution
+        # (result discarded: resolution itself happens in resolved()).
+        for app_id in self.app_ids:
+            resolve_app_id(app_id)
         SherlockConfig(schedule_policy=self.policy)  # spec check
+
+    def resolved(self) -> "CampaignConfig":
+        """Validated copy with app aliases resolved (pure)."""
+        self.validate()
+        return replace(
+            self, app_ids=[resolve_app_id(a) for a in self.app_ids]
+        )
 
 
 @dataclass
@@ -185,13 +197,32 @@ class CampaignReport:
 
     @property
     def total_oracle_failures(self) -> int:
-        return sum(len(r.oracle_failures) for r in self.results) + len(
-            self.permutation_mismatches
-        )
+        """Failed oracle checks only — permutation mismatches are a
+        separate counter (``total_permutation_mismatches``), never
+        folded in here."""
+        return sum(len(r.oracle_failures) for r in self.results)
 
     @property
-    def ok(self) -> bool:
-        return self.total_violations == 0 and not self.permutation_mismatches
+    def total_permutation_mismatches(self) -> int:
+        return len(self.permutation_mismatches)
+
+    def ok(self, strict: bool = False) -> bool:
+        """The campaign verdict.
+
+        Non-strict: no sanitizer violations and no permutation-replay
+        mismatches.  ``strict=True`` additionally requires every oracle
+        to have passed — the single source of truth for the CLI's
+        ``--strict`` exit path.
+        """
+        if self.total_violations or self.permutation_mismatches:
+            return False
+        if strict and self.total_oracle_failures:
+            return False
+        return True
+
+    def exit_code(self, strict: bool = False) -> int:
+        """Process exit status for this verdict (0 pass, 1 fail)."""
+        return 0 if self.ok(strict=strict) else 1
 
     def schedule_targets(self) -> Dict[str, List[str]]:
         """Predicted-but-unwitnessed races per app: prioritized targets
@@ -245,11 +276,10 @@ class CampaignReport:
                 "violations": self.total_violations,
                 "oracle_failures": self.total_oracle_failures,
                 "permutation_sampled": self.permutation_sampled,
-                "permutation_mismatches": len(
-                    self.permutation_mismatches
-                ),
+                "permutation_mismatches": self.total_permutation_mismatches,
                 "elapsed_s": round(self.elapsed_s, 3),
-                "ok": self.ok,
+                "ok": self.ok(),
+                "strict_ok": self.ok(strict=True),
             },
             "apps": self.per_app(),
             "schedule_targets": self.schedule_targets(),
@@ -280,9 +310,10 @@ class CampaignReport:
         )
         lines.append(
             "  RESULT: "
-            + ("OK" if self.ok else "VIOLATIONS FOUND")
+            + ("OK" if self.ok() else "VIOLATIONS FOUND")
             + (
-                f" ({self.total_oracle_failures} oracle failures)"
+                f" ({self.total_oracle_failures} oracle failures; "
+                "strict verdict FAIL)"
                 if self.total_oracle_failures
                 else ""
             )
@@ -295,7 +326,7 @@ def run_campaign(
     runtime: Optional[ExecutionRuntime] = None,
 ) -> CampaignReport:
     """Execute a fuzz campaign, optionally on a caller-owned runtime."""
-    config.validate()
+    config = config.resolved()
     t_start = time.perf_counter()
     jobs: List[ScheduleJob] = [
         (

@@ -16,6 +16,14 @@ from .closure import (
     SyncPreservingClosure,
     sync_pairings,
 )
+from .convert import (
+    ConvertConfig,
+    ConvertReport,
+    ConvertRow,
+    TargetVerdict,
+    cascade_conversions,
+    run_conversion,
+)
 from .detector import (
     PredictedRace,
     PredictionAnalysis,
@@ -34,6 +42,9 @@ from .witness import WITNESS_OF, build_witness, validate_witness
 
 __all__ = [
     "WITNESS_OF",
+    "ConvertConfig",
+    "ConvertReport",
+    "ConvertRow",
     "PowerConfig",
     "PowerReport",
     "PowerRow",
@@ -44,9 +55,12 @@ __all__ = [
     "PrefixVector",
     "SyncPairings",
     "SyncPreservingClosure",
+    "TargetVerdict",
     "analyze_run_predictive",
     "build_witness",
+    "cascade_conversions",
     "predict_app",
+    "run_conversion",
     "run_power_sweep",
     "sync_pairings",
     "validate_witness",

@@ -238,6 +238,7 @@ class PowerConfig:
     engine: Optional[str] = None
 
     def validate(self) -> None:
+        """Read-only sanity checks (never mutates the config)."""
         if self.schedules < 1:
             raise ValueError("schedules must be >= 1")
         if self.rounds < 1:
@@ -251,8 +252,16 @@ class PowerConfig:
             from ..runtime.engines import validate_engine_spec
 
             validate_engine_spec(self.engine)
-        self.app_ids = [resolve_app_id(a) for a in self.app_ids]
+        for app_id in self.app_ids:
+            resolve_app_id(app_id)
         SherlockConfig(schedule_policy=self.policy)  # spec check
+
+    def resolved(self) -> "PowerConfig":
+        """Validated copy with app aliases resolved (pure)."""
+        self.validate()
+        return replace(
+            self, app_ids=[resolve_app_id(a) for a in self.app_ids]
+        )
 
 
 @dataclass
@@ -348,7 +357,7 @@ def run_power_sweep(
 ) -> PowerReport:
     """Execute a detection-power sweep, optionally on a caller-owned
     runtime (jobs fan out via ``map_jobs`` like the fuzz campaign)."""
-    config.validate()
+    config = config.resolved()
     t_start = time.perf_counter()
     jobs: List[PredictJob] = [
         (app_id, config.base_seed + i, config.rounds, config.policy, kind)

@@ -68,6 +68,15 @@ class RunMetrics:
     #: on the incremental path (summed when aggregated).
     lp_delta_variables: int = 0
     lp_delta_constraints: int = 0
+    #: Directed schedule-search counters (``repro convert``): targets
+    #: attempted, targets converted into observed FastTrack races,
+    #: targets flagged as candidate false predictions, and directed
+    #: schedules executed.  Zero outside conversion passes; summed when
+    #: aggregated.
+    convert_targets: int = 0
+    convert_converted: int = 0
+    convert_flagged: int = 0
+    convert_runs: int = 0
     #: Worker-process count of the runtime that produced the traces.
     workers: int = 1
     #: Engine fan-out counters (see
@@ -114,6 +123,10 @@ class RunMetrics:
         self.lp_eta_len += other.lp_eta_len
         self.lp_delta_variables += other.lp_delta_variables
         self.lp_delta_constraints += other.lp_delta_constraints
+        self.convert_targets += other.convert_targets
+        self.convert_converted += other.convert_converted
+        self.convert_flagged += other.convert_flagged
+        self.convert_runs += other.convert_runs
         self.workers = max(self.workers, other.workers)
         # The high-water mark is level-valued (keep the peak); the other
         # engine counters are per-round work and add up.
@@ -162,6 +175,10 @@ class RunMetrics:
                 f"{self.engine_concurrency_hwm}, "
                 f"{self.engine_jobs_cancelled} cancelled jobs, "
                 f"await {self.engine_await_s:.3f}s",
+                f"convert: {self.convert_targets} targets, "
+                f"{self.convert_converted} converted, "
+                f"{self.convert_flagged} flagged, "
+                f"{self.convert_runs} directed runs",
             ]
         )
 

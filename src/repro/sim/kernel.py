@@ -192,10 +192,14 @@ class Kernel:
             except StopIteration:
                 self._finish(thread, ThreadState.FINISHED)
                 return
-            except BaseException as exc:  # app bug: record and stop thread
+            except Exception as exc:  # app bug: record and stop thread
                 thread.error = exc
                 self._finish(thread, ThreadState.FAILED)
                 return
+            # Control-flow exceptions (KeyboardInterrupt, SystemExit)
+            # are *not* app failures: they propagate so Ctrl-C aborts a
+            # long simulation instead of being recorded as a thread
+            # error while the run grinds on.
             thread.send_value = None
         self._dispatch(thread, syscall)
 
@@ -207,29 +211,27 @@ class Kernel:
 
     def _dispatch(self, thread: SimThread, syscall: Syscall) -> None:
         if isinstance(syscall, SysRead):
-            if self._maybe_delay(thread, syscall, OpType.READ,
-                                 syscall.obj.field_qname(syscall.fieldname)):
+            name = syscall.obj.field_qname(syscall.fieldname)
+            if self._maybe_defer(thread, syscall, OpType.READ, name):
+                return
+            if self._maybe_delay(thread, syscall, OpType.READ, name):
                 return
             value = syscall.obj.get(syscall.fieldname)
-            self._emit(
-                thread,
-                OpType.READ,
-                syscall.obj.field_qname(syscall.fieldname),
-                syscall.obj.id,
-            )
+            self._emit(thread, OpType.READ, name, syscall.obj.id)
             thread.send_value = value
         elif isinstance(syscall, SysWrite):
-            if self._maybe_delay(thread, syscall, OpType.WRITE,
-                                 syscall.obj.field_qname(syscall.fieldname)):
+            name = syscall.obj.field_qname(syscall.fieldname)
+            if self._maybe_defer(thread, syscall, OpType.WRITE, name):
+                return
+            if self._maybe_delay(thread, syscall, OpType.WRITE, name):
                 return
             syscall.obj.set(syscall.fieldname, syscall.value)
-            self._emit(
-                thread,
-                OpType.WRITE,
-                syscall.obj.field_qname(syscall.fieldname),
-                syscall.obj.id,
-            )
+            self._emit(thread, OpType.WRITE, name, syscall.obj.id)
         elif isinstance(syscall, SysEmit):
+            if self._maybe_defer(
+                thread, syscall, syscall.optype, syscall.name
+            ):
+                return
             if self._maybe_delay(thread, syscall, syscall.optype, syscall.name):
                 return
             self._emit(
@@ -256,6 +258,27 @@ class Kernel:
             self._advance(thread)
         else:
             raise IllegalSyscall(f"cannot dispatch {syscall!r}")
+
+    # -- directed deferral -------------------------------------------------------------
+
+    def _maybe_defer(
+        self, thread: SimThread, syscall: Syscall, optype: OpType, name: str
+    ) -> bool:
+        """Let the schedule policy postpone a traced operation.
+
+        A deferred syscall is parked on the thread exactly like a
+        delayed one, but the thread stays RUNNABLE and no virtual time
+        passes — the policy has simply demoted it, so other threads
+        overtake at this static location (the
+        :class:`~repro.sim.schedule.DirectedPolicy` reordering
+        mechanism).  Consulted before delay injection so a deferred
+        operation still pays its injected delay exactly once on
+        re-dispatch.
+        """
+        if not self.policy.defer(thread, optype, name):
+            return False
+        thread.pending = syscall
+        return True
 
     # -- delay injection ---------------------------------------------------------------
 

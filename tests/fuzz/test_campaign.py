@@ -65,10 +65,24 @@ class TestScheduleJob:
 
 
 class TestCampaignConfigValidate:
-    def test_resolves_aliases(self):
+    def test_validate_is_read_only(self):
+        """validate() must not rewrite app_ids: the caller's config
+        serializes exactly as passed, and double-validation is a no-op
+        by inspection."""
         config = CampaignConfig(app_ids=["app7_statsd", "app-2"])
         config.validate()
-        assert config.app_ids == ["App-7", "App-2"]
+        assert config.app_ids == ["app7_statsd", "app-2"]
+        config.validate()  # idempotent: still the caller's spelling
+        assert config.app_ids == ["app7_statsd", "app-2"]
+
+    def test_resolved_is_pure(self):
+        config = CampaignConfig(app_ids=["app7_statsd", "app-2"])
+        resolved = config.resolved()
+        assert resolved.app_ids == ["App-7", "App-2"]
+        assert config.app_ids == ["app7_statsd", "app-2"]
+        # Resolution is stable: resolving a resolved config changes
+        # nothing further.
+        assert resolved.resolved().app_ids == resolved.app_ids
 
     def test_rejects_unknown_app(self):
         with pytest.raises(KeyError, match="app9_nope"):
@@ -97,6 +111,89 @@ class TestCampaignConfigValidate:
             CampaignConfig(**base).validate()
 
 
+def _result(app_id="App-7", seed=0, violations=(), oracles=()):
+    from repro.fuzz.campaign import ScheduleResult
+
+    return ScheduleResult(
+        app_id=app_id,
+        seed=seed,
+        policy="random",
+        trace_digest="t",
+        report_digest="r",
+        inferred=[],
+        events_observed=1,
+        executions=1,
+        violations=list(violations),
+        oracles=list(oracles),
+    )
+
+
+def _report(**kwargs):
+    from repro.fuzz.campaign import CampaignReport
+
+    kwargs.setdefault("config", CampaignConfig(app_ids=["App-7"]))
+    kwargs.setdefault("results", [])
+    return CampaignReport(**kwargs)
+
+
+class TestCampaignVerdicts:
+    """ok/exit_code semantics: oracle failures and permutation
+    mismatches are distinct counters with distinct strictness."""
+
+    def test_clean_report_passes_both_verdicts(self):
+        report = _report(results=[_result()])
+        assert report.ok() and report.ok(strict=True)
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 0
+
+    def test_oracle_failure_only_fails_strict_verdict(self):
+        failed = {"name": "ground-truth", "passed": False, "data": {}}
+        report = _report(results=[_result(oracles=[failed])])
+        assert report.total_oracle_failures == 1
+        assert report.total_permutation_mismatches == 0
+        assert report.ok()              # non-strict: oracles advisory
+        assert not report.ok(strict=True)
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_permutation_mismatch_only_fails_both_verdicts(self):
+        mismatch = {"app_id": "App-7", "seed": 0}
+        report = _report(
+            results=[_result()],
+            permutation_mismatches=[mismatch],
+            permutation_sampled=1,
+        )
+        assert not report.ok()
+        assert not report.ok(strict=True)
+        assert report.exit_code() == 1
+
+    def test_mismatches_not_double_counted_as_oracle_failures(self):
+        mismatch = {"app_id": "App-7", "seed": 0}
+        report = _report(
+            results=[_result()],
+            permutation_mismatches=[mismatch],
+            permutation_sampled=1,
+        )
+        assert report.total_oracle_failures == 0
+        assert report.total_permutation_mismatches == 1
+
+    def test_sanitizer_violation_fails_both_verdicts(self):
+        violation = {"kind": "order", "detail": "x"}
+        report = _report(results=[_result(violations=[violation])])
+        assert not report.ok()
+        assert not report.ok(strict=True)
+
+    def test_to_dict_reports_both_verdicts(self):
+        failed = {"name": "lambda-stability", "passed": False, "data": {}}
+        totals = _report(results=[_result(oracles=[failed])]).to_dict()[
+            "totals"
+        ]
+        assert totals["ok"] is True
+        assert totals["strict_ok"] is False
+        assert totals["oracle_failures"] == 1
+        assert totals["permutation_mismatches"] == 0
+
+
 class TestRunCampaign:
     def test_small_campaign_end_to_end(self):
         config = CampaignConfig(
@@ -114,7 +211,10 @@ class TestRunCampaign:
         # replay_every=2 over 3 jobs samples jobs 0 and 2.
         assert report.permutation_sampled == 2
         assert report.permutation_mismatches == []
-        assert report.ok
+        assert report.ok()
+        # run_campaign resolved a copy; the caller's config is intact.
+        assert config.app_ids == ["app7_statsd"]
+        assert report.config.app_ids == ["App-7"]
 
         per_app = report.per_app()["App-7"]
         assert per_app["schedules"] == 3
@@ -151,7 +251,7 @@ class TestRunCampaign:
         with ExecutionRuntime(workers=1) as rt:
             report = run_campaign(config, runtime=rt)
         assert len(report.results) == 2
-        assert report.ok
+        assert report.ok()
 
     def test_base_seed_offsets_schedules(self):
         config = CampaignConfig(

@@ -36,7 +36,9 @@ def test_sweep_table_and_json(capsys):
         app_ids=["app7_statsd"], schedules=1, rounds=2, specs=("manual",)
     )
     report = run_power_sweep(config)
-    assert config.app_ids == ["App-7"]  # validate() resolves aliases
+    # The sweep resolves a copy; the caller's config keeps its spelling.
+    assert config.app_ids == ["app7_statsd"]
+    assert config.resolved().app_ids == ["App-7"]
     assert len(report.rows) == 1
     assert report.all_supersets_ok
     assert report.total_invalid_witnesses == 0

@@ -168,6 +168,72 @@ def test_thread_exception_captured():
     assert isinstance(thread.error, ValueError)
 
 
+@pytest.mark.parametrize("exc_type", [KeyboardInterrupt, SystemExit])
+def test_control_flow_exceptions_abort_the_run(exc_type):
+    """Ctrl-C (or sys.exit) inside a simulated thread must abort the
+    simulation, not be swallowed as an app failure while the run
+    grinds on."""
+    kernel, rt, _ = make_kernel()
+
+    def interrupted():
+        yield from rt.sched_yield()
+        raise exc_type()
+
+    thread = kernel.spawn(interrupted(), "interrupted")
+    with pytest.raises(exc_type):
+        kernel.run()
+    # Not recorded as an app bug: the thread neither FAILED nor
+    # captured the exception.
+    assert thread.state is not ThreadState.FAILED
+    assert thread.error is None
+
+
+def test_directed_deferral_reorders_but_loses_no_events():
+    """A directed policy parks the first target access and demotes its
+    thread; the op must still execute exactly once and the run stays
+    deterministic for the same spec."""
+
+    def run(policy):
+        log = TraceLog(run_id=0)
+        kernel = Kernel(seed=0, log=log, schedule_policy=policy)
+        rt = Runtime(kernel)
+        obj = rt.new_object("C", x=0, y=0)
+
+        def writer():
+            yield from rt.write(obj, "x", 1)
+            yield from rt.write(obj, "y", 1)
+
+        def reader():
+            yield from rt.read(obj, "x")
+            yield from rt.read(obj, "y")
+
+        kernel.spawn(writer(), "w")
+        kernel.spawn(reader(), "r")
+        kernel.run()
+        return [(e.thread_id, e.optype, e.name) for e in log]
+
+    directed = run("directed:0|C::x")
+    assert sorted(directed) == sorted(run("random"))  # nothing dropped
+    assert directed == run("directed:0|C::x")         # deterministic
+
+
+def test_directed_deferral_of_sole_runnable_thread_makes_progress():
+    def run():
+        log = TraceLog(run_id=0)
+        kernel = Kernel(seed=0, log=log, schedule_policy="directed:0|C::x")
+        rt = Runtime(kernel)
+        obj = rt.new_object("C", x=0)
+
+        def solo():
+            yield from rt.write(obj, "x", 1)
+
+        kernel.spawn(solo(), "solo")
+        kernel.run()
+        return [e.name for e in log]
+
+    assert run() == ["C::x"]
+
+
 def test_delay_injection_stalls_thread_and_records_interval():
     site = OpRef("C::x", OpType.WRITE)
     log = TraceLog()

@@ -10,12 +10,17 @@ from repro.fuzz import trace_digest
 from repro.sim.runner import RunOptions, run_unit_test
 from repro.sim.schedule import (
     DEFAULT_PCT_CHANGE_PROB,
+    DirectedPolicy,
     PCTPolicy,
     RandomPolicy,
     SchedulePolicy,
     build_policy,
+    directed_spec,
+    format_target,
+    parse_target,
     policy_names,
 )
+from repro.trace.optypes import OpType
 
 
 class FakeThread:
@@ -65,7 +70,57 @@ class TestBuildPolicy:
             build_policy("pct:xyz")
 
     def test_policy_names_sorted(self):
-        assert policy_names() == ["pct", "random"]
+        assert policy_names() == ["directed", "pct", "random"]
+
+    def test_directed_spec_round_trips(self):
+        spec = "directed:7|Cls::flag|Cls::field[read/write]"
+        policy = build_policy(spec)
+        assert isinstance(policy, DirectedPolicy)
+        assert policy.seed == 7
+        assert policy.targets == (
+            "Cls::field[read/write]",
+            "Cls::flag",
+        )
+        # The canonical spec reparses to an identical policy.
+        again = build_policy(policy.spec)
+        assert again.spec == policy.spec
+        assert again.targets == policy.targets
+
+    def test_directed_spec_helper_is_canonical(self):
+        # Duplicate / unsorted targets normalize to one stable spec
+        # (cache keys and cross-process determinism depend on it).
+        a = directed_spec(3, ["B::y", "A::x", "B::y"])
+        b = directed_spec(3, ["A::x", "B::y"])
+        assert a == b == "directed:3|A::x|B::y"
+
+    def test_directed_change_prob_in_spec(self):
+        policy = build_policy("directed:2@0.5|A::x")
+        assert policy.change_prob == 0.5
+        assert policy.spec == "directed:2@0.5|A::x"
+
+    def test_bad_directed_arg_rejected(self):
+        with pytest.raises(ValueError, match="directed:x"):
+            build_policy("directed:x|A::f")
+        with pytest.raises(ValueError, match="access kind"):
+            build_policy("directed:0|A::f[jump]")
+
+
+class TestTargetParsing:
+    def test_bare_field(self):
+        assert parse_target("Cls::field") == ("Cls::field", frozenset())
+
+    def test_field_with_kinds(self):
+        name, kinds = parse_target("Cls::field[read/write]")
+        assert name == "Cls::field"
+        assert kinds == {"read", "write"}
+
+    def test_format_round_trip(self):
+        for target in ("A::x", "A::x[read]", "A::x[read/write]"):
+            assert format_target(parse_target(target)) == target
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ValueError):
+            parse_target("  ")
 
 
 class TestRandomPolicy:
@@ -116,6 +171,50 @@ class TestPCTPolicy:
             PCTPolicy(change_prob=-0.1)
         with pytest.raises(ValueError):
             PCTPolicy(change_prob=1.5)
+
+
+class TestDirectedPolicy:
+    def test_defers_target_access_once_per_thread(self):
+        policy = DirectedPolicy(seed=0, targets=["A::x"])
+        policy.reset(random.Random(0))
+        thread = FakeThread(1)
+        assert policy.defer(thread, OpType.WRITE, "A::x")
+        # Second encounter proceeds: the parked syscall must make
+        # progress on re-dispatch.
+        assert not policy.defer(thread, OpType.WRITE, "A::x")
+        # A different thread gets its own deferral at the same site.
+        assert policy.defer(FakeThread(2), OpType.WRITE, "A::x")
+
+    def test_kind_filter_respected(self):
+        policy = DirectedPolicy(seed=0, targets=["A::x[write]"])
+        policy.reset(random.Random(0))
+        assert not policy.defer(FakeThread(1), OpType.READ, "A::x")
+        assert policy.defer(FakeThread(1), OpType.WRITE, "A::x")
+
+    def test_non_target_fields_never_defer(self):
+        policy = DirectedPolicy(seed=0, targets=["A::x"])
+        policy.reset(random.Random(0))
+        assert not policy.defer(FakeThread(1), OpType.WRITE, "B::y")
+        # Method events are never memory accesses, even at a target name.
+        assert not policy.defer(FakeThread(1), OpType.ENTER, "A::x")
+
+    def test_deferred_thread_drops_below_everyone(self):
+        policy = DirectedPolicy(seed=5, targets=["A::x"])
+        policy.reset(random.Random(0))
+        threads = [FakeThread(t) for t in (1, 2, 3)]
+        policy.choose(threads, step=0)
+        toucher = threads[0]
+        policy.defer(toucher, OpType.WRITE, "A::x")
+        assert policy.choose(threads, step=1) is not toucher
+
+    def test_uses_private_rng_not_kernel_rng(self):
+        """Directed priorities must never consume the kernel RNG, or
+        undirected golden traces would shift under a directed run."""
+        policy = DirectedPolicy(seed=3, targets=["A::x"])
+        policy.reset(ExplodingRandom())
+        threads = [FakeThread(t) for t in (1, 2)]
+        policy.choose(threads, step=0)  # would raise on kernel RNG use
+        policy.defer(threads[0], OpType.WRITE, "A::x")
 
 
 class TestKernelWiring:
