@@ -1,5 +1,5 @@
-"""The 8 benchmark applications (Table 1 analogues)."""
+"""The benchmark applications: Table 1 analogues + the grown family tier."""
 
-from .registry import all_applications, app_ids, get_application
+from .registry import all_applications, app_ids, family_app_ids, get_application
 
-__all__ = ["all_applications", "app_ids", "get_application"]
+__all__ = ["all_applications", "app_ids", "family_app_ids", "get_application"]

@@ -1,0 +1,255 @@
+"""App-10: phased data pipeline (family tier).
+
+A phase-structured pipeline in the style of Python stream frameworks:
+stage workers hand batches across phase boundaries of one shared
+:class:`~repro.sim.primitives.phaser.Phaser` — producers publish into a
+phase with split-phase ``Arrive`` signals, consumers acquire the whole
+phase with ``AwaitAdvance``, and workers come and go through dynamic
+``Register`` / ``ArriveAndDeregister``.
+
+Synchronization inventory:
+
+* The stage phaser: ``Arrive`` releases each worker's batch into the
+  phase; ``AwaitAdvance`` acquires the completed phase (the collective
+  n-to-1 edge); ``Register``/``ArriveAndDeregister`` resize the quorum.
+* ``EventWaitHandle`` guards late registration (a party must be
+  registered before the running phase can tip without it).
+* ``Thread::Start`` / ``Thread::Join`` fork-join around the stage
+  workers.
+* Planted registration/signal race: the worker's registration stamp and
+  the coordinator's signal stamp hit ``registrationLog`` with no
+  synchronization — FastTrack sees it in the observed order.
+* Planted masked race: the drain worker's split-phase window touches
+  ``drainCount`` *after* signaling its arrival, racing the
+  coordinator's read — but the ``registrationLog`` report lands first
+  in every undirected schedule, so only a directed schedule (deferring
+  the masker, rolling the §5.4 soundness horizon forward) converts it.
+"""
+
+from __future__ import annotations
+
+from ..sim.methods import Method
+from ..sim.objects import SimObject
+from ..sim.program import AppContext, Application, UnitTest
+from ..sim.primitives import EventWaitHandle, Phaser, SystemThread
+from ..sim.primitives.events import SET_API, WAIT_ONE_API
+from ..sim.primitives.phaser import (
+    ARRIVE_API,
+    AWAIT_ADVANCE_API,
+    DEREGISTER_API,
+    REGISTER_API,
+)
+from ..sim.primitives.tasks import THREAD_JOIN_API, THREAD_START_API
+from .base import GroundTruthBuilder, make_info, noise_call
+
+PIPE = "PyPipeline.Stages.StageRunner"
+METER = PIPE + "/Meter"
+TESTS = "PyPipeline.Tests.PhasedPipelineTests"
+
+
+class App10Context(AppContext):
+    def __init__(self, rt) -> None:
+        super().__init__(SimObject(TESTS, {}))
+        # Stage state handed across phase boundaries.
+        self.stages = SimObject(
+            PIPE,
+            {"stageInput": "", "stageOutput": "", "batchSize": 0,
+             "tickCount": 0},
+        )
+        # Pipeline metering — intentionally racy (no synchronization).
+        self.meter = SimObject(
+            METER, {"registrationLog": "", "drainCount": 0}
+        )
+
+
+def _test_phased_handoff(rt, ctx):
+    phaser = Phaser(parties=2, name="handoff")
+
+    def producer(rt_, obj):
+        yield from rt_.write(ctx.stages, "stageInput", "batch-1")
+        yield from rt_.write(ctx.stages, "batchSize", 3)
+        yield from phaser.arrive_and_await(rt_)
+
+    def consumer(rt_, obj):
+        yield from phaser.arrive_and_await(rt_)
+        batch = yield from rt_.read(ctx.stages, "stageInput")
+        size = yield from rt_.read(ctx.stages, "batchSize")
+        assert batch == "batch-1" and size == 3
+        yield from rt_.write(ctx.stages, "stageOutput", f"{batch}!x{size}")
+
+    t1 = SystemThread(
+        Method(f"{PIPE}::<RunStage>b__produce", producer), name="produce"
+    )
+    t2 = SystemThread(
+        Method(f"{PIPE}::<RunStage>b__consume", consumer), name="consume"
+    )
+    yield from t1.start(rt)
+    yield from t2.start(rt)
+    yield from t1.join(rt)
+    yield from t2.join(rt)
+    output = yield from rt.read(ctx.stages, "stageOutput")
+    assert output == "batch-1!x3"
+
+
+def _test_dynamic_stage_registration(rt, ctx):
+    # The coordinator (main) holds one party; a late worker registers
+    # its own before the phase may tip — guarded by the wait handle.
+    phaser = Phaser(parties=1, name="elastic")
+    registered = EventWaitHandle("registered")
+
+    def late_worker(rt_, obj):
+        yield from phaser.register(rt_)
+        yield from registered.set(rt_)
+        yield from rt_.write(ctx.stages, "stageInput", "late-batch")
+        yield from phaser.arrive(rt_)
+        yield from rt_.sleep(0.03)
+        # Phase 1: the worker drains out of the quorum.
+        yield from phaser.arrive_and_deregister(rt_)
+
+    worker = SystemThread(
+        Method(f"{PIPE}::<ElasticStage>b__0", late_worker), name="late"
+    )
+    yield from worker.start(rt)
+    yield from registered.wait_one(rt)
+    yield from phaser.arrive_and_await(rt)
+    batch = yield from rt.read(ctx.stages, "stageInput")
+    assert batch == "late-batch"
+    ticks = yield from rt.read(ctx.stages, "tickCount")
+    yield from rt.write(ctx.stages, "tickCount", ticks + 1)
+    # Phase 1 completes as the worker deregisters.
+    yield from phaser.arrive_and_await(rt)
+    yield from worker.join(rt)
+    assert phaser.parties == 1
+
+
+def _test_registration_signal_race(rt, ctx):
+    # The planted registration/signal race: both the registering worker
+    # and the signaling coordinator stamp the metering log unprotected.
+    phaser = Phaser(parties=2, name="metered")
+
+    def registering_worker(rt_, obj):
+        log = yield from rt_.read(ctx.meter, "registrationLog")  # racy
+        yield from rt_.write(
+            ctx.meter, "registrationLog", log + "|worker"
+        )
+        yield from phaser.register(rt_)
+        # Arrive for both of this worker's parties.
+        yield from phaser.arrive(rt_)
+        yield from phaser.arrive(rt_)
+
+    worker = SystemThread(
+        Method(f"{PIPE}::<MeteredStage>b__0", registering_worker),
+        name="metered",
+    )
+    yield from worker.start(rt)
+    yield from rt.sleep(0.01)
+    log = yield from rt.read(ctx.meter, "registrationLog")  # racy
+    yield from rt.write(ctx.meter, "registrationLog", log + "|signal")
+    yield from phaser.arrive(rt)
+    yield from phaser.await_advance(rt, 0)
+    yield from worker.join(rt)
+    final = yield from rt.read(ctx.meter, "registrationLog")
+    assert "worker" in final or "signal" in final
+
+
+def _test_masked_drain_race(rt, ctx):
+    # The masked race: the drain worker touches the meter inside its
+    # split-phase window (after signaling, before the next wait).  The
+    # registrationLog report always lands first in the observed order,
+    # so drainCount only converts under a directed schedule with the
+    # rolling soundness horizon.
+    phaser = Phaser(parties=2, name="drain")
+
+    def drain_worker(rt_, obj):
+        log = yield from rt_.read(ctx.meter, "registrationLog")  # racy
+        yield from rt_.write(ctx.meter, "registrationLog", log + "|drain")
+        my_phase = yield from phaser.arrive(rt_)
+        # Split-phase window: metering after the signal, unprotected.
+        count = yield from rt_.read(ctx.meter, "drainCount")  # racy
+        yield from rt_.write(ctx.meter, "drainCount", count + 1)
+        yield from phaser.await_advance(rt_, my_phase)
+
+    worker = SystemThread(
+        Method(f"{PIPE}::<DrainStage>b__0", drain_worker), name="drain"
+    )
+    yield from worker.start(rt)
+    yield from rt.sleep(0.01)
+    log = yield from rt.read(ctx.meter, "registrationLog")  # racy
+    yield from rt.write(ctx.meter, "registrationLog", log + "|coord")
+    drained = yield from rt.read(ctx.meter, "drainCount")  # racy
+    yield from phaser.arrive_and_await(rt)
+    yield from worker.join(rt)
+    assert drained >= 0
+
+
+def _test_sequential_pipeline(rt, ctx):
+    yield from rt.write(ctx.stages, "stageInput", "solo")
+    yield from noise_call(rt, "PyPipeline.Logging.StageLogger::Debug")
+    batch = yield from rt.read(ctx.stages, "stageInput")
+    assert batch == "solo"
+
+
+def build_app() -> Application:
+    gt = (
+        GroundTruthBuilder()
+        # The stage phaser (collective phase ordering).
+        .api_release(REGISTER_API, "phase", "register stage party")
+        .api_release(ARRIVE_API, "phase", "signal stage phase")
+        .api_acquire(AWAIT_ADVANCE_API, "phase", "wait for stage phase")
+        .api_release(DEREGISTER_API, "phase", "drain stage party")
+        # Late-registration guard.
+        .api_release(SET_API, "signal", "registration published")
+        .api_acquire(WAIT_ONE_API, "signal", "wait for registration")
+        # Fork / join around stage workers.
+        .api_release(THREAD_START_API, "fork_join", "launch new thread")
+        .api_acquire(THREAD_JOIN_API, "fork_join", "wait for thread")
+        .method_acquire(f"{PIPE}::<RunStage>b__produce", "fork_join",
+                        "start of producer thread")
+        .method_release(f"{PIPE}::<RunStage>b__produce", "fork_join",
+                        "end of producer thread")
+        .method_acquire(f"{PIPE}::<RunStage>b__consume", "fork_join",
+                        "start of consumer thread")
+        .method_release(f"{PIPE}::<RunStage>b__consume", "fork_join",
+                        "end of consumer thread")
+        .method_acquire(f"{PIPE}::<ElasticStage>b__0", "fork_join",
+                        "start of elastic worker")
+        .method_release(f"{PIPE}::<ElasticStage>b__0", "fork_join",
+                        "end of elastic worker")
+        .method_acquire(f"{PIPE}::<MeteredStage>b__0", "fork_join",
+                        "start of metered worker")
+        .method_release(f"{PIPE}::<MeteredStage>b__0", "fork_join",
+                        "end of metered worker")
+        .method_acquire(f"{PIPE}::<DrainStage>b__0", "fork_join",
+                        "start of drain worker")
+        .method_release(f"{PIPE}::<DrainStage>b__0", "fork_join",
+                        "end of drain worker")
+        # Planted races.
+        .racy_field(f"{METER}::registrationLog")
+        .racy_field(f"{METER}::drainCount")
+        .protect_many(
+            [f"{PIPE}::stageInput", f"{PIPE}::batchSize"],
+            AWAIT_ADVANCE_API,
+        )
+        .protect(f"{PIPE}::stageOutput", THREAD_JOIN_API)
+        .protect(f"{PIPE}::tickCount", AWAIT_ADVANCE_API)
+        .build()
+    )
+    tests = [
+        UnitTest(f"{TESTS}::Phased_Handoff", _test_phased_handoff),
+        UnitTest(f"{TESTS}::Dynamic_Stage_Registration",
+                 _test_dynamic_stage_registration),
+        UnitTest(f"{TESTS}::Registration_Signal_Race",
+                 _test_registration_signal_race),
+        UnitTest(f"{TESTS}::Masked_Drain_Race", _test_masked_drain_race),
+        UnitTest(f"{TESTS}::Sequential_Pipeline",
+                 _test_sequential_pipeline),
+    ]
+    return Application(
+        info=make_info("App-10", "PyPipeline", "7.6K", 58, 203),
+        make_context=App10Context,
+        tests=tests,
+        ground_truth=gt,
+    )
+
+
+__all__ = ["build_app"]

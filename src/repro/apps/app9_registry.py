@@ -1,0 +1,338 @@
+"""App-9: iPOPO-style service registry (family tier).
+
+A Python service-framework idiom (iPOPO's listener registry): listeners
+register with the framework's service registry and events are dispatched
+to them under the registry lock, while service *startup* is coordinated
+by a :class:`~repro.sim.primitives.phaser.Phaser` — each service signals
+its registration phase and the dispatcher waits for the whole phase
+before delivering.
+
+Synchronization inventory:
+
+* ``Monitor`` guards the listener table (registration and dispatch
+  critical sections are heterogeneous, per the design rules).
+* The phaser coordinates startup: ``Register``/``Arrive`` release each
+  service's wiring into the phase; ``AwaitAdvance`` /
+  ``ArriveAndAwaitAdvance`` acquire the completed phase;
+  ``ArriveAndDeregister`` retires services.
+* ``Thread::Start`` / ``Thread::Join`` fork-join around the dispatcher.
+* Planted unregister/dispatch race: the unregister path drops
+  ``listenerRef`` and stamps ``callbackLog`` *without* the registry lock
+  while a dispatch is in flight (the classic iPOPO listener-removal
+  hazard).
+* Instrumentation-skip bug: the unregister commit latch is genuine
+  synchronization carried by two hidden methods the tracing heuristic
+  drops (the paper's Instr.-Errors false-positive source).
+"""
+
+from __future__ import annotations
+
+from ..sim.methods import Method
+from ..sim.objects import SimObject
+from ..sim.program import AppContext, Application, UnitTest
+from ..sim.primitives import Monitor, Phaser, SystemThread
+from ..sim.primitives.monitor import ENTER_API, EXIT_API
+from ..sim.primitives.phaser import (
+    ARRIVE_API,
+    AWAIT_ADVANCE_API,
+    DEREGISTER_API,
+    REGISTER_API,
+)
+from ..sim.primitives.tasks import THREAD_JOIN_API, THREAD_START_API
+from ..sim.thread import WaitSet
+from .base import GroundTruthBuilder, make_info, noise_call
+
+REGISTRY = "iPOPO.Framework.ServiceRegistry"
+DISPATCHER = "iPOPO.Framework.EventDispatcher"
+TESTS = "iPOPO.Tests.ServiceRegistryTests"
+
+
+class App9Context(AppContext):
+    def __init__(self, rt) -> None:
+        super().__init__(SimObject(TESTS, {}))
+        # Listener table, guarded by the registry lock.
+        self.registry = SimObject(
+            REGISTRY,
+            {"listenerName": "", "listenerTopic": "", "listenerCount": 0},
+        )
+        # Service wiring published through the startup phaser.
+        self.startup = SimObject(
+            REGISTRY + "/Startup",
+            {"svcConfig": "", "svcValidator": "", "dispatchReady": 0},
+        )
+        self.dispatcher = SimObject(
+            DISPATCHER,
+            {
+                "eventCount": 0,
+                "lastEvent": "",
+                # Intentionally racy (unregister during dispatch):
+                "listenerRef": "",
+                "callbackLog": "",
+            },
+        )
+        # Unregister commit latch state (hidden-method tests only).
+        self.unreg_state = SimObject(
+            REGISTRY + "/UnregState", {"unregLog": "", "unregCount": 0}
+        )
+        self.lock = Monitor("registry")
+        self._unreg_done = [False]
+        self._unreg_ws = WaitSet("unreg-latch")
+
+
+def _register_listener(rt, ctx, name, topic):
+    """Add one listener to the table, under the registry lock."""
+
+    def body(rt_, obj):
+        yield from ctx.lock.enter(rt_)
+        yield from rt_.write(ctx.registry, "listenerName", name)
+        yield from rt_.write(ctx.registry, "listenerTopic", topic)
+        count = yield from rt_.read(ctx.registry, "listenerCount")
+        yield from rt_.write(ctx.registry, "listenerCount", count + 1)
+        yield from ctx.lock.exit(rt_)
+
+    return rt.call(
+        Method(f"{REGISTRY}::<RegisterListener>", body), ctx.registry
+    )
+
+
+def _test_register_dispatch_under_lock(rt, ctx):
+    yield from _register_listener(rt, ctx, "config-admin", "svc/changed")
+
+    def dispatch_body(rt_, obj):
+        for i in range(2):
+            yield from ctx.lock.enter(rt_)
+            # Heterogeneous critical section: different first/last
+            # fields than the registration path.
+            count = yield from rt_.read(ctx.dispatcher, "eventCount")
+            name = yield from rt_.read(ctx.registry, "listenerName")
+            topic = yield from rt_.read(ctx.registry, "listenerTopic")
+            yield from rt_.write(ctx.dispatcher, "lastEvent",
+                                 f"{topic}@{name}#{i}")
+            yield from rt_.write(ctx.dispatcher, "eventCount", count + 1)
+            yield from ctx.lock.exit(rt_)
+            yield from rt_.sleep(0.03)
+
+    worker = SystemThread(
+        Method(f"{DISPATCHER}::<DispatchEvent>b__0", dispatch_body),
+        name="dispatch",
+    )
+    yield from worker.start(rt)
+    yield from rt.sleep(0.02)
+    yield from _register_listener(rt, ctx, "log-service", "svc/logged")
+    yield from worker.join(rt)
+    yield from ctx.lock.enter(rt)
+    count = yield from rt.read(ctx.dispatcher, "eventCount")
+    last = yield from rt.read(ctx.dispatcher, "lastEvent")
+    yield from ctx.lock.exit(rt)
+    assert count == 2 and last
+
+
+def _test_phased_listener_startup(rt, ctx):
+    # Dynamic parties: the dispatcher (main) holds the initial party and
+    # registers one more per service *before* any can tip the phase.
+    phaser = Phaser(parties=1, name="startup")
+    yield from phaser.register(rt)
+    yield from phaser.register(rt)
+
+    def service(field, value, qname):
+        def body(rt_, obj):
+            yield from rt_.write(ctx.startup, field, value)
+            yield from phaser.arrive(rt_)  # split-phase: signal, no wait
+            yield from rt_.sleep(0.04)     # unrelated teardown work
+            yield from phaser.arrive_and_deregister(rt_)
+
+        return SystemThread(Method(qname, body), name=field)
+
+    s1 = service("svcConfig", "cfg-v1", f"{REGISTRY}::<StartService>b__1")
+    s2 = service("svcValidator", "check", f"{REGISTRY}::<StartService>b__2")
+    yield from s1.start(rt)
+    yield from s2.start(rt)
+    # Phase 0 completes once both services have wired up.
+    yield from phaser.arrive_and_await(rt)
+    config = yield from rt.read(ctx.startup, "svcConfig")
+    validator = yield from rt.read(ctx.startup, "svcValidator")
+    assert config == "cfg-v1" and validator == "check"
+    yield from rt.write(ctx.startup, "dispatchReady", 1)
+    # Phase 1 completes as the services deregister on their way out.
+    yield from phaser.arrive_and_await(rt)
+    yield from s1.join(rt)
+    yield from s2.join(rt)
+    assert phaser.parties == 1
+
+
+def _test_unregister_during_dispatch(rt, ctx):
+    yield from rt.write(ctx.dispatcher, "listenerRef", "listener-1")
+    yield from rt.write(ctx.dispatcher, "callbackLog", "start")
+
+    def dispatch_body(rt_, obj):
+        for i in range(2):
+            # Racy dispatch: reads the listener reference and appends to
+            # the callback log without the registry lock.
+            ref = yield from rt_.read(ctx.dispatcher, "listenerRef")
+            log = yield from rt_.read(ctx.dispatcher, "callbackLog")
+            yield from rt_.write(
+                ctx.dispatcher, "callbackLog", f"{log}|{ref}#{i}"
+            )
+            yield from rt_.sleep(0.02)
+
+    worker = SystemThread(
+        Method(f"{DISPATCHER}::<DispatchEvent>b__r", dispatch_body),
+        name="dispatch",
+    )
+    yield from worker.start(rt)
+    yield from rt.sleep(0.01)
+    # The planted bug: unregister forgets the lock while a dispatch is
+    # in flight — the reference drop and log stamp race the dispatcher.
+    yield from rt.write(ctx.dispatcher, "listenerRef", "")
+    yield from rt.write(ctx.dispatcher, "callbackLog", "unregistered")
+    yield from worker.join(rt)
+    log = yield from rt.read(ctx.dispatcher, "callbackLog")
+    assert log
+
+
+def _test_hidden_unreg_latch(rt, ctx):
+    # The unregister commit latch is genuine synchronization hidden by
+    # the instrumentation skip heuristic (Instr.-Errors plant).
+    def commit_body(rt_, obj):
+        yield from rt_.write(ctx.unreg_state, "unregLog", "listener-1")
+        yield from rt_.write(ctx.unreg_state, "unregCount", 1)
+        ctx._unreg_done[0] = True
+        rt_.notify_all(ctx._unreg_ws)
+
+    commit = Method(
+        f"{REGISTRY}/UnregState::<CommitUnregister>b__h",
+        commit_body,
+        hidden=True,
+    )
+
+    def await_body(rt_, obj):
+        while not ctx._unreg_done[0]:
+            yield from rt_.wait_on(ctx._unreg_ws)
+
+    await_unreg = Method(
+        f"{REGISTRY}/UnregState::<AwaitUnregister>b__h",
+        await_body,
+        hidden=True,
+    )
+
+    def committer(rt_, obj):
+        yield from rt_.sleep(0.03)
+        yield from noise_call(rt_, "iPOPO.Framework.LogService::Info")
+        yield from rt_.call(commit, ctx.unreg_state)
+
+    def waiter(rt_, obj):
+        yield from rt_.call(await_unreg, ctx.unreg_state)
+        log = yield from rt_.read(ctx.unreg_state, "unregLog")
+        count = yield from rt_.read(ctx.unreg_state, "unregCount")
+        assert log == "listener-1" and count == 1
+
+    t1 = SystemThread(
+        Method(f"{TESTS}::<HiddenUnreg>b__commit", committer), name="commit"
+    )
+    t2 = SystemThread(
+        Method(f"{TESTS}::<HiddenUnreg>b__wait", waiter), name="wait"
+    )
+    yield from t1.start(rt)
+    yield from t2.start(rt)
+    yield from t1.join(rt)
+    yield from t2.join(rt)
+
+
+def _test_sequential_registry(rt, ctx):
+    yield from rt.write(ctx.registry, "listenerTopic", "solo/topic")
+    yield from noise_call(rt, "iPOPO.Framework.LogService::Info")
+    topic = yield from rt.read(ctx.registry, "listenerTopic")
+    assert topic == "solo/topic"
+
+
+def build_app() -> Application:
+    gt = (
+        GroundTruthBuilder()
+        # Registry lock.
+        .api_acquire(ENTER_API, "lock", "acquire registry lock")
+        .api_release(EXIT_API, "lock", "release registry lock")
+        # Startup phaser (collective phase ordering).
+        .api_release(REGISTER_API, "phase", "register startup party")
+        .api_release(ARRIVE_API, "phase", "signal startup phase")
+        .api_acquire(AWAIT_ADVANCE_API, "phase", "wait for startup phase")
+        .api_release(DEREGISTER_API, "phase", "retire startup party")
+        # Fork / join around the dispatcher threads.
+        .api_release(THREAD_START_API, "fork_join", "launch new thread")
+        .api_acquire(THREAD_JOIN_API, "fork_join", "wait for thread")
+        .method_acquire(f"{DISPATCHER}::<DispatchEvent>b__0", "fork_join",
+                        "start of dispatch thread")
+        .method_release(f"{DISPATCHER}::<DispatchEvent>b__0", "fork_join",
+                        "end of dispatch thread")
+        .method_acquire(f"{DISPATCHER}::<DispatchEvent>b__r", "fork_join",
+                        "start of dispatch thread")
+        .method_release(f"{DISPATCHER}::<DispatchEvent>b__r", "fork_join",
+                        "end of dispatch thread")
+        .method_acquire(f"{REGISTRY}::<StartService>b__1", "fork_join",
+                        "start of service thread")
+        .method_release(f"{REGISTRY}::<StartService>b__1", "fork_join",
+                        "end of service thread")
+        .method_acquire(f"{REGISTRY}::<StartService>b__2", "fork_join",
+                        "start of service thread")
+        .method_release(f"{REGISTRY}::<StartService>b__2", "fork_join",
+                        "end of service thread")
+        .method_acquire(f"{TESTS}::<HiddenUnreg>b__commit", "fork_join",
+                        "start of committer thread")
+        .method_release(f"{TESTS}::<HiddenUnreg>b__commit", "fork_join",
+                        "end of committer thread")
+        .method_acquire(f"{TESTS}::<HiddenUnreg>b__wait", "fork_join",
+                        "start of waiter thread")
+        .method_release(f"{TESTS}::<HiddenUnreg>b__wait", "fork_join",
+                        "end of waiter thread")
+        # Hidden genuine syncs (Instr. Errors).
+        .method_release(f"{REGISTRY}/UnregState::<CommitUnregister>b__h",
+                        "custom", "unregister commit latch signal")
+        .method_acquire(f"{REGISTRY}/UnregState::<AwaitUnregister>b__h",
+                        "custom", "unregister commit latch wait")
+        .hidden_method(f"{REGISTRY}/UnregState::<CommitUnregister>b__h")
+        .hidden_method(f"{REGISTRY}/UnregState::<AwaitUnregister>b__h")
+        # Planted unregister/dispatch races.
+        .racy_field(f"{DISPATCHER}::listenerRef")
+        .racy_field(f"{DISPATCHER}::callbackLog")
+        .protect_many(
+            [
+                f"{REGISTRY}::listenerName",
+                f"{REGISTRY}::listenerTopic",
+                f"{REGISTRY}::listenerCount",
+            ],
+            EXIT_API,
+        )
+        .protect_many(
+            [f"{REGISTRY}/Startup::svcConfig",
+             f"{REGISTRY}/Startup::svcValidator"],
+            AWAIT_ADVANCE_API,
+        )
+        .protect_many(
+            [f"{DISPATCHER}::eventCount", f"{DISPATCHER}::lastEvent"],
+            EXIT_API,
+        )
+        .protect_many(
+            [f"{REGISTRY}/UnregState::unregLog",
+             f"{REGISTRY}/UnregState::unregCount"],
+            f"{REGISTRY}/UnregState::<CommitUnregister>b__h",
+        )
+        .build()
+    )
+    tests = [
+        UnitTest(f"{TESTS}::Register_Dispatch_UnderLock",
+                 _test_register_dispatch_under_lock),
+        UnitTest(f"{TESTS}::Phased_Listener_Startup",
+                 _test_phased_listener_startup),
+        UnitTest(f"{TESTS}::Unregister_During_Dispatch",
+                 _test_unregister_during_dispatch),
+        UnitTest(f"{TESTS}::Hidden_Unreg_Latch", _test_hidden_unreg_latch),
+        UnitTest(f"{TESTS}::Sequential_Registry", _test_sequential_registry),
+    ]
+    return Application(
+        info=make_info("App-9", "iPOPO", "18.4K", 74, 312),
+        make_context=App9Context,
+        tests=tests,
+        ground_truth=gt,
+    )
+
+
+__all__ = ["build_app"]

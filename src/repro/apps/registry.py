@@ -14,6 +14,8 @@ from . import (
     app6_restsharp,
     app7_statsd,
     app8_linqdynamic,
+    app9_registry,
+    app10_pipeline,
     synth,
 )
 
@@ -29,6 +31,16 @@ _BUILDERS: Dict[str, Callable[[], Application]] = {
     "App-6": app6_restsharp.build_app,
     "App-7": app7_statsd.build_app,
     "App-8": app8_linqdynamic.build_app,
+}
+
+#: The family tier (App-9, App-10): phaser-centric apps grown beyond the
+#: paper's Table 1.  They get the full lockdown treatment (golden
+#: hashes, fuzz, predict/convert) via ``family_app_ids()``, but stay out
+#: of ``app_ids()`` so suites quantifying over "the 8 paper apps" keep
+#: their meaning.
+_FAMILY_BUILDERS: Dict[str, Callable[[], Application]] = {
+    "App-9": app9_registry.build_app,
+    "App-10": app10_pipeline.build_app,
 }
 
 #: Synthetic large apps (App-XL1..XL3): opt-in via explicit id — never
@@ -61,6 +73,8 @@ for _app_id, _module in (
     ("App-6", app6_restsharp),
     ("App-7", app7_statsd),
     ("App-8", app8_linqdynamic),
+    ("App-9", app9_registry),
+    ("App-10", app10_pipeline),
 ):
     _register_aliases(_app_id, _module.__name__.rsplit(".", 1)[-1])
 for _app_id in _SCALE_BUILDERS:
@@ -73,13 +87,22 @@ def app_ids() -> List[str]:
     return list(_BUILDERS)
 
 
+def family_app_ids() -> List[str]:
+    """The grown family-tier ids (App-9, App-10)."""
+    return list(_FAMILY_BUILDERS)
+
+
 def scale_app_ids() -> List[str]:
     """The synthetic scale-tier ids, smallest first."""
     return list(_SCALE_BUILDERS)
 
 
 def _builder(app_id: str) -> Optional[Callable[[], Application]]:
-    return _BUILDERS.get(app_id) or _SCALE_BUILDERS.get(app_id)
+    return (
+        _BUILDERS.get(app_id)
+        or _FAMILY_BUILDERS.get(app_id)
+        or _SCALE_BUILDERS.get(app_id)
+    )
 
 
 def resolve_app_id(app_id: str) -> str:
@@ -88,7 +111,9 @@ def resolve_app_id(app_id: str) -> str:
         return app_id
     canonical = _ALIASES.get(app_id.lower())
     if canonical is None:
-        known = sorted(_BUILDERS) + sorted(_SCALE_BUILDERS)
+        known = (
+            sorted(_BUILDERS) + sorted(_FAMILY_BUILDERS) + sorted(_SCALE_BUILDERS)
+        )
         raise KeyError(
             f"unknown application {app_id!r}; known: {known} "
             f"(aliases like 'app7_statsd' or 'app-xl1' also work)"
@@ -109,6 +134,7 @@ def all_applications() -> List[Application]:
 __all__ = [
     "all_applications",
     "app_ids",
+    "family_app_ids",
     "get_application",
     "resolve_app_id",
     "scale_app_ids",

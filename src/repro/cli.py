@@ -58,7 +58,12 @@ from .analysis.experiments import (
     tsvd_enhance,
 )
 from .api import coerce_cache, run
-from .apps.registry import all_applications, app_ids, get_application
+from .apps.registry import (
+    all_applications,
+    app_ids,
+    family_app_ids,
+    get_application,
+)
 from .core import SherlockConfig
 from .racedet import detect_races, manual_spec, sherlock_spec
 from .runtime import DEFAULT_CACHE_DIR, ExecutionRuntime
@@ -446,6 +451,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{app.app_id}: {app.name} "
                 f"({len(app.tests)} tests, "
                 f"{len(app.ground_truth.syncs)} true syncs)"
+            )
+        for app_id in family_app_ids():
+            app = get_application(app_id)
+            print(
+                f"{app.app_id}: {app.name} "
+                f"({len(app.tests)} tests, "
+                f"{len(app.ground_truth.syncs)} true syncs) "
+                f"[family tier]"
             )
         return 0
     with ExecutionRuntime(

@@ -16,7 +16,7 @@ import json
 import sys
 from typing import Dict
 
-from ..apps.registry import app_ids, get_application
+from ..apps.registry import app_ids, family_app_ids, get_application
 from ..core.config import SherlockConfig
 from ..core.observer import Observer
 from .sanitizer import trace_digest
@@ -26,13 +26,16 @@ GOLDEN_PATH = "tests/sim/golden_hashes.json"
 
 
 def compute_golden_hashes() -> Dict[str, str]:
-    """Seed-0 round-0 trace digest per app (default config, no delays)."""
+    """Seed-0 round-0 trace digest per app (default config, no delays).
+
+    Covers the 8 paper apps plus the grown family tier (App-9/App-10).
+    """
     observer = Observer(SherlockConfig())
     return {
         app_id: trace_digest(
             observer.observe_round(get_application(app_id), 0, {})
         )
-        for app_id in app_ids()
+        for app_id in app_ids() + family_app_ids()
     }
 
 

@@ -24,7 +24,11 @@ partial order: the transitive closure of
 
 SPHB is computed with vector clocks indexed by per-thread event counts
 (``tick``): at a release the channel is *replaced* with the releasing
-event's clock; at an acquire the thread joins the channel.  Because
+event's clock; at an acquire the thread joins the channel.  Releases the
+spec marks *collective* (``collective_releases`` — phaser/barrier phase
+quorums) accumulate their channel instead: a phase's waiter is ordered
+after **all** of the phase's arrivals, so reorderings that move an
+arrival past its phase's waits are never sync-preserving.  Because
 every SPHB edge points forward in trace order, SPHB is a suborder of the
 trace order and of the FastTrack happens-before relation for the same
 spec.
@@ -155,7 +159,14 @@ class SyncPreservingClosure:
             vc[tid] = len(order)
             self.clocks[e.seq] = dict(vc)
             if spec.is_release_event(e):
-                channels[e.address] = dict(vc)
+                if spec.is_collective_release_event(e):
+                    # Collective (phase) channels accumulate: a phase's
+                    # waiter is ordered after every arrival, so no
+                    # sync-preserving reordering may move an arrival
+                    # past its phase's waits.
+                    _join(channels.setdefault(e.address, {}), vc)
+                else:
+                    channels[e.address] = dict(vc)
             if spec.is_static_publish_event(e):
                 static_channels[e.address] = dict(vc)
 

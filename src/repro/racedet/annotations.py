@@ -1,8 +1,8 @@
 """Happens-before spec builders: Manual_dr and SherLock_dr (§5.4).
 
 ``Manual_dr`` carries the annotations the paper's authors wrote by hand:
-classic locks, signal/wait handles, basic threads, volatile variables and
-static initialization.  It deliberately does **not** know the numerous
+classic locks, signal/wait handles, phase barriers, basic threads,
+volatile variables and static initialization.  It deliberately does **not** know the numerous
 task-creation APIs (``TaskFactory``, ``ThreadPool``, ``Task.Run``,
 ``ContinueWith``, ``Dataflow`` …), custom application synchronization, the
 test framework's ordering, or finalizer edges — exactly the blind spots
@@ -29,6 +29,7 @@ _MANUAL_ACQUIRES = [
     "System.Threading.ReaderWriterLock::AcquireReaderLock",
     "System.Threading.ReaderWriterLock::AcquireWriterLock",
     "System.Threading.ReaderWriterLock::UpgradeToWriterLock",
+    "System.Threading.Phaser::AwaitAdvance",
 ]
 _MANUAL_RELEASES = [
     "System.Threading.Monitor::Exit",
@@ -38,6 +39,18 @@ _MANUAL_RELEASES = [
     "System.Threading.ReaderWriterLock::ReleaseReaderLock",
     "System.Threading.ReaderWriterLock::ReleaseWriterLock",
     "System.Threading.ReaderWriterLock::DowngradeFromWriterLock",
+    "System.Threading.Phaser::Register",
+    "System.Threading.Phaser::Arrive",
+    "System.Threading.Phaser::ArriveAndDeregister",
+]
+
+#: Phaser releases are *collective*: a phase's waiter acquires every
+#: prior arrival on the channel, not just the pairing one (see
+#: ``HappensBeforeSpec.collective_releases``).
+_MANUAL_COLLECTIVE = [
+    "System.Threading.Phaser::Register",
+    "System.Threading.Phaser::Arrive",
+    "System.Threading.Phaser::ArriveAndDeregister",
 ]
 
 
@@ -48,6 +61,7 @@ def manual_spec(app: Application) -> HappensBeforeSpec:
         spec.acquires.add(begin_of(name))
     for name in _MANUAL_RELEASES:
         spec.releases.add(end_of(name))
+    spec.collective_releases.update(_MANUAL_COLLECTIVE)
     # Volatile fields (annotated in the source).
     spec.volatile_fields.update(app.ground_truth.volatile_fields)
     # Happens-before from static initialization.

@@ -33,6 +33,11 @@ class HappensBeforeSpec:
     #: Method names whose EXIT publishes a channel joined by *any* later
     #: access to the same address (static-initialization semantics).
     static_init_methods: Set[str] = field(default_factory=set)
+    #: Method names whose releases are *collective* (phase/barrier
+    #: quorums): a waiter on the channel is ordered after **every**
+    #: prior release, not just the pairing one, so the sync-preserving
+    #: closure accumulates these channels instead of replacing them.
+    collective_releases: Set[str] = field(default_factory=set)
 
     def is_acquire(self, ref: OpRef) -> bool:
         if ref in self.acquires:
@@ -74,6 +79,15 @@ class HappensBeforeSpec:
 
     def is_release_event(self, event: "TraceEvent") -> bool:
         return self.is_release(event.ref)
+
+    def is_collective_release_event(self, event: "TraceEvent") -> bool:
+        """Whether this release publishes into a collective (phase)
+        channel — one a waiter acquires in its entirety."""
+        return (
+            event.optype is OpType.EXIT
+            and event.name in self.collective_releases
+            and self.is_release_event(event)
+        )
 
     def is_static_publish_event(self, event: "TraceEvent") -> bool:
         """Whether this EXIT publishes a static-initialization channel."""

@@ -274,7 +274,19 @@ class Kernel:
         mechanism).  Consulted before delay injection so a deferred
         operation still pays its injected delay exactly once on
         re-dispatch.
+
+        The policy is only consulted while some *other* thread is
+        runnable: with every sibling parked (blocked in a phase wait,
+        asleep, or finished) nobody can overtake, so a deferral would
+        achieve no reordering while silently burning the policy's
+        one-shot deferral at this site — exactly the situation of a
+        directed target whose toucher outlives its phaser quorum.
         """
+        if not any(
+            t is not thread and t.state is ThreadState.RUNNABLE
+            for t in self.threads
+        ):
+            return False
         if not self.policy.defer(thread, optype, name):
             return False
         thread.pending = syscall

@@ -7,6 +7,15 @@ from .dataflow import DataflowBlock, POST_API, RECEIVE_API
 from .events import EventWaitHandle, SET_API, WAIT_ALL_API, WAIT_ONE_API, wait_all
 from .gc import drop_last_reference
 from .monitor import ENTER_API, EXIT_API, Monitor
+from .phaser import (
+    ARRIVE_API,
+    AWAIT_ADVANCE_API,
+    DEREGISTER_API,
+    PHASER_ACQUIRE_APIS,
+    PHASER_RELEASE_APIS,
+    Phaser,
+    REGISTER_API,
+)
 from .rwlock import (
     ACQUIRE_READER_API,
     ACQUIRE_WRITER_API,
@@ -36,7 +45,14 @@ from .tasks import (
 
 __all__ = [
     "ACQUIRE_READER_API",
+    "ARRIVE_API",
+    "AWAIT_ADVANCE_API",
     "Barrier",
+    "DEREGISTER_API",
+    "PHASER_ACQUIRE_APIS",
+    "PHASER_RELEASE_APIS",
+    "Phaser",
+    "REGISTER_API",
     "SIGNAL_AND_WAIT_API",
     "ACQUIRE_WRITER_API",
     "AWAITER_GETRESULT_API",

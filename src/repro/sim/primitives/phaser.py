@@ -1,0 +1,164 @@
+"""``System.Threading.Phaser`` — collective phase synchronization.
+
+A phaser generalizes :class:`~repro.sim.primitives.barrier.Barrier`
+(java.util.concurrent.Phaser style): parties register and deregister
+dynamically, and the signal/wait halves of a phase are split —
+``Arrive`` signals the current phase without blocking, ``AwaitAdvance``
+blocks until a given phase completes, and ``arrive_and_await`` (the
+split pair at one call site) recovers the classic barrier.  A phase completes when every registered
+party has arrived; deregistration shrinks the quorum (and can complete
+the phase on its own).
+
+Instrumentation mirrors the paper's call-site tracing: the Observer sees
+ENTER/EXIT events of the four APIs against the phaser object, none of
+the internal counters (``arrive_and_await`` traces as its split-phase
+``Arrive`` + ``AwaitAdvance`` pair).  The happens-before vocabulary is the collective
+analogue of a lock's: every arrival *releases* into the phase (its state
+is published when the API returns) and every wait *acquires* the whole
+phase (the edge lands at the call's return, after the last arrival) —
+so a waiter of phase ``p`` is ordered after **all** of phase ``p``'s
+signals, not just the one that tipped the quorum.  ``manual_spec``
+registers the release APIs as *collective* so the sync-preserving
+closure accumulates their channel accordingly.
+"""
+
+from __future__ import annotations
+
+from ...trace.optypes import OpType
+from ..objects import SimObject
+from ..runtime import Runtime
+from ..thread import WaitSet
+
+REGISTER_API = "System.Threading.Phaser::Register"
+ARRIVE_API = "System.Threading.Phaser::Arrive"
+AWAIT_ADVANCE_API = "System.Threading.Phaser::AwaitAdvance"
+DEREGISTER_API = "System.Threading.Phaser::ArriveAndDeregister"
+
+#: The phaser's release-side APIs: each publishes into the phase channel.
+PHASER_RELEASE_APIS = (
+    REGISTER_API,
+    ARRIVE_API,
+    DEREGISTER_API,
+)
+#: The phaser's acquire-side APIs: each joins the phase channel (the
+#: blocking edge lands at the EXIT, after the last arrival).
+PHASER_ACQUIRE_APIS = (AWAIT_ADVANCE_API,)
+
+
+class Phaser:
+    """A reusable phase barrier with dynamic party registration."""
+
+    def __init__(self, parties: int = 0, name: str = "phaser") -> None:
+        if parties < 0:
+            raise ValueError("phaser cannot start with negative parties")
+        self.obj = SimObject("System.Threading.Phaser", {})
+        self.parties = parties
+        self.name = name
+        self.arrived = 0
+        self.phase = 0
+        self.waitset = WaitSet(f"phaser:{name}")
+
+    # -- quorum bookkeeping ---------------------------------------------------
+
+    def _advance_if_complete(self, rt: Runtime) -> None:
+        """Advance the phase when every registered party has arrived."""
+        if self.parties > 0 and self.arrived >= self.parties:
+            self.arrived = 0
+            self.phase += 1
+            rt.notify_all(self.waitset)
+
+    def _check_arrivable(self) -> None:
+        if self.parties - self.arrived <= 0:
+            raise ValueError(
+                f"phaser {self.name!r}: arrive with no unarrived parties "
+                f"(parties={self.parties}, arrived={self.arrived})"
+            )
+
+    # -- the five traced APIs -------------------------------------------------
+
+    def register(self, rt: Runtime):
+        """Add one party to the current and all future phases."""
+        yield from rt.emit(OpType.ENTER, REGISTER_API, self.obj, library=True)
+        self.parties += 1
+        phase = self.phase
+        yield from rt.emit(OpType.EXIT, REGISTER_API, self.obj, library=True)
+        return phase
+
+    def arrive(self, rt: Runtime):
+        """Signal the current phase without waiting (split-phase)."""
+        yield from rt.emit(OpType.ENTER, ARRIVE_API, self.obj, library=True)
+        self._check_arrivable()
+        my_phase = self.phase
+        self.arrived += 1
+        self._advance_if_complete(rt)
+        yield from rt.emit(OpType.EXIT, ARRIVE_API, self.obj, library=True)
+        return my_phase
+
+    def await_advance(self, rt: Runtime, phase: int):
+        """Block until the given phase has completed.
+
+        Returns immediately when the phaser has already moved past
+        ``phase`` — waiters need not be registered parties.
+        """
+        yield from rt.emit(
+            OpType.ENTER, AWAIT_ADVANCE_API, self.obj, library=True
+        )
+        while self.phase == phase:
+            yield from rt.wait_on(self.waitset)
+        yield from rt.emit(
+            OpType.EXIT, AWAIT_ADVANCE_API, self.obj, library=True
+        )
+        return self.phase
+
+    def arrive_and_await(self, rt: Runtime):
+        """Signal the current phase and wait for it to complete
+        (the classic barrier recovered on a phaser).
+
+        Emits the split-phase pair — ``Arrive`` then ``AwaitAdvance`` —
+        at this call site.  The arrival must *publish* before the wait
+        blocks (a single ENTER/EXIT pair cannot release before it
+        acquires: reads/begins only acquire, writes/ends only release),
+        which is exactly how the happens-before annotation of a phase
+        barrier decomposes; a party blocked in the wait half has already
+        released its arrival, so the phase's waiters are ordered after
+        every arrival in every interleaving.
+        """
+        my_phase = yield from self.arrive(rt)
+        yield from self.await_advance(rt, my_phase)
+        return my_phase
+
+    def arrive_and_deregister(self, rt: Runtime):
+        """Signal the current phase and drop out of the quorum.
+
+        The departing party neither waits nor counts toward future
+        phases; when it was the last unarrived party — or the last party
+        altogether — the phase completes on its way out.
+        """
+        yield from rt.emit(
+            OpType.ENTER, DEREGISTER_API, self.obj, library=True
+        )
+        self._check_arrivable()
+        my_phase = self.phase
+        self.parties -= 1
+        if self.parties == 0:
+            # Last party out completes the phase for any bare waiters.
+            self.arrived = 0
+            self.phase += 1
+            rt.notify_all(self.waitset)
+        else:
+            self._advance_if_complete(rt)
+        yield from rt.emit(
+            OpType.EXIT, DEREGISTER_API, self.obj, library=True
+        )
+        return my_phase
+
+
+__all__ = [
+    "ARRIVE_API",
+    "AWAIT_ADVANCE_API",
+    "DEREGISTER_API",
+    "PHASER_ACQUIRE_APIS",
+    "PHASER_RELEASE_APIS",
+    "Phaser",
+    "REGISTER_API",
+]

@@ -1,0 +1,220 @@
+"""Family-tier lockdown: App-9 (service registry) and App-10 (pipeline).
+
+The two grown apps get the same treatment the 8 paper apps got in the
+seed PRs: clean runs, seed determinism, consistent ground truth,
+meaningful inference — plus the phaser-specific acceptance spine:
+predicted ⊇ FastTrack-first-races under both the Manual and SherLock
+specs, and every planted race either FastTrack-detected or converted by
+a directed schedule.  The alias round-trip is parametrized over all ten
+apps (registry tier integrity).
+"""
+
+import pytest
+
+from repro.apps.registry import (
+    app_ids,
+    family_app_ids,
+    get_application,
+    resolve_app_id,
+)
+from repro.core import Sherlock, SherlockConfig
+from repro.predict import predict_app, validate_witness
+from repro.racedet import analyze_run, manual_spec, sherlock_spec
+from repro.sim.runner import RunOptions, run_application
+
+FAMILY = family_app_ids()
+
+#: Canonical id → registry module stem (the free extra alias).
+MODULE_ALIASES = {
+    "App-1": "app1_insights",
+    "App-2": "app2_datetime",
+    "App-3": "app3_fluentassertions",
+    "App-4": "app4_k8sclient",
+    "App-5": "app5_radical",
+    "App-6": "app6_restsharp",
+    "App-7": "app7_statsd",
+    "App-8": "app8_linqdynamic",
+    "App-9": "app9_registry",
+    "App-10": "app10_pipeline",
+}
+
+
+class TestFamilyRegistry:
+    def test_family_tier_lists_app9_and_app10(self):
+        assert FAMILY == ["App-9", "App-10"]
+
+    def test_paper_corpus_still_eight(self):
+        """The family tier must NOT leak into the default corpus —
+        suites quantifying over "the 8 apps" keep their meaning."""
+        assert len(app_ids()) == 8
+        assert "App-9" not in app_ids()
+        assert "App-10" not in app_ids()
+
+    def test_family_builds_fresh_instances(self):
+        a = get_application("App-9")
+        b = get_application("App-9")
+        assert a is not b
+        assert a.info.app_id == "App-9"
+        assert get_application("App-10").info.app_id == "App-10"
+
+    def test_unknown_id_error_names_family_apps(self):
+        with pytest.raises(KeyError) as exc:
+            resolve_app_id("App-99")
+        message = str(exc.value)
+        assert "App-9" in message and "App-10" in message
+
+
+@pytest.mark.parametrize("app_id", sorted(MODULE_ALIASES))
+def test_alias_round_trip_all_ten_apps(app_id):
+    """Canonical, lowercase, dash-stripped, and module-stem aliases all
+    resolve back to the canonical id, for every app in either tier."""
+    aliases = [
+        app_id,
+        app_id.lower(),
+        app_id.upper(),
+        app_id.lower().replace("-", ""),
+        MODULE_ALIASES[app_id],
+        MODULE_ALIASES[app_id].upper(),
+    ]
+    for alias in aliases:
+        assert resolve_app_id(alias) == app_id, alias
+        assert get_application(alias).info.app_id == app_id
+
+
+@pytest.mark.parametrize("app_id", FAMILY)
+def test_family_tests_run_clean(app_id):
+    app = get_application(app_id)
+    for seed in range(4):
+        executions = run_application(app, RunOptions(seed=seed))
+        for execution in executions:
+            assert execution.error is None, (
+                f"{app_id} seed {seed} {execution.test_name}: "
+                f"{execution.error}"
+            )
+            assert len(execution.log) > 0
+
+
+@pytest.mark.parametrize("app_id", FAMILY)
+def test_family_tests_deterministic(app_id):
+    def trace(app):
+        return [
+            [(e.thread_id, e.name, e.optype) for e in ex.log]
+            for ex in run_application(app, RunOptions(seed=5))
+        ]
+
+    assert trace(get_application(app_id)) == trace(get_application(app_id))
+
+
+@pytest.mark.parametrize("app_id", FAMILY)
+def test_family_ground_truth_consistency(app_id):
+    app = get_application(app_id)
+    gt = app.ground_truth
+    assert gt.syncs
+    sync_names = gt.true_sync_names()
+    for hidden in gt.hidden_sync_methods:
+        assert hidden in sync_names
+    for sync in gt.syncs:
+        assert sync.op.can_play(sync.role), sync.display()
+    # Both family apps plant exactly two racy fields.
+    assert len(gt.racy_fields) == 2
+
+
+@pytest.mark.parametrize("app_id", FAMILY)
+def test_family_traces_use_the_phaser(app_id):
+    """Both family apps actually exercise the collective primitive."""
+    from repro.sim.primitives.phaser import (
+        ARRIVE_API, AWAIT_ADVANCE_API, DEREGISTER_API, REGISTER_API,
+    )
+
+    app = get_application(app_id)
+    names = set()
+    for execution in run_application(app, RunOptions(seed=0)):
+        names.update(e.name for e in execution.log)
+    for api in (REGISTER_API, ARRIVE_API, AWAIT_ADVANCE_API,
+                DEREGISTER_API):
+        assert api in names, f"{app_id} never traces {api}"
+
+
+@pytest.mark.parametrize("app_id", FAMILY)
+def test_family_inference_recovers_true_syncs(app_id):
+    app = get_application(app_id)
+    report = Sherlock(app, SherlockConfig(rounds=3, seed=0)).run()
+    gt = app.ground_truth
+    final = report.final.syncs
+    correct = [s for s in final if gt.is_true_sync(s)]
+    assert len(correct) >= 2, f"{app_id} inferred too few true syncs"
+    assert len(final) <= len(gt.syncs) + 18
+    # The instrumentation-skip plant: hidden methods never inferred.
+    for sync in final:
+        assert sync.op.name not in gt.hidden_sync_methods
+
+
+@pytest.fixture(scope="module")
+def family_sherlock_specs():
+    specs = {}
+    for app_id in FAMILY:
+        app = get_application(app_id)
+        report = Sherlock(app, SherlockConfig(rounds=3, seed=0)).run()
+        specs[app_id] = sherlock_spec(report.final)
+    return specs
+
+
+@pytest.mark.parametrize("app_id", FAMILY)
+def test_family_predictive_superset_both_specs(
+    app_id, family_sherlock_specs
+):
+    """Acceptance: predicted ⊇ FastTrack-first-races under Manual AND
+    SherLock specs, with every witness sanitizing."""
+    app = get_application(app_id)
+    for spec in (manual_spec(app), family_sherlock_specs[app_id]):
+        executions = run_application(app, RunOptions(seed=0, run_id=0))
+        from repro.predict import PredictiveDetector
+
+        detector = PredictiveDetector(spec)
+        for execution in executions:
+            analysis = detector.analyze(execution.log)
+            assert analysis.invalid_witnesses == 0
+            first = analyze_run(execution.log, spec).first
+            if first is not None:
+                assert first.key() in analysis.keys(), (
+                    f"{app_id}/{execution.test_name} [{spec.name}]"
+                )
+            for race in analysis.races:
+                assert race.validated
+                problems = validate_witness(
+                    execution.log, race.witness, spec,
+                    race.a_seq, race.b_seq,
+                )
+                assert problems == [], (app_id, execution.test_name)
+
+
+def test_app9_planted_races_fasttrack_detected():
+    """App-9's unregister/dispatch plant surfaces in the observed
+    seed-0 order: FastTrack reports both planted fields outright."""
+    app = get_application("App-9")
+    spec = manual_spec(app)
+    detected = set()
+    for execution in run_application(app, RunOptions(seed=0)):
+        detected.update(
+            r.field_name for r in analyze_run(execution.log, spec).races
+        )
+    assert set(app.ground_truth.racy_fields) <= detected
+
+
+def test_app10_masked_race_is_predicted_only():
+    """App-10's drain race is masked in the observed report order: it
+    is never a FastTrack FIRST race at seed 0, only a prediction — the
+    directed-schedule conversion target."""
+    app = get_application("App-10")
+    report = predict_app(app, manual_spec(app), seed=0)
+    assert report.superset_ok
+    masked = "PyPipeline.Stages.StageRunner/Meter::drainCount"
+    first_fields = {
+        r.field_name for r in report.ft_first if r is not None
+    }
+    assert masked not in first_fields
+    assert masked in report.predicted_only_fields
+    # The registration/signal plant IS first-race-detected.
+    assert "PyPipeline.Stages.StageRunner/Meter::registrationLog" in (
+        first_fields
+    )

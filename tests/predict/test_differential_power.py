@@ -16,11 +16,14 @@ import json
 
 import pytest
 
-from repro.apps.registry import app_ids, get_application
+from repro.apps.registry import app_ids, family_app_ids, get_application
 from repro.core import Sherlock, SherlockConfig
 from repro.predict import PredictiveDetector, predict_app, validate_witness
 from repro.racedet import analyze_run, manual_spec, sherlock_spec
 from repro.sim.runner import RunOptions, run_application
+
+#: The full lockdown corpus: 8 paper apps + the grown family tier.
+ALL_APPS = app_ids() + family_app_ids()
 
 
 def _analyses(app, spec, seed=0):
@@ -42,7 +45,7 @@ def sherlock_specs():
     return specs
 
 
-@pytest.mark.parametrize("app_id", app_ids())
+@pytest.mark.parametrize("app_id", ALL_APPS)
 def test_predictive_superset_of_fasttrack_manual(app_id):
     app = get_application(app_id)
     spec = manual_spec(app)
@@ -56,7 +59,7 @@ def test_predictive_superset_of_fasttrack_manual(app_id):
             )
 
 
-@pytest.mark.parametrize("app_id", app_ids())
+@pytest.mark.parametrize("app_id", ALL_APPS)
 def test_witnesses_sanitize_with_identical_pairings(app_id):
     app = get_application(app_id)
     spec = manual_spec(app)
@@ -126,7 +129,7 @@ def _canonical(analyses):
     return json.dumps(payload, sort_keys=True)
 
 
-@pytest.mark.parametrize("app_id", app_ids())
+@pytest.mark.parametrize("app_id", ALL_APPS)
 def test_analysis_byte_stable_across_two_runs(app_id):
     app = get_application(app_id)
     spec = manual_spec(app)

@@ -14,7 +14,7 @@ from repro.core import SherlockConfig
 from repro.core.serialize import report_to_dict
 from repro.runtime import ExecutionRuntime, TraceCache
 
-APPS = ["App-2", "App-5", "App-7"]
+APPS = ["App-2", "App-5", "App-7", "App-9", "App-10"]
 
 
 def canonical(report) -> str:

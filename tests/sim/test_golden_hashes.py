@@ -12,7 +12,7 @@ import os
 
 import pytest
 
-from repro.apps.registry import app_ids, get_application
+from repro.apps.registry import app_ids, family_app_ids, get_application
 from repro.core.config import SherlockConfig
 from repro.core.observer import Observer
 from repro.fuzz import trace_digest
@@ -24,7 +24,7 @@ with open(GOLDEN_PATH, encoding="utf-8") as fp:
 
 
 def test_golden_file_covers_all_apps():
-    assert sorted(GOLDEN) == sorted(app_ids())
+    assert sorted(GOLDEN) == sorted(app_ids() + family_app_ids())
 
 
 @pytest.mark.parametrize("app_id", sorted(GOLDEN))

@@ -1,0 +1,488 @@
+"""Phaser primitive: semantics, trace shape, HB soundness, properties.
+
+The unit tests pin the collective-sync semantics (dynamic parties,
+split-phase signal/wait, deregistration completing a phase) and the
+kernel-level interaction between directed-schedule deferrals and phase
+waits.  The hypothesis block locks two invariants under arbitrary
+``SchedulePolicy`` interleavings: phase counters are monotone, and every
+``Arrive`` of a phase is matched by (ordered before) all of that
+phase's ``AwaitAdvance`` returns.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.racedet import HappensBeforeSpec, analyze_run
+from repro.sim import Kernel, Runtime
+from repro.sim.errors import DeadlockError
+from repro.sim.primitives import Phaser
+from repro.sim.primitives.phaser import (
+    ARRIVE_API,
+    AWAIT_ADVANCE_API,
+    DEREGISTER_API,
+    PHASER_ACQUIRE_APIS,
+    PHASER_RELEASE_APIS,
+    REGISTER_API,
+)
+from repro.sim.schedule import DirectedPolicy
+from repro.trace import OpType, TraceLog
+from repro.trace.optypes import begin_of, end_of
+
+
+def run_threads(bodies, seed=0, policy="random"):
+    """Spawn one thread per body generator-factory; return the log."""
+    log = TraceLog()
+    kernel = Kernel(seed=seed, log=log, schedule_policy=policy)
+    rt = Runtime(kernel)
+    for i, body in enumerate(bodies):
+        kernel.spawn(body(rt), f"t{i}")
+    kernel.run()
+    return kernel, log, rt
+
+
+def phaser_spec():
+    """A Manual-style HB spec knowing only the phaser vocabulary."""
+    spec = HappensBeforeSpec(name="phaser-only")
+    for name in PHASER_ACQUIRE_APIS:
+        spec.acquires.add(begin_of(name))
+    for name in PHASER_RELEASE_APIS:
+        spec.releases.add(end_of(name))
+    spec.collective_releases.update(PHASER_RELEASE_APIS)
+    return spec
+
+
+class TestPhaserSemantics:
+    def test_negative_parties_rejected(self):
+        with pytest.raises(ValueError):
+            Phaser(parties=-1)
+
+    def test_register_grows_quorum_and_returns_phase(self):
+        phases = []
+
+        def body(rt):
+            phases.append((yield from phaser.register(rt)))
+            phases.append((yield from phaser.register(rt)))
+
+        phaser = Phaser()
+        run_threads([body])
+        assert phaser.parties == 2
+        assert phases == [0, 0]
+
+    def test_arrive_without_parties_rejected(self):
+        def body(rt):
+            yield from phaser.arrive(rt)
+
+        phaser = Phaser(parties=0)
+        kernel, _, _ = run_threads([body])
+        assert "no unarrived parties" in kernel.threads[0].error.args[0]
+
+    def test_deregister_without_parties_rejected(self):
+        def body(rt):
+            yield from phaser.arrive_and_deregister(rt)  # parties -> 0
+            yield from phaser.arrive_and_deregister(rt)  # nothing left
+
+        phaser = Phaser(parties=1)
+        kernel, _, _ = run_threads([body])
+        assert kernel.threads[0].error is not None
+
+    def test_classic_barrier_round_trip(self):
+        orders = []
+
+        def worker(tag):
+            def body(rt):
+                for round_no in range(3):
+                    orders.append(("before", round_no, tag))
+                    yield from phaser.arrive_and_await(rt)
+                    orders.append(("after", round_no, tag))
+
+            return body
+
+        phaser = Phaser(parties=3)
+        run_threads([worker(t) for t in range(3)], seed=11)
+        assert phaser.phase == 3
+        for round_no in range(3):
+            befores = [
+                i for i, (k, r, _) in enumerate(orders)
+                if (k, r) == ("before", round_no)
+            ]
+            afters = [
+                i for i, (k, r, _) in enumerate(orders)
+                if (k, r) == ("after", round_no)
+            ]
+            assert max(befores) < min(afters)
+
+    def test_await_advance_past_phase_returns_immediately(self):
+        results = []
+
+        def body(rt):
+            yield from phaser.arrive(rt)  # phase 0 -> 1
+            results.append((yield from phaser.await_advance(rt, 0)))
+
+        phaser = Phaser(parties=1)
+        run_threads([body])
+        assert results == [1]
+
+    def test_unregistered_waiter_observes_phase(self):
+        """Bare waiters (non-parties) may await a phase."""
+        seen = []
+
+        def signaler(rt):
+            yield from rt.sleep(0.05)
+            yield from phaser.arrive(rt)
+
+        def waiter(rt):
+            seen.append((yield from phaser.await_advance(rt, 0)))
+
+        phaser = Phaser(parties=1)
+        run_threads([signaler, waiter], seed=3)
+        assert seen == [1]
+
+    def test_deregister_completes_phase_for_bare_waiters(self):
+        """The last party out advances the phase unconditionally."""
+        seen = []
+
+        def leaver(rt):
+            yield from rt.sleep(0.02)
+            yield from phaser.arrive_and_deregister(rt)
+
+        def waiter(rt):
+            seen.append((yield from phaser.await_advance(rt, 0)))
+
+        phaser = Phaser(parties=1)
+        run_threads([leaver, waiter], seed=7)
+        assert phaser.parties == 0
+        assert seen == [1]
+
+    def test_unguarded_late_registration_deadlocks(self):
+        """Registering after another party already tipped the phase
+        strands the late party in the next phase — correct (Java-like)
+        phaser behavior, and why apps must guard dynamic registration."""
+
+        def early(rt):
+            yield from phaser.arrive_and_await(rt)
+
+        def late(rt):
+            yield from rt.sleep(0.1)
+            yield from phaser.register(rt)
+            yield from phaser.arrive_and_await(rt)
+
+        phaser = Phaser(parties=1)
+        with pytest.raises(DeadlockError):
+            run_threads([early, late], seed=1)
+
+
+class TestPhaserTraceShape:
+    def test_api_events_paired_and_library(self):
+        def body(rt):
+            yield from phaser.register(rt)
+            yield from phaser.arrive_and_await(rt)
+            yield from phaser.arrive_and_deregister(rt)
+
+        phaser = Phaser(parties=0)
+        _, log, _ = run_threads([body])
+        names = [(e.optype, e.name) for e in log]
+        for api in (REGISTER_API, ARRIVE_API, AWAIT_ADVANCE_API,
+                    DEREGISTER_API):
+            assert (OpType.ENTER, api) in names
+            assert (OpType.EXIT, api) in names
+        assert all(e.meta.get("library") for e in log)
+        addresses = {e.address for e in log}
+        assert addresses == {phaser.obj.id}
+
+    def test_arrive_and_await_traces_as_split_pair(self):
+        """The fused helper emits Arrive then AwaitAdvance — there is
+        no fused API name in the trace (capability rule: one ENTER/EXIT
+        pair cannot release before it acquires)."""
+
+        def body(rt):
+            yield from phaser.arrive_and_await(rt)
+
+        phaser = Phaser(parties=1)
+        _, log, _ = run_threads([body])
+        names = [e.name for e in log]
+        assert names == [
+            ARRIVE_API, ARRIVE_API, AWAIT_ADVANCE_API, AWAIT_ADVANCE_API,
+        ]
+
+    def test_signal_exit_precedes_woken_waiter_exit(self):
+        """Kernel-step atomicity: the tipping Arrive's EXIT is in the
+        log before any woken AwaitAdvance EXIT, so the release is
+        visible to FastTrack before the acquire joins it."""
+
+        def waiter(rt):
+            yield from phaser.await_advance(rt, 0)
+
+        def signaler(rt):
+            yield from rt.sleep(0.03)
+            yield from phaser.arrive(rt)
+
+        phaser = Phaser(parties=1)
+        for seed in range(6):
+            phaser.__init__(parties=1)
+            _, log, _ = run_threads([waiter, signaler], seed=seed)
+            arrive_exit = next(
+                i for i, e in enumerate(log)
+                if e.optype is OpType.EXIT and e.name == ARRIVE_API
+            )
+            await_exit = next(
+                i for i, e in enumerate(log)
+                if e.optype is OpType.EXIT and e.name == AWAIT_ADVANCE_API
+            )
+            assert arrive_exit < await_exit
+
+
+class TestPhaserHappensBefore:
+    def test_phase_protected_handoff_is_race_free(self):
+        """Data published before Arrive, read after AwaitAdvance: no
+        FastTrack race under the phaser-only spec, in any of 10 seeds."""
+
+        def producer(rt):
+            obj = objs["o"]
+            yield from rt.write(obj, "x", 1)
+            yield from phaser_box[0].arrive_and_await(rt)
+
+        def consumer(rt):
+            yield from phaser_box[0].arrive_and_await(rt)
+            yield from rt.read(objs["o"], "x")
+
+        spec = phaser_spec()
+        for seed in range(10):
+            phaser_box = [Phaser(parties=2)]
+            log = TraceLog()
+            kernel = Kernel(seed=seed, log=log)
+            rt = Runtime(kernel)
+            objs = {"o": rt.new_object("D", x=0)}
+            kernel.spawn(producer(rt), "p")
+            kernel.spawn(consumer(rt), "c")
+            kernel.run()
+            assert analyze_run(log, spec).races == [], f"seed {seed}"
+
+    def test_collective_edge_covers_all_signals(self):
+        """A waiter is ordered after EVERY arrival of its phase — not
+        just the one that tipped the quorum (the n-to-1 edge a pairing
+        release would miss)."""
+
+        def producer(tag):
+            def body(rt):
+                yield from rt.write(objs[tag], "x", 1)
+                yield from phaser_box[0].arrive(rt)
+
+            return body
+
+        def consumer(rt):
+            yield from phaser_box[0].await_advance(rt, 0)
+            for tag in ("a", "b", "c"):
+                yield from rt.read(objs[tag], "x")
+
+        spec = phaser_spec()
+        for seed in range(10):
+            phaser_box = [Phaser(parties=3)]
+            log = TraceLog()
+            kernel = Kernel(seed=seed, log=log)
+            rt = Runtime(kernel)
+            objs = {t: rt.new_object("D" + t, x=0) for t in ("a", "b", "c")}
+            for tag in ("a", "b", "c"):
+                kernel.spawn(producer(tag)(rt), tag)
+            kernel.spawn(consumer(rt), "consumer")
+            kernel.run()
+            assert analyze_run(log, spec).races == [], f"seed {seed}"
+
+    def test_split_phase_window_still_races(self):
+        """Accesses between Arrive and AwaitAdvance are NOT ordered
+        against the peer phase — the split-phase window is racy (the
+        App-10 Masked_Drain_Race mechanic)."""
+
+        def worker(rt):
+            my_phase = yield from phaser_box[0].arrive(rt)
+            yield from rt.write(objs["o"], "x", 1)  # in the window
+            yield from phaser_box[0].await_advance(rt, my_phase)
+
+        def peer(rt):
+            yield from rt.write(objs["o"], "x", 2)  # before its arrival
+            yield from phaser_box[0].arrive_and_await(rt)
+
+        spec = phaser_spec()
+        raced = 0
+        for seed in range(10):
+            phaser_box = [Phaser(parties=2)]
+            log = TraceLog()
+            kernel = Kernel(seed=seed, log=log)
+            rt = Runtime(kernel)
+            objs = {"o": rt.new_object("D", x=0)}
+            kernel.spawn(worker(rt), "w")
+            kernel.spawn(peer(rt), "p")
+            kernel.run()
+            raced += bool(analyze_run(log, spec).races)
+        assert raced > 0
+
+
+class TestDeferPhaseWaitInteraction:
+    """The kernel consults ``SchedulePolicy.defer`` only when another
+    thread is RUNNABLE.  With every sibling blocked in a phase wait, a
+    deferral achieves no reordering and would burn the directed
+    policy's one-shot at the site — so the kernel skips the policy."""
+
+    def test_phase_blocked_sibling_preserves_one_shot(self):
+        """Target accesses made while every sibling is blocked in a
+        phase wait never consume the directed one-shot."""
+
+        def lone(rt):
+            yield from rt.sleep(0.05)  # let the waiter block first
+            yield from rt.write(objs["o"], "x", 1)  # sibling is blocked
+            yield from phaser_box[0].arrive(rt)  # release the waiter
+
+        def waiter(rt):
+            yield from phaser_box[0].await_advance(rt, 0)
+
+        policy = DirectedPolicy(seed=0, targets=["D::x"])
+        phaser_box = [Phaser(parties=1)]
+        log = TraceLog()
+        kernel = Kernel(seed=0, log=log, schedule_policy=policy)
+        rt = Runtime(kernel)
+        objs = {"o": rt.new_object("D", x=0)}
+        kernel.spawn(waiter(rt), "w")
+        kernel.spawn(lone(rt), "lone")
+        kernel.run()
+        # The only D::x access ran with its sibling blocked in the
+        # phase wait: the kernel never consulted the policy, so the
+        # directed one-shot is intact.
+        assert policy._deferred == set()
+        writes = [e for e in log if e.optype is OpType.WRITE]
+        assert len(writes) == 1
+
+    def test_defer_skipped_when_no_other_runnable(self):
+        """Direct kernel check: with a single thread the policy's defer
+        is never consulted (a consulted DirectedPolicy would consume
+        its one-shot and demote the thread)."""
+
+        def body(rt):
+            yield from rt.write(obj, "x", 1)
+            yield from rt.write(obj, "x", 2)
+
+        policy = DirectedPolicy(seed=5, targets=["D::x"])
+        log = TraceLog()
+        kernel = Kernel(seed=0, log=log, schedule_policy=policy)
+        rt = Runtime(kernel)
+        obj = rt.new_object("D", x=0)
+        kernel.spawn(body(rt), "solo")
+        kernel.run()
+        assert policy._deferred == set()  # one-shot intact
+        assert len([e for e in log if e.optype is OpType.WRITE]) == 2
+
+    def test_defer_consumed_when_sibling_runnable(self):
+        """Contrast: with a runnable sibling the deferral fires."""
+
+        def toucher(rt):
+            yield from rt.write(obj, "x", 1)
+
+        def sibling(rt):
+            for _ in range(50):  # stay runnable alongside the toucher
+                yield from rt.sched_yield()
+
+        policy = DirectedPolicy(seed=5, targets=["D::x"])
+        log = TraceLog()
+        kernel = Kernel(seed=0, log=log, schedule_policy=policy)
+        rt = Runtime(kernel)
+        obj = rt.new_object("D", x=0)
+        kernel.spawn(toucher(rt), "t")
+        kernel.spawn(sibling(rt), "s")
+        kernel.run()
+        toucher_tid = kernel.threads[0].tid
+        assert (toucher_tid, "D::x") in policy._deferred
+
+
+# -- hypothesis properties ----------------------------------------------------
+
+
+def run_phaser_rounds(seed, parties, rounds, policy):
+    """`parties` workers × `rounds` arrive_and_await; return records."""
+    phaser = Phaser(parties=parties, name="prop")
+    order = []          # interleaving-ordered (kind, phase, tid) marks
+    observed = {}       # tid -> [my_phase per round]
+
+    def worker(tag):
+        def body(rt):
+            observed[tag] = []
+            for _ in range(rounds):
+                my_phase = yield from phaser.arrive(rt)
+                order.append(("arrive", my_phase, tag))
+                observed[tag].append(my_phase)
+                yield from phaser.await_advance(rt, my_phase)
+                order.append(("resume", my_phase, tag))
+
+        return body
+
+    kernel, log, _ = run_threads(
+        [worker(t) for t in range(parties)], seed=seed, policy=policy
+    )
+    assert all(t.error is None for t in kernel.threads)
+    return phaser, order, observed, log
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    parties=st.integers(2, 4),
+    rounds=st.integers(1, 4),
+    policy=st.sampled_from(["random", "pct", "pct:0.3"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_phase_counter_monotone(seed, parties, rounds, policy):
+    """Every worker observes phases 0,1,2,… in order; the phaser ends
+    at exactly `rounds`."""
+    phaser, _, observed, _ = run_phaser_rounds(seed, parties, rounds, policy)
+    assert phaser.phase == rounds
+    assert phaser.arrived == 0
+    for phases in observed.values():
+        assert phases == list(range(rounds))
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    parties=st.integers(2, 4),
+    rounds=st.integers(1, 3),
+    policy=st.sampled_from(["random", "pct"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_every_signal_matched_by_phase_waits(seed, parties, rounds, policy):
+    """For every phase p: all `parties` Arrive EXITs of p precede every
+    AwaitAdvance EXIT of p, in true trace order, under arbitrary policy
+    interleavings.  (Each thread signals and waits exactly once per
+    phase, so its r-th Arrive/AwaitAdvance EXIT belongs to phase r.)"""
+    _, _, _, log = run_phaser_rounds(seed, parties, rounds, policy)
+    arrive_exits = {}  # phase -> log positions of its Arrive EXITs
+    await_exits = {}   # phase -> log positions of its AwaitAdvance EXITs
+    per_thread = {}    # (thread, api) -> how many EXITs seen so far
+    for pos, event in enumerate(log):
+        if event.optype is not OpType.EXIT:
+            continue
+        if event.name not in (ARRIVE_API, AWAIT_ADVANCE_API):
+            continue
+        key = (event.thread_id, event.name)
+        phase = per_thread.get(key, 0)
+        per_thread[key] = phase + 1
+        bucket = arrive_exits if event.name == ARRIVE_API else await_exits
+        bucket.setdefault(phase, []).append(pos)
+    for p in range(rounds):
+        assert len(arrive_exits[p]) == parties
+        assert len(await_exits[p]) == parties
+        assert max(arrive_exits[p]) < min(await_exits[p]), f"phase {p}"
+
+
+@given(seed=st.integers(0, 2_000))
+@settings(max_examples=25, deadline=None)
+def test_phaser_runs_deterministic(seed):
+    def trace(s):
+        _, log, _ = runs(s)
+        return [(e.thread_id, e.optype, e.name) for e in log]
+
+    def runs(s):
+        phaser = Phaser(parties=3)
+
+        def worker(rt):
+            for _ in range(2):
+                yield from phaser.arrive_and_await(rt)
+
+        return run_threads([worker] * 3, seed=s)
+
+    assert trace(seed) == trace(seed)

@@ -11,6 +11,9 @@ def test_apps_command(capsys):
     assert main(["apps"]) == 0
     out = capsys.readouterr().out
     assert "App-1" in out and "App-8" in out
+    # The grown family tier is listed, and labelled as its own tier.
+    assert "App-9" in out and "App-10" in out
+    assert out.count("[family tier]") == 2
 
 
 def test_infer_command(capsys):
@@ -88,3 +91,46 @@ def test_unknown_table_rejected():
 def test_command_required():
     with pytest.raises(SystemExit):
         main([])
+
+
+# -- convert error paths ------------------------------------------------------
+
+
+def test_convert_malformed_directed_seed_rejected():
+    """A non-numeric seed in a directed: spec is an argparse error."""
+    with pytest.raises(SystemExit):
+        main(["convert", "--policy", "directed:notanint|A::x"])
+
+
+def test_convert_empty_directed_target_rejected():
+    """`directed:0|` carries an empty target — rejected at parse time."""
+    with pytest.raises(SystemExit):
+        main(["convert", "--policy", "directed:0|"])
+
+
+def test_convert_bad_target_access_kind_rejected():
+    """Unknown access kinds in a target's bracket suffix are rejected."""
+    with pytest.raises(SystemExit):
+        main(["convert", "--policy", "directed:0|A::x[jump]"])
+
+
+def test_convert_unknown_app_rejected_before_any_run():
+    """Unknown app ids fail config validation (no baselines are run)."""
+    with pytest.raises(KeyError):
+        main(["convert", "--app", "App-99", "--schedules", "1"])
+
+
+def test_convert_command_family_planted_gate(tmp_path, capsys):
+    """The convert-smoke CI leg: App-10 with --require-planted exits 0
+    and reports no planted race unconverted."""
+    out = tmp_path / "conversion.json"
+    code = main([
+        "convert", "--app", "App-10", "--schedules", "2",
+        "--require-planted", "--out", str(out),
+    ])
+    assert code == 0
+    blob = json.loads(out.read_text())
+    assert blob["totals"]["planted_unconverted"] == []
+    assert blob["totals"]["targets"] == blob["totals"]["converted"] + (
+        blob["totals"]["flagged"]
+    )
