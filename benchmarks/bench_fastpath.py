@@ -157,6 +157,35 @@ def bench_resolve(
     }
 
 
+def bench_warm_phase1(
+    logs_by_round: List[List], config: SherlockConfig
+) -> Dict[str, int]:
+    """Phase-1 work done by the warm-started (incremental) rounds: with
+    the carried-basis portfolio in place this must be zero, and the CI
+    gate (``tools/bench_report.py``) holds it there.  Runs the built-in
+    revised simplex explicitly — the phase-1/dual counters are its
+    observability; scipy's are always zero."""
+    config = config.without(backend="simplex")
+    extractor = WindowExtractor(
+        near=config.near, window_cap=config.window_cap
+    )
+    store = ObservationStore()
+    encoder = IncrementalEncoder(config)
+    phase1 = 0
+    skipped = 0
+    for round_index, round_logs in enumerate(logs_by_round):
+        for log in round_logs:
+            store.ingest_run(log, extractor.extract(log))
+        inference = infer(store, config, encoder=encoder)
+        if round_index > 0:
+            phase1 += inference.lp_phase1_iterations
+            skipped += 1 if inference.lp_phase1_skipped else 0
+    return {
+        "warm_phase1_iterations": phase1,
+        "warm_phase1_skipped": skipped,
+    }
+
+
 #: Backends timed by :func:`bench_backends`, keyed by the suffix used in
 #: the result dict (``solve_<key>_s``).
 BACKENDS = {
@@ -214,6 +243,7 @@ def bench_app(
     result.update(bench_extraction(flat, config, repeats))
     result.update(bench_resolve(logs_by_round, config, repeats))
     result.update(bench_backends(logs_by_round, config, repeats))
+    result.update(bench_warm_phase1(logs_by_round, config))
     return result
 
 
@@ -332,6 +362,79 @@ def scale_worker(app_id: str, backend: str, rounds: int, seed: int) -> Dict:
         "ftran_btran_s": solution.ftran_btran_s,
         "pricing_s": solution.pricing_s,
         "eta_len": solution.eta_len,
+        "presolve_s": solution.presolve_s,
+        "presolve_rows": solution.presolve_rows_eliminated,
+        "presolve_cols": solution.presolve_cols_eliminated,
+        "phase1_iterations": solution.phase1_iterations,
+        "phase1_skipped": bool(solution.phase1_skipped),
+        "dual_iterations": solution.dual_iterations,
+        "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        // 1024,
+        "capped": False,
+    }
+
+
+def scale_warm_worker(app_id: str, rounds: int, seed: int) -> Dict:
+    """Incremental multi-round solve at scale — the subprocess body
+    behind the ``warm`` leg of :func:`bench_scale_app`.  Runs the
+    encoder's carried-basis path round by round and reports per-round
+    solve time plus the phase-1/dual counters the gate asserts on
+    (warm rounds must do zero phase-1 iterations)."""
+    import resource
+
+    from repro.sim.runner import RunOptions, run_unit_test
+
+    config = SherlockConfig(rounds=rounds, seed=seed, backend="simplex")
+    app = get_application(app_id)
+    extractor = WindowExtractor(
+        near=config.near,
+        window_cap=config.window_cap,
+        refine=config.enable_window_refinement,
+        indexed=True,
+    )
+    store = ObservationStore()
+    encoder = IncrementalEncoder(config)
+    per_round = []
+    for round_id in range(rounds):
+        for test in app.tests:
+            execution = run_unit_test(
+                app, test, RunOptions(seed=seed, run_id=round_id)
+            )
+            if execution.error is not None:
+                raise RuntimeError(
+                    f"{app_id} test failed: {execution.error}"
+                )
+            store.ingest_run(
+                execution.log, extractor.extract(execution.log)
+            )
+        t0 = time.perf_counter()
+        inference = infer(store, config, encoder=encoder)
+        per_round.append(
+            {
+                "round": round_id,
+                "solve_s": time.perf_counter() - t0,
+                "iterations": inference.lp_pivots,
+                "phase1_iterations": inference.lp_phase1_iterations,
+                "phase1_skipped": bool(inference.lp_phase1_skipped),
+                "dual_iterations": inference.lp_dual_iterations,
+                "presolve_rows": inference.lp_presolve_rows_eliminated,
+                "presolve_cols": inference.lp_presolve_cols_eliminated,
+            }
+        )
+    warm_rounds = per_round[1:]
+    return {
+        "app_id": app_id,
+        "rounds": rounds,
+        "seed": seed,
+        "per_round": per_round,
+        "solve_s": sum(r["solve_s"] for r in per_round),
+        "phase1_iterations": sum(
+            r["phase1_iterations"] for r in warm_rounds
+        ),
+        "phase1_skipped": sum(
+            1 for r in warm_rounds if r["phase1_skipped"]
+        ),
+        "dual_iterations": sum(r["dual_iterations"] for r in warm_rounds),
         "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         // 1024,
         "capped": False,
@@ -392,15 +495,64 @@ def _run_scale_worker(
     return result
 
 
+def _run_scale_warm(
+    app_id: str, rounds: int, seed: int, budget_s: float
+) -> Dict:
+    """The warm leg in a fresh subprocess, budget-capped like a cold
+    solve (the whole multi-round incremental run shares one budget)."""
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(repo_root, "src"), repo_root]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    command = [
+        sys.executable,
+        os.path.abspath(__file__),
+        "--scale-warm-worker",
+        app_id,
+        "--rounds",
+        str(rounds),
+        "--seed",
+        str(seed),
+    ]
+    try:
+        proc = subprocess.run(
+            command,
+            capture_output=True,
+            text=True,
+            timeout=budget_s + _SCALE_BUILD_ALLOWANCE_S,
+            env=env,
+        )
+    except subprocess.TimeoutExpired:
+        return {
+            "app_id": app_id,
+            "rounds": rounds,
+            "seed": seed,
+            "solve_s": float(budget_s),
+            "capped": True,
+        }
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"scale warm worker {app_id} failed:\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
 def bench_scale_app(
     app_id: str,
     rounds: int = DEFAULT_ROUNDS,
     seed: int = 0,
     budget_s: float = DEFAULT_SCALE_BUDGET_S,
     backend_keys: Optional[List[str]] = None,
+    warm: bool = False,
 ) -> Dict:
     """Scale-tier measurements for one synthetic app: per-backend cold
-    solve (subprocess-isolated, budget-capped), LP shape, peak RSS."""
+    solve (subprocess-isolated, budget-capped), LP shape, peak RSS, and
+    with ``warm`` an incremental multi-round leg whose warm rounds the
+    gate requires to skip phase 1."""
     keys = list(backend_keys or SCALE_BACKENDS)
     entry: Dict = {
         "app_id": app_id,
@@ -409,6 +561,13 @@ def bench_scale_app(
         "seed": seed,
         "backends": {},
     }
+    if warm:
+        warm_result = _run_scale_warm(app_id, rounds, seed, budget_s)
+        entry["warm"] = {
+            k: v
+            for k, v in warm_result.items()
+            if k not in ("app_id", "rounds", "seed")
+        }
     objectives = {}
     for key in keys:
         result = _run_scale_worker(
@@ -438,6 +597,7 @@ def run_scale_suite(
     seed: int = 0,
     budget_s: float = DEFAULT_SCALE_BUDGET_S,
     backend_keys: Optional[List[str]] = None,
+    warm: bool = False,
 ) -> List[Dict]:
     """Benchmark the scale tier (default: every registered scale app)."""
     from repro.apps.registry import scale_app_ids
@@ -451,6 +611,7 @@ def run_scale_suite(
             seed=seed,
             budget_s=budget_s,
             backend_keys=backend_keys,
+            warm=warm,
         )
         for app_id in app_ids
     ]
@@ -471,10 +632,22 @@ def main(argv: Optional[List[str]] = None) -> None:
         default=None,
         help="internal: run one scale cold solve and print JSON",
     )
+    parser.add_argument(
+        "--scale-warm-worker",
+        metavar="APP_ID",
+        default=None,
+        help="internal: run one incremental warm-round leg and print JSON",
+    )
     args = parser.parse_args(argv)
     if args.scale_worker is not None:
         app_id, backend = args.scale_worker
         result = scale_worker(app_id, backend, args.rounds, args.seed)
+        print(json.dumps(result))
+        return
+    if args.scale_warm_worker is not None:
+        result = scale_warm_worker(
+            args.scale_warm_worker, args.rounds, args.seed
+        )
         print(json.dumps(result))
         return
     suite = run_suite(args.apps or None, args.rounds, args.repeats)

@@ -137,6 +137,18 @@ def _add_shared_options(parser: argparse.ArgumentParser, suppress: bool) -> None
         "--stats", action="store_true", default=default(False),
         help="print per-phase timings and cache hit/miss counters",
     )
+    # Paired flags instead of BooleanOptionalAction (Python 3.9 CI).
+    parser.add_argument(
+        "--presolve", dest="presolve", action="store_true",
+        default=default(True),
+        help="LP presolve above the 4096-column gate (default on; "
+        "identity below the gate either way)",
+    )
+    parser.add_argument(
+        "--no-presolve", dest="presolve", action="store_false",
+        default=default(True),
+        help="disable LP presolve everywhere (escape hatch)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -301,7 +313,9 @@ def _print_stats(report, runtime: ExecutionRuntime) -> None:
 
 def _cmd_infer(args, runtime: ExecutionRuntime) -> int:
     app = get_application(args.app_id)
-    config = SherlockConfig(rounds=args.rounds, seed=args.seed)
+    config = SherlockConfig(
+        rounds=args.rounds, seed=args.seed, presolve=args.presolve
+    )
     report = run(app, config, engine=runtime)
     gt = app.ground_truth
     print(report.describe())
@@ -320,7 +334,9 @@ def _cmd_infer(args, runtime: ExecutionRuntime) -> int:
 
 def _cmd_races(args, runtime: ExecutionRuntime) -> int:
     app = get_application(args.app_id)
-    config = SherlockConfig(rounds=args.rounds, seed=args.seed)
+    config = SherlockConfig(
+        rounds=args.rounds, seed=args.seed, presolve=args.presolve
+    )
     report = run(app, config, engine=runtime)
     manual = detect_races(app, manual_spec(app), seed=args.seed)
     inferred = detect_races(app, sherlock_spec(report.final), seed=args.seed)

@@ -55,6 +55,13 @@ class SherlockConfig:
     #: historical all-pairs + rebuild-from-scratch path alive for
     #: differential testing; both produce byte-identical reports.
     incremental: bool = True
+    #: LP presolve (:mod:`repro.lp.presolve`): reduce scale-tier-sized
+    #: standard forms (duplicate/twin row merging, fixed/empty column
+    #: elimination, equilibration scaling) before the backend solves
+    #: them, with an exact postsolve.  Identity below the 4096-column
+    #: gate, so paper-sized reports are byte-identical either way;
+    #: ``False`` is the escape hatch that disables it everywhere.
+    presolve: bool = True
 
     # -- Perturber (§3, §4.3) --------------------------------------------------
     #: Injected delay before each inferred-release instance, seconds.
@@ -125,6 +132,10 @@ class SherlockConfig:
             raise ValueError(
                 f"unknown LP backend {self.backend!r}; choose from "
                 f"{sorted(available_backends())}"
+            )
+        if not isinstance(self.presolve, bool):
+            raise ValueError(
+                f"presolve must be True or False, got {self.presolve!r}"
             )
         if self.lam < 0:
             raise ValueError("lambda must be non-negative")

@@ -253,7 +253,11 @@ class IncrementalEncoder:
             self._form_cache, self._cp.n_constraints
         )
         solution = lp_solve(
-            self.model, backend, form=form, warm_basis=self._warm_basis
+            self.model,
+            backend,
+            form=form,
+            warm_basis=self._warm_basis,
+            presolve=self.config.presolve,
         )
         self._warm_basis = solution.basis
         return solution

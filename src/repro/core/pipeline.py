@@ -178,6 +178,12 @@ class Sherlock:
                 lp_ftran_btran_s=inference.lp_ftran_btran_s,
                 lp_pricing_s=inference.lp_pricing_s,
                 lp_eta_len=inference.lp_eta_len,
+                lp_presolve_s=inference.lp_presolve_s,
+                lp_presolve_rows=inference.lp_presolve_rows_eliminated,
+                lp_presolve_cols=inference.lp_presolve_cols_eliminated,
+                lp_dual_iterations=inference.lp_dual_iterations,
+                lp_phase1_iterations=inference.lp_phase1_iterations,
+                lp_phase1_skipped=1 if inference.lp_phase1_skipped else 0,
                 lp_delta_variables=inference.lp_delta_variables,
                 lp_delta_constraints=inference.lp_delta_constraints,
                 workers=outcome.workers_used,

@@ -51,6 +51,17 @@ class InferenceResult:
     lp_ftran_btran_s: float = 0.0
     lp_pricing_s: float = 0.0
     lp_eta_len: int = 0
+    #: Presolve + dual re-solve observability (see
+    #: :mod:`repro.lp.presolve` / :mod:`repro.lp.dual`): reduction time
+    #: and rows/columns eliminated before the backend solve, dual-simplex
+    #: re-solve pivots, primal phase-1 iterations, and whether the round
+    #: did zero phase-1 work.
+    lp_presolve_s: float = 0.0
+    lp_presolve_rows_eliminated: int = 0
+    lp_presolve_cols_eliminated: int = 0
+    lp_dual_iterations: int = 0
+    lp_phase1_iterations: int = 0
+    lp_phase1_skipped: bool = False
     #: Variables/constraints actually appended this round (equals the
     #: full model size on a rebuild).
     lp_delta_variables: int = 0
@@ -100,7 +111,7 @@ def infer(
     if encoder is not None:
         solution: Solution = encoder.solve(config.backend)
     else:
-        solution = model.solve(config.backend)
+        solution = model.solve(config.backend, presolve=config.presolve)
     t_solved = time.perf_counter()
     if solution.status is not SolveStatus.OPTIMAL:
         raise SolverError(
@@ -122,6 +133,12 @@ def infer(
         lp_ftran_btran_s=solution.ftran_btran_s,
         lp_pricing_s=solution.pricing_s,
         lp_eta_len=solution.eta_len,
+        lp_presolve_s=solution.presolve_s,
+        lp_presolve_rows_eliminated=solution.presolve_rows_eliminated,
+        lp_presolve_cols_eliminated=solution.presolve_cols_eliminated,
+        lp_dual_iterations=solution.dual_iterations,
+        lp_phase1_iterations=solution.phase1_iterations,
+        lp_phase1_skipped=solution.phase1_skipped,
         lp_delta_variables=(
             encoder.last_delta_variables
             if encoder is not None

@@ -17,14 +17,32 @@ All backends consume the same :class:`~repro.lp.model.StandardForm`
 (dense or ``csr_matrix``) and the simplex family shares one
 backend-independent basis-label format, so ``warm_basis`` emitted by one
 is accepted by the other.
+
+Presolve (:mod:`repro.lp.presolve`) is orchestrated here, in front of
+every backend: above the same 4096-real-column gate that switches the
+revised simplex to Dantzig pricing, the standard form is reduced, the
+backend solves the reduction, and postsolve lifts the solution (values,
+objective, basis labels) back to the original form.  Below the gate
+presolve is the identity, keeping the paper-sized byte-identity
+contract untouched.  ``presolve=False`` turns it off everywhere;
+``presolve="force"`` runs it at any size (the differential-test hook).
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, Optional
+
+import numpy as np
 
 from .model import Model, StandardForm
 from .solution import Solution
+
+#: Real-column count (structural + slack columns, i.e. ``n + ub rows +
+#: finite upper bounds``) at which presolve engages — deliberately the
+#: same threshold as the revised simplex's Dantzig gate so the two
+#: scale-mode levers switch on together.
+_PRESOLVE_MIN_COLUMNS = 4096
 
 
 def _solve_auto(
@@ -76,23 +94,77 @@ def available_backends() -> tuple:
     return tuple(_registry())
 
 
+def _presolve_gate(form: StandardForm) -> bool:
+    """Whether ``form`` is scale-tier sized (same count the revised
+    simplex uses for its Dantzig gate: structural columns + ub rows +
+    one bound row per finite upper bound)."""
+    n_real = len(form.variables) + form.a_ub.shape[0]
+    n_real += sum(
+        1
+        for _, hi in form.bounds
+        if hi is not None and np.isfinite(hi)
+    )
+    return n_real >= _PRESOLVE_MIN_COLUMNS
+
+
+def _attach_presolve(sol: Solution, pres, presolve_s: float) -> Solution:
+    sol.presolve_s = presolve_s
+    sol.presolve_rows_eliminated = pres.rows_eliminated
+    sol.presolve_cols_eliminated = pres.cols_eliminated
+    return sol
+
+
 def solve(
     model: Model,
     backend: str = "auto",
     form: Optional[StandardForm] = None,
     warm_basis=None,
+    presolve=True,
 ) -> Solution:
     """Solve ``model`` with the named backend (``auto`` by default).
 
     ``form`` (a pre-lowered :class:`StandardForm`) and ``warm_basis`` (a
     previous :attr:`Solution.basis`) are optional fast-path inputs; a
     backend that cannot use one simply ignores it.
+
+    ``presolve=True`` (default) reduces scale-tier-sized forms before
+    dispatch (identity below the 4096-real-column gate); ``False``
+    never presolves; ``"force"`` presolves at any size.
     """
     registry = _registry()
     if backend not in registry:
         raise ValueError(
             f"unknown LP backend {backend!r}; choose from {sorted(registry)}"
         )
+    if presolve not in (True, False, "force"):
+        raise ValueError(
+            f"presolve must be True, False or 'force', got {presolve!r}"
+        )
+    if presolve is not False:
+        if form is None:
+            form = model.to_standard_form()
+        if presolve == "force" or _presolve_gate(form):
+            from .presolve import presolve_form
+            from .solution import SolveStatus
+
+            t0 = perf_counter()
+            pres = presolve_form(form)
+            presolve_s = perf_counter() - t0
+            if pres.status is not None:
+                sol = Solution(pres.status, backend="presolve")
+                return _attach_presolve(sol, pres, presolve_s)
+            if pres.identity:
+                sol = registry[backend](
+                    model, form=form, warm_basis=warm_basis
+                )
+                return _attach_presolve(sol, pres, presolve_s)
+            reduced_warm = pres.map_warm_basis(warm_basis)
+            sol = registry[backend](
+                model, form=pres.reduced, warm_basis=reduced_warm
+            )
+            if sol.status is SolveStatus.OPTIMAL:
+                sol = pres.postsolve(sol)
+            return _attach_presolve(sol, pres, presolve_s)
     return registry[backend](model, form=form, warm_basis=warm_basis)
 
 

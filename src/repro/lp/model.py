@@ -345,7 +345,7 @@ class Model:
 
     # -- solving -----------------------------------------------------------------
 
-    def solve(self, backend: str = "auto") -> Solution:
+    def solve(self, backend: str = "auto", presolve=True) -> Solution:
         """Solve the model with the requested backend.
 
         Backends (see :mod:`repro.lp.backends`):
@@ -358,10 +358,14 @@ class Model:
         * ``"dense-tableau"`` — the dense tableau reference
           implementation (escape hatch, byte-identical reports to the
           revised simplex).
+
+        ``presolve`` is forwarded to :func:`repro.lp.backends.solve`:
+        ``True`` reduces scale-tier-sized forms first (identity below
+        the gate), ``False`` never does, ``"force"`` always does.
         """
         from . import backends
 
-        return backends.solve(self, backend)
+        return backends.solve(self, backend, presolve=presolve)
 
     def stats(self) -> Dict[str, int]:
         return {

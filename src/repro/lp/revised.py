@@ -599,6 +599,27 @@ def _iterate(
     return "iteration_limit"
 
 
+def _perturb_rhs(problem: _Problem) -> None:
+    """Scale-mode anti-degeneracy: iterate against a deterministically
+    perturbed rhs so ratio-test ties (and the degenerate plateaus they
+    cause) all but vanish.  Each row gets a distinct positive nudge —
+    positive keeps the normalized ``rhs >= 0`` invariant, distinct
+    breaks the ties — sized relative to the row.  Knuth's
+    multiplicative-hash constant spreads the 16-bit fractions.  The
+    final basis is always re-solved against the true rhs.  No-op below
+    the Dantzig gate so paper-sized arithmetic is untouched."""
+    if problem.n_real < _DANTZIG_MIN_COLUMNS:
+        return
+    m = problem.m
+    rows = np.arange(m, dtype=np.uint64)
+    frac = (
+        (rows * np.uint64(2654435761)) & np.uint64(0xFFFF)
+    ).astype(np.float64) / 65536.0
+    problem.rhs_iter = problem.rhs + _PERTURB_SCALE * (1.0 + frac) * (
+        np.maximum(1.0, np.abs(problem.rhs))
+    )
+
+
 def _crash_singletons(problem: _Problem, basis: List[int]) -> None:
     """Crash singleton structural columns onto still-uncovered rows.
 
@@ -806,22 +827,23 @@ def solve_revised(
     if warm_basis is not None:
         warm = _attempt_warm(problem, warm_basis, counters, timers, max_iter)
         if warm is not None:
+            warm.phase1_skipped = True
             return warm
+        if problem.n_real >= _DANTZIG_MIN_COLUMNS:
+            # Scale tier: the carried basis no longer resolves cleanly
+            # or is primal-infeasible after the round's delta — re-enter
+            # through the dual simplex instead of redoing phase 1.
+            # Below the gate the strict warm path is the only warm path,
+            # keeping the byte-identity contract untouched.
+            from .dual import attempt_dual_resolve
 
-    if problem.n_real >= _DANTZIG_MIN_COLUMNS:
-        # Scale mode: iterate against a deterministically perturbed rhs
-        # so ratio-test ties (and the degenerate plateaus they cause)
-        # all but vanish.  Each row gets a distinct positive nudge —
-        # positive keeps the normalized ``rhs >= 0`` invariant, distinct
-        # breaks the ties — sized relative to the row.  Knuth's
-        # multiplicative-hash constant spreads the 16-bit fractions.
-        rows = np.arange(m, dtype=np.uint64)
-        frac = (
-            (rows * np.uint64(2654435761)) & np.uint64(0xFFFF)
-        ).astype(np.float64) / 65536.0
-        problem.rhs_iter = problem.rhs + _PERTURB_SCALE * (1.0 + frac) * (
-            np.maximum(1.0, np.abs(problem.rhs))
-        )
+            dual = attempt_dual_resolve(
+                problem, warm_basis, counters, timers, max_iter
+            )
+            if dual is not None:
+                return dual
+
+    _perturb_rhs(problem)
 
     # Initial basis: the slack where it survived sign normalization with
     # coefficient +1, then crashed singleton structural columns, a
@@ -881,10 +903,16 @@ def solve_revised(
         state, costs2, art_cost=0.0, max_iter=max_iter, pin_artificials=True
     )
     if status == "unbounded":
-        return Solution(SolveStatus.UNBOUNDED, backend=BACKEND_NAME)
+        sol = Solution(SolveStatus.UNBOUNDED, backend=BACKEND_NAME)
+        sol.phase1_iterations = iterations1
+        sol.phase1_skipped = iterations1 == 0
+        return sol
     if status != "optimal":
         return Solution(SolveStatus.ERROR, backend=BACKEND_NAME)
-    return _extract(problem, state, counters, iterations1)
+    sol = _extract(problem, state, counters, iterations1)
+    sol.phase1_iterations = iterations1
+    sol.phase1_skipped = iterations1 == 0
+    return sol
 
 
 __all__ = ["BACKEND_NAME", "solve_revised"]

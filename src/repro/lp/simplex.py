@@ -319,6 +319,7 @@ def solve_simplex(
             max_iter,
         )
         if warm is not None:
+            warm.phase1_skipped = True
             return warm
 
     # Identify rows whose slack can serve as the initial basis (slack
@@ -426,10 +427,13 @@ def solve_simplex(
     tab2.price_out()
     status = tab2.run(max_iter)
     if status == "unbounded":
-        return Solution(SolveStatus.UNBOUNDED, backend=BACKEND_NAME)
+        sol = Solution(SolveStatus.UNBOUNDED, backend=BACKEND_NAME)
+        sol.phase1_iterations = iterations1
+        sol.phase1_skipped = iterations1 == 0
+        return sol
     if status != "optimal":
         return Solution(SolveStatus.ERROR, backend=BACKEND_NAME)
-    return _extract(
+    sol = _extract(
         tab2,
         c,
         shift,
@@ -441,6 +445,9 @@ def solve_simplex(
         source_rows,
         source_rhs,
     )
+    sol.phase1_iterations = iterations1
+    sol.phase1_skipped = iterations1 == 0
+    return sol
 
 
 def _basis_labels(

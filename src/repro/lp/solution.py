@@ -50,6 +50,21 @@ class Solution:
     ftran_btran_s: float = 0.0
     pricing_s: float = 0.0
     eta_len: int = 0
+    #: Presolve observability (:mod:`repro.lp.presolve`): wall-clock
+    #: spent reducing, and how many rows/columns the reductions removed
+    #: before the backend saw the problem.  Zero when presolve was off
+    #: or the identity.
+    presolve_s: float = 0.0
+    presolve_rows_eliminated: int = 0
+    presolve_cols_eliminated: int = 0
+    #: Phase-1 / dual re-solve observability: dual-simplex pivots taken
+    #: by the re-solve path (:mod:`repro.lp.dual`), primal phase-1
+    #: iterations performed, and whether the solve did *zero* phase-1
+    #: work (warm start, dual re-solve, or a crash basis covering every
+    #: row).
+    dual_iterations: int = 0
+    phase1_iterations: int = 0
+    phase1_skipped: bool = False
 
     @property
     def is_optimal(self) -> bool:

@@ -63,6 +63,18 @@ class RunMetrics:
     lp_ftran_btran_s: float = 0.0
     lp_pricing_s: float = 0.0
     lp_eta_len: int = 0
+    #: Presolve + dual re-solve counters (scale tier; zero below the
+    #: 4096-column gate where presolve is the identity): seconds spent
+    #: reducing, rows/columns the reductions removed, dual-simplex
+    #: re-solve pivots, primal phase-1 iterations, and how many rounds
+    #: did zero phase-1 work (``lp_phase1_skipped``, summed when
+    #: aggregated so a 3-round run reports up to 3).
+    lp_presolve_s: float = 0.0
+    lp_presolve_rows: int = 0
+    lp_presolve_cols: int = 0
+    lp_dual_iterations: int = 0
+    lp_phase1_iterations: int = 0
+    lp_phase1_skipped: int = 0
     #: Variables/constraints the encoder actually appended this round —
     #: equals the full LP size on a rebuild, and only the round's delta
     #: on the incremental path (summed when aggregated).
@@ -121,6 +133,12 @@ class RunMetrics:
         self.lp_ftran_btran_s += other.lp_ftran_btran_s
         self.lp_pricing_s += other.lp_pricing_s
         self.lp_eta_len += other.lp_eta_len
+        self.lp_presolve_s += other.lp_presolve_s
+        self.lp_presolve_rows += other.lp_presolve_rows
+        self.lp_presolve_cols += other.lp_presolve_cols
+        self.lp_dual_iterations += other.lp_dual_iterations
+        self.lp_phase1_iterations += other.lp_phase1_iterations
+        self.lp_phase1_skipped += other.lp_phase1_skipped
         self.lp_delta_variables += other.lp_delta_variables
         self.lp_delta_constraints += other.lp_delta_constraints
         self.convert_targets += other.convert_targets
@@ -171,6 +189,12 @@ class RunMetrics:
                 f"ftran/btran {self.lp_ftran_btran_s:.3f}s, "
                 f"pricing {self.lp_pricing_s:.3f}s, "
                 f"eta length {self.lp_eta_len}",
+                f"lp presolve: {self.lp_presolve_s:.3f}s, "
+                f"{self.lp_presolve_rows} rows / "
+                f"{self.lp_presolve_cols} cols eliminated; "
+                f"re-solve: {self.lp_dual_iterations} dual pivots, "
+                f"{self.lp_phase1_iterations} phase-1 iterations, "
+                f"phase-1 skipped in {self.lp_phase1_skipped} round(s)",
                 f"engine: concurrency hwm "
                 f"{self.engine_concurrency_hwm}, "
                 f"{self.engine_jobs_cancelled} cancelled jobs, "

@@ -30,9 +30,9 @@ from repro.core.serialize import report_to_dict
 APP_IDS = [app.app_id for app in all_applications()]
 
 
-def _run(app_id: str, backend: str, incremental: bool):
+def _run(app_id: str, backend: str, incremental: bool, presolve: bool = True):
     config = SherlockConfig(
-        rounds=3, backend=backend, incremental=incremental
+        rounds=3, backend=backend, incremental=incremental, presolve=presolve
     )
     return Sherlock(get_application(app_id), config).run()
 
@@ -69,6 +69,39 @@ def test_scipy_agrees_on_the_round_zero_lp(app_id):
     assert s0.n_variables == r0.n_variables
     assert s0.n_constraints == r0.n_constraints
     assert r0.objective == pytest.approx(s0.objective, rel=1e-9, abs=1e-9)
+
+
+@pytest.mark.parametrize("app_id", APP_IDS)
+def test_presolve_flag_byte_identical_below_gate(app_id):
+    """``presolve=True`` vs ``presolve=False``: byte-identical 3-round
+    reports on every registered app.  Paper-sized LPs sit far below the
+    4096-real-column presolve gate, so the default-on flag must be the
+    identity there — this is the regression lock on the gate itself."""
+    on = _canonical(_run(app_id, "simplex", True, presolve=True))
+    off = _canonical(_run(app_id, "simplex", True, presolve=False))
+    assert on == off
+
+
+def test_presolve_and_phase1_counters_flow_to_metrics():
+    """The presolve / phase-1 counters flow from the solver through
+    InferenceResult to RunMetrics: warm-started incremental rounds skip
+    phase 1 entirely, the counters aggregate across rounds, and
+    ``describe()`` surfaces them for ``--stats``."""
+    report = Sherlock(
+        get_application(APP_IDS[1]),
+        SherlockConfig(rounds=3, backend="simplex"),
+    ).run()
+    metrics = report.metrics
+    # Warm-started rounds (and paper-sized cold solves, whose crash
+    # basis covers every row) do zero phase-1 work.
+    assert metrics.lp_phase1_skipped >= 1
+    assert metrics.lp_phase1_iterations >= 0
+    # Below the gate presolve is the identity: no reductions, no time.
+    assert metrics.lp_presolve_rows == 0
+    assert metrics.lp_presolve_cols == 0
+    described = metrics.describe()
+    assert "presolve" in described
+    assert "phase-1 skipped" in described
 
 
 def test_revised_backend_reports_factorization_metrics():

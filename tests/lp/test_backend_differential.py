@@ -227,18 +227,76 @@ def test_free_variables_error_consistently(free_mask, costs):
 
 def test_revised_hot_path_never_densifies_constraint_matrix():
     """Source-scan guard for the tentpole's core constraint: neither
-    ``revised.py`` nor ``factor.py`` may densify the constraint matrix
-    (``toarray``/``todense``/``.A``).  The only dense objects allowed are
-    m-vectors (ftran/btran right-hand sides, one entering column) and the
-    final m×m basis re-solve in extraction."""
+    ``revised.py``, ``factor.py``, ``presolve.py``, nor ``dual.py`` may
+    densify the constraint matrix (``toarray``/``todense``/``.A``).  The
+    only dense objects allowed are m-vectors (ftran/btran right-hand
+    sides, one entering column) and the final m×m basis re-solve in
+    extraction; presolve works on CSR/CSC index arrays directly."""
+    import repro.lp.dual as dual
     import repro.lp.factor as factor
+    import repro.lp.presolve as presolve
     import repro.lp.revised as revised
 
-    for module in (revised, factor):
+    for module in (revised, factor, presolve, dual):
         source = inspect.getsource(module)
         assert "toarray" not in source, module.__name__
         assert "todense" not in source, module.__name__
         assert ".A]" not in source and ".A " not in source, module.__name__
+
+
+# ---------------------------------------------------------------------------
+# Presolve differential + round-trip (force-on at paper sizes)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(spec=lp_specs())
+def test_presolve_matches_no_presolve(spec):
+    """Forcing presolve below its gate must not change the verdict:
+    same status as the un-presolved solve, same objective to 1e-9, and
+    the postsolved point feasible on the *original* model."""
+    from repro.lp import backends
+
+    model, _ = _build(spec, name="presolve-diff")
+    forced = backends.solve(
+        model, backend="revised-simplex", presolve="force"
+    )
+    plain = backends.solve(
+        model, backend="revised-simplex", presolve=False
+    )
+    assert forced.status is plain.status, (forced.status, plain.status)
+    if plain.status is SolveStatus.OPTIMAL:
+        assert forced.objective == pytest.approx(
+            plain.objective, rel=1e-9, abs=1e-9
+        )
+        _check_feasible(model, forced)
+        assert set(forced.values) == set(plain.values)
+
+
+@settings(max_examples=120, deadline=None)
+@given(spec=lp_specs())
+def test_presolve_postsolve_round_trip(spec):
+    """S3: ``postsolve(presolve(P))`` restores a full exact solution —
+    every original variable valued, objective recomputed from the
+    original costs, and any reconstructed basis labels *resolve*: they
+    warm-start the un-presolved problem straight to the same optimum."""
+    from repro.lp import backends
+
+    model, _ = _build(spec, name="presolve-rt")
+    forced = backends.solve(
+        model, backend="revised-simplex", presolve="force"
+    )
+    if forced.status is not SolveStatus.OPTIMAL:
+        return
+    assert len(forced.values) == len(model.variables)
+    _check_feasible(model, forced)
+    if forced.basis is None:
+        return
+    warm = solve_revised(model, warm_basis=forced.basis)
+    assert warm.status is SolveStatus.OPTIMAL
+    assert warm.objective == pytest.approx(
+        forced.objective, rel=1e-9, abs=1e-9
+    )
 
 
 def test_prepare_sparse_keeps_matrix_sparse():
